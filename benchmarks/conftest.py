@@ -1,0 +1,31 @@
+"""Shared configuration for the figure-regeneration benchmarks.
+
+Each benchmark regenerates one table or figure of the paper.  By default the
+*quick* matrix runs (reduced sweeps, suitable for CI); set ``REPRO_FULL=1``
+to run the paper's full matrix.
+
+The printed tables are the deliverable; the timing measured by
+pytest-benchmark is the harness cost of regenerating the figure.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    return os.environ.get("REPRO_FULL", "") != "1"
+
+
+@pytest.fixture
+def show():
+    """Print a FigureResult under the benchmark output."""
+
+    def _show(result) -> None:
+        print()
+        print(result.pretty())
+
+    return _show

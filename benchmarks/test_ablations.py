@@ -1,0 +1,106 @@
+"""Ablations of DESIGN.md's called-out design choices.
+
+Not figures from the paper — these quantify the design decisions the paper
+makes (or defers):
+
+* flat vs banked signature organisation (the hardware-layout choice),
+* Table II resolution vs oldest-wins timestamp ordering (the livelock
+  mitigation the paper leaves to future work).
+"""
+
+from __future__ import annotations
+
+from repro.harness.config import ExperimentSpec, consolidated, mixed_pmdk
+from repro.harness.report import FigureResult
+from repro.harness.runner import run_experiment
+from repro.params import HTMConfig, HTMDesign, SignatureConfig
+from repro.workloads import WorkloadParams
+
+KB = 1 << 10
+
+
+def _params(quick):
+    return WorkloadParams(
+        threads=4,
+        txs_per_thread=4 if quick else 8,
+        value_bytes=100 * KB,
+        keys=256,
+        initial_fill=64,
+    )
+
+
+def run_signature_design_ablation(quick: bool) -> FigureResult:
+    result = FigureResult(
+        "Ablation A",
+        "Flat vs banked signature organisation (1k bits, UHTM opt)",
+        ["organisation", "abort_rate", "fp_share", "throughput"],
+    )
+    for label, banked in (("flat", False), ("banked", True)):
+        config = HTMConfig(
+            design=HTMDesign.UHTM,
+            signature=SignatureConfig(bits=1024, banked=banked),
+            isolation=True,
+        )
+        spec = ExperimentSpec(
+            name=f"ablation:sig:{label}",
+            htm=config,
+            benchmarks=mixed_pmdk(_params(quick)),
+            scale=1 / 16,
+            cores=16,
+            membound_instances=2,
+        )
+        run = run_experiment(spec, label=label)
+        result.add_row(
+            label, run.abort_rate, run.false_positive_share, run.throughput
+        )
+    return result
+
+
+def run_resolution_policy_ablation(quick: bool) -> FigureResult:
+    result = FigureResult(
+        "Ablation B",
+        "Table II resolution vs oldest-wins timestamp ordering",
+        ["policy", "abort_rate", "slow_paths", "throughput"],
+    )
+    for policy in ("table2", "oldest_wins"):
+        config = HTMConfig(
+            design=HTMDesign.UHTM,
+            signature=SignatureConfig(bits=1024),
+            isolation=True,
+            resolution=policy,
+        )
+        spec = ExperimentSpec(
+            name=f"ablation:policy:{policy}",
+            htm=config,
+            benchmarks=consolidated("btree", 4, _params(quick)),
+            scale=1 / 16,
+            cores=16,
+            membound_instances=2,
+        )
+        run = run_experiment(spec, label=policy)
+        result.add_row(
+            policy, run.abort_rate, run.slow_path_executions, run.throughput
+        )
+    return result
+
+
+def test_signature_design_ablation(benchmark, quick, show):
+    result = benchmark.pedantic(
+        lambda: run_signature_design_ablation(quick), rounds=1, iterations=1
+    )
+    show(result)
+    rows = result.row_map()
+    # Both organisations must make progress; banked may abort slightly more.
+    assert rows["flat"][3] > 0 and rows["banked"][3] > 0
+
+
+def test_resolution_policy_ablation(benchmark, quick, show):
+    result = benchmark.pedantic(
+        lambda: run_resolution_policy_ablation(quick), rounds=1, iterations=1
+    )
+    show(result)
+    rows = result.row_map()
+    # Oldest-wins guarantees progress without more serialisation than
+    # Table II resolution under the same contention.
+    assert rows["oldest_wins"][2] <= rows["table2"][2] + 8
+    assert rows["oldest_wins"][3] > 0

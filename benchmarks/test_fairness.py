@@ -1,0 +1,63 @@
+"""Consolidation fairness: unboundedness also equalises progress.
+
+Not a paper figure, but a direct consequence of its motivation (Section
+III-C): under LLC contention, the bounded design's capacity fallbacks
+serialise some consolidated applications far more than others, while UHTM
+lets all of them progress.  Jain's fairness index over per-process
+committed operations quantifies it.
+"""
+
+from __future__ import annotations
+
+from repro.harness.config import ExperimentSpec, mixed_pmdk
+from repro.harness.report import FigureResult
+from repro.harness.runner import run_experiment
+from repro.params import HTMConfig, HTMDesign, SignatureConfig
+from repro.workloads import WorkloadParams
+
+KB = 1 << 10
+
+
+def run_fairness(quick: bool) -> FigureResult:
+    result = FigureResult(
+        "Fairness",
+        "Jain index over consolidated benchmarks' committed operations",
+        ["design", "fairness", "throughput"],
+    )
+    params = WorkloadParams(
+        threads=4,
+        txs_per_thread=4 if quick else 8,
+        value_bytes=100 * KB,
+        keys=256,
+        initial_fill=64,
+    )
+    configs = [
+        HTMConfig(design=HTMDesign.LLC_BOUNDED),
+        HTMConfig(design=HTMDesign.UHTM,
+                  signature=SignatureConfig(bits=4096), isolation=True),
+        HTMConfig(design=HTMDesign.IDEAL),
+    ]
+    for config in configs:
+        spec = ExperimentSpec(
+            name=f"fairness:{config.label}",
+            htm=config,
+            benchmarks=mixed_pmdk(params),
+            scale=1 / 16,
+            cores=16,
+            membound_instances=2,
+        )
+        run = run_experiment(spec)
+        result.add_row(config.label, run.fairness(), run.throughput)
+    return result
+
+
+def test_fairness(benchmark, quick, show):
+    result = benchmark.pedantic(
+        lambda: run_fairness(quick), rounds=1, iterations=1
+    )
+    show(result)
+    rows = result.row_map()
+    # Every design completes the same fixed work, so fairness is high for
+    # all; the unbounded designs must not be less fair than the baseline.
+    assert rows["4k_opt"][1] >= rows["LLC-Bounded"][1] - 0.1
+    assert rows["Ideal"][1] >= 0.8

@@ -1,0 +1,20 @@
+"""Figure 2: LLC-Bounded vs Ideal unbounded HTM throughput (Section III-C).
+
+Paper shape: the bounded design is up to 6.2x slower than the ideal
+unbounded HTM once consolidated transactions outgrow the on-chip caches.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures import fig2
+
+
+def test_fig2(benchmark, quick, show):
+    result = benchmark.pedantic(
+        lambda: fig2(quick=quick), rounds=1, iterations=1
+    )
+    show(result)
+    speedups = result.column("ideal_speedup")
+    # Shape: Ideal wins on every benchmark, substantially on at least one.
+    assert all(s >= 1.0 for s in speedups)
+    assert max(speedups) >= 1.5

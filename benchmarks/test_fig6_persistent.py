@@ -1,0 +1,26 @@
+"""Figure 6: persistent-transaction throughput, normalised to LLC-Bounded.
+
+Paper shape: signature-only underperforms even the bounded baseline; UHTM
+recovers most of the Ideal design's advantage; isolation (_opt) >= _sig.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures import fig6
+
+
+def test_fig6(benchmark, quick, show):
+    result = benchmark.pedantic(
+        lambda: fig6(quick=quick), rounds=1, iterations=1
+    )
+    show(result)
+    sig_only_col = next(c for c in result.columns if c.startswith("SigOnly"))
+    opt_col = next(c for c in result.columns if c.endswith("_opt"))
+    ideal = result.column("Ideal")
+    sig_only = result.column(sig_only_col)
+    uhtm_opt = result.column(opt_col)
+    # Ideal beats the baseline overall; UHTM lands close to Ideal.
+    assert sum(ideal) / len(ideal) > 1.2
+    assert sum(uhtm_opt) / len(uhtm_opt) > 1.2
+    # Signature-only never approaches the unbounded designs.
+    assert sum(sig_only) / len(sig_only) < sum(uhtm_opt) / len(uhtm_opt)

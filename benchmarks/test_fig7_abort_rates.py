@@ -1,0 +1,51 @@
+"""Figure 7: abort-rate decomposition vs footprint and signature size.
+
+Paper shape: abort rates rise with transaction footprint, fall with
+signature size, and are dominated by false positives; isolation (_opt)
+lowers the rate at every point.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.harness.figures import fig7
+
+
+def test_fig7(benchmark, quick, show):
+    result = benchmark.pedantic(
+        lambda: fig7(quick=quick), rounds=1, iterations=1
+    )
+    show(result)
+    by_config = defaultdict(dict)
+    for footprint, config, rate, true, false, capacity in result.rows:
+        by_config[config][footprint] = rate
+
+    footprints = sorted({row[0] for row in result.rows})
+    small, large = footprints[0], footprints[-1]
+
+    # Shape 1: larger footprints abort more for every configuration.
+    for config, rates in by_config.items():
+        assert rates[large] >= rates[small] - 0.05, config
+
+    # Shape 2: at the smallest footprint, bigger signatures abort less.
+    sig_sizes = sorted(
+        {c.rsplit("_", 1)[0] for c in by_config}, key=_sig_bits
+    )
+    smallest_sig = f"{sig_sizes[0]}_sig"
+    largest_sig = f"{sig_sizes[-1]}_sig"
+    assert by_config[largest_sig][small] <= by_config[smallest_sig][small]
+
+    # Shape 3: isolation lowers (or matches) the abort rate everywhere.
+    for size in sig_sizes:
+        for footprint in footprints:
+            assert (
+                by_config[f"{size}_opt"][footprint]
+                <= by_config[f"{size}_sig"][footprint] + 0.05
+            )
+
+
+def _sig_bits(label: str) -> int:
+    if label.endswith("k"):
+        return int(label[:-1]) * 1024
+    return int(label)

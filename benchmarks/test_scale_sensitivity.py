@@ -1,0 +1,44 @@
+"""Scaling validation: the headline ordering is scale-invariant.
+
+DESIGN.md's methodology claims behaviour depends on footprint:cache ratios,
+which the scale knob preserves.  This benchmark reruns the §IV-D abort-rate
+experiment at three machine scales and asserts the three-step ordering
+(signature-only >> staged >> isolated) at every one — evidence that the
+quick-matrix results are not an artifact of one scale point.
+"""
+
+from __future__ import annotations
+
+from repro.harness.figures import abort_claim
+from repro.harness.report import FigureResult
+
+
+def run_scale_sweep(quick: bool) -> FigureResult:
+    result = FigureResult(
+        "Scaling",
+        "Abort-rate ordering across machine scales",
+        ["scale", "signature_only", "uhtm_sig", "uhtm_opt"],
+    )
+    scales = (1 / 32, 1 / 16) if quick else (1 / 32, 1 / 16, 1 / 8)
+    for scale in scales:
+        figure = abort_claim(quick=True, scale=scale)
+        rates = {row[0]: row[1] for row in figure.rows}
+        result.add_row(
+            f"1/{round(1 / scale)}",
+            rates["signature_only"],
+            rates["uhtm_sig"],
+            rates["uhtm_opt"],
+        )
+    return result
+
+
+def test_ordering_invariant_across_scales(benchmark, quick, show):
+    result = benchmark.pedantic(
+        lambda: run_scale_sweep(quick), rounds=1, iterations=1
+    )
+    show(result)
+    for row in result.rows:
+        _, sig_only, uhtm_sig, uhtm_opt = row
+        assert sig_only > 0.85
+        assert uhtm_sig < sig_only
+        assert uhtm_opt <= uhtm_sig + 0.02

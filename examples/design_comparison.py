@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Compare the four HTM designs on one overflowing workload.
+
+Runs the same consolidated B-tree benchmark (transactions far larger than
+the LLC) under LLC-Bounded, Signature-Only, UHTM, and Ideal, and prints a
+side-by-side of throughput, abort causes, and fallback serialisations —
+a miniature of the paper's Figure 6 story.
+
+Run with:  python examples/design_comparison.py
+"""
+
+from repro.harness.config import BenchmarkSpec, ExperimentSpec
+from repro.harness.report import format_table
+from repro.harness.runner import run_experiment
+from repro.params import HTMConfig, HTMDesign, SignatureConfig
+from repro.workloads import WorkloadParams
+
+
+def main() -> None:
+    params = WorkloadParams(
+        threads=4,
+        txs_per_thread=4,
+        value_bytes=100 << 10,  # 100 KB transactions (the paper's Fig. 6 point)
+        keys=256,
+        initial_fill=64,
+    )
+    benchmarks = tuple(
+        BenchmarkSpec("btree", params) for _ in range(4)
+    )
+    configs = [
+        HTMConfig(design=HTMDesign.LLC_BOUNDED),
+        HTMConfig(design=HTMDesign.SIGNATURE_ONLY,
+                  signature=SignatureConfig(bits=4096)),
+        HTMConfig(design=HTMDesign.UHTM, isolation=False,
+                  signature=SignatureConfig(bits=4096)),
+        HTMConfig(design=HTMDesign.UHTM, isolation=True,
+                  signature=SignatureConfig(bits=4096)),
+        HTMConfig(design=HTMDesign.IDEAL),
+    ]
+    rows = []
+    baseline = None
+    for config in configs:
+        spec = ExperimentSpec(
+            name=f"compare:{config.label}",
+            htm=config,
+            benchmarks=benchmarks,
+            scale=1 / 16,
+            cores=16,
+            membound_instances=2,
+        )
+        result = run_experiment(spec)
+        if baseline is None:
+            baseline = result
+        rows.append([
+            config.label,
+            round(result.throughput, 1),
+            round(result.speedup_over(baseline), 2),
+            f"{result.abort_rate:.0%}",
+            f"{result.false_positive_share:.0%}",
+            result.capacity_fallbacks,
+            result.slow_path_executions,
+        ])
+    print(format_table(
+        ["design", "ops/ms", "vs LLC-Bounded", "abort rate",
+         "FP share", "capacity fallbacks", "slow paths"],
+        rows,
+        title="100 KB B-tree transactions, 4 consolidated instances + 2 hogs",
+    ))
+    print(
+        "\nReading the table: the bounded design serialises on every\n"
+        "overflow; signature-only aborts almost everything; UHTM's staged\n"
+        "detection recovers most of the Ideal design's concurrency, and\n"
+        "isolation (_opt) removes cross-process false conflicts."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Unboundedness demo: one transaction far larger than every cache level.
+
+Writes a multi-megabyte persistent region in a single transaction.  Under
+the LLC-bounded baseline this capacity-aborts and serialises behind the
+fallback lock (Algorithm 1's slow path); under UHTM it commits speculatively
+— overflowed lines spill to signatures, undo/redo logs, and the DRAM cache
+exactly as Section IV describes.  The demo prints what each design did and
+proves the data landed either way.
+
+Run with:  python examples/unbounded_transactions.py
+"""
+
+from repro import HTMConfig, LINE_SIZE, MachineConfig, MemoryKind, System
+
+TX_LINES = 4096  # 256 KB at line granularity — LLC here is 64 KB
+
+
+def run(design: str) -> None:
+    system = System(
+        MachineConfig.scaled(1 / 16, cores=2, cache_scale=1 / 256),
+        HTMConfig(design=design),
+        seed=3,
+    )
+    app = system.process("bigtx")
+    base = system.heap.alloc(TX_LINES * LINE_SIZE, MemoryKind.NVM)
+
+    def body(api):
+        def work(tx):
+            for i in range(TX_LINES):
+                tx.write_word(base + i * LINE_SIZE, i + 1)
+                if i % 256 == 0:
+                    yield
+
+        yield from api.run_transaction(work)
+
+    app.thread(body)
+    system.run()
+
+    print(f"--- {design} ---")
+    print(f"  LLC capacity          : {system.machine.llc.num_lines} lines")
+    print(f"  transaction footprint : {TX_LINES} lines")
+    print(f"  capacity aborts       : "
+          f"{system.stats.counter('tx.aborts.capacity')}")
+    print(f"  slow-path executions  : "
+          f"{system.stats.counter('tx.slow_path_executions')}")
+    print(f"  speculative commits   : {system.stats.counter('tx.commits')}")
+    print(f"  lines spilled off-chip: "
+          f"{system.stats.counter('nvm.early_evictions')}")
+    print(f"  simulated time        : {system.elapsed_ns / 1e6:.3f} ms")
+    # Either path must have landed every line durably:
+    system.crash()
+    system.recover()
+    missing = sum(
+        1
+        for i in range(TX_LINES)
+        if system.controller.nvm.load(base + i * LINE_SIZE) != i + 1
+    )
+    print(f"  lines durable         : {TX_LINES - missing}/{TX_LINES}")
+    assert missing == 0
+
+
+def main() -> None:
+    for design in ("llc_bounded", "uhtm", "ideal"):
+        run(design)
+    print("\nunbounded-transaction demo OK: the bounded design fell back to "
+          "the serial slow path; the unbounded designs committed "
+          "speculatively with off-chip conflict tracking.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""UHTM: unbounded hardware transactional memory for hybrid DRAM/NVM memory.
+
+A from-scratch reproduction of *"Unbounded Hardware Transactional Memory for
+a Hybrid DRAM/NVM Memory System"* (MICRO 2020): a deterministic,
+block-granularity simulator of the paper's machine — caches, directory
+coherence, hardware logs, DRAM cache, address signatures — plus the four
+evaluated HTM designs, the paper's benchmark suite, and a harness that
+regenerates every figure of the evaluation.
+
+Quick start::
+
+    from repro import System, MachineConfig, HTMConfig
+    from repro.workloads import HashMapWorkload
+
+    system = System(MachineConfig.scaled(1 / 16), HTMConfig(design="uhtm"))
+    ...
+
+See ``examples/quickstart.py`` for a complete runnable program.
+"""
+
+from .errors import (
+    AbortReason,
+    AddressError,
+    AllocationError,
+    ConfigError,
+    LogOverflowError,
+    RecoveryError,
+    ReproError,
+    SimulationError,
+    TransactionAborted,
+    TransactionStateError,
+)
+from .params import (
+    CacheGeometry,
+    DramLogPolicy,
+    HTMConfig,
+    HTMDesign,
+    LatencyConfig,
+    LINE_SIZE,
+    MachineConfig,
+    MemoryConfig,
+    SignatureConfig,
+    WORD_SIZE,
+)
+from .mem.address import MemoryKind
+from .runtime.system import System
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbortReason",
+    "AddressError",
+    "AllocationError",
+    "ConfigError",
+    "LogOverflowError",
+    "RecoveryError",
+    "ReproError",
+    "SimulationError",
+    "TransactionAborted",
+    "TransactionStateError",
+    "CacheGeometry",
+    "DramLogPolicy",
+    "HTMConfig",
+    "HTMDesign",
+    "LatencyConfig",
+    "LINE_SIZE",
+    "MachineConfig",
+    "MemoryConfig",
+    "SignatureConfig",
+    "WORD_SIZE",
+    "MemoryKind",
+    "System",
+    "__version__",
+]

@@ -1,0 +1,97 @@
+"""Command-line interface: regenerate any figure or table of the paper.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig6
+    python -m repro fig9 --full
+    python -m repro all --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .harness.export import to_json, to_markdown
+from .harness.figures import ALL_FIGURES
+from .harness.config import DEFAULT_SCALE
+
+#: Figures that accept (quick, scale, seed); tables take no arguments.
+_STATIC = {"table1", "table2", "table4"}
+
+
+def _run_one(name: str, quick: bool, scale: float, seed: int) -> list:
+    driver = ALL_FIGURES[name]
+    started = time.time()
+    if name in _STATIC:
+        results = driver()
+    else:
+        results = driver(quick=quick, scale=scale, seed=seed)
+    if not isinstance(results, tuple):
+        results = (results,)
+    for result in results:
+        print(result.pretty())
+        print()
+    print(f"[{name}] regenerated in {time.time() - started:.1f}s wall clock")
+    return list(results)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "figure",
+        help="one of: " + ", ".join(sorted(ALL_FIGURES)) + ", all, list",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the paper's full sweep matrix instead of the quick one",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=DEFAULT_SCALE,
+        help=f"machine scale factor (default {DEFAULT_SCALE:g})",
+    )
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument(
+        "--json", metavar="PATH", help="also write the results as JSON"
+    )
+    parser.add_argument(
+        "--markdown", metavar="PATH", help="also write the results as Markdown"
+    )
+    args = parser.parse_args(argv)
+
+    if args.figure == "list":
+        for name in sorted(ALL_FIGURES):
+            print(name)
+        return 0
+    if args.figure == "all":
+        names = sorted(ALL_FIGURES)
+    elif args.figure in ALL_FIGURES:
+        names = [args.figure]
+    else:
+        parser.error(
+            f"unknown figure {args.figure!r}; try 'python -m repro list'"
+        )
+    collected = []
+    for name in names:
+        collected.extend(_run_one(name, not args.full, args.scale, args.seed))
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(to_json(collected))
+        print(f"wrote {args.json}")
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(to_markdown(collected))
+        print(f"wrote {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""On-chip cache hierarchy with a transactional coherence directory.
+
+Private per-core L1s and a shared, inclusive LLC are modelled as tag arrays
+(line metadata only — data values live in the backing stores and in
+per-transaction write buffers, mirroring how speculative data is held in the
+cache while committed data lives in memory).
+
+The directory extends MESI-style tracking with the paper's ``Tx-bit`` /
+``Tx-Owner`` / ``Tx-Sharer`` fields and raises precise conflicts for
+cache-resident lines.  Eviction callbacks notify the HTM design when
+transactional lines fall out of the L1 (overflow-list maintenance) or the
+LLC (capacity overflow / signature insertion).
+"""
+
+from .coherence import (
+    CoherenceRequest,
+    MesiState,
+    check_swmr,
+    next_state_for_holder,
+    next_state_for_requester,
+)
+from .directory import Directory, DirectoryConflict, DirectoryEntry
+from .hierarchy import AccessResult, CacheHierarchy
+from .setassoc import CacheLineMeta, SetAssociativeArray
+
+__all__ = [
+    "CoherenceRequest",
+    "MesiState",
+    "check_swmr",
+    "next_state_for_holder",
+    "next_state_for_requester",
+    "Directory",
+    "DirectoryConflict",
+    "DirectoryEntry",
+    "AccessResult",
+    "CacheHierarchy",
+    "CacheLineMeta",
+    "SetAssociativeArray",
+]

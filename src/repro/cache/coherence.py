@@ -1,0 +1,67 @@
+"""MESI coherence states and the transition table.
+
+The hierarchy tracks a MESI state per resident L1 line.  The protocol here
+is the standard invalidation-based one the paper's directory extends:
+
+* a core's **load** needs the line in M, E, or S — a GetS request;
+* a core's **store** needs M — a GetM request that invalidates other copies;
+* the first (exclusive) reader installs in E and may silently upgrade to M;
+* later readers downgrade everyone to S.
+
+The single-writer/multiple-reader (SWMR) invariant — at any time a line has
+either exactly one M/E copy or any number of S copies — is checked by the
+property tests via :func:`check_swmr`.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable
+
+
+class MesiState(enum.IntEnum):
+    INVALID = 0
+    SHARED = 1
+    EXCLUSIVE = 2
+    MODIFIED = 3
+
+
+class CoherenceRequest(enum.Enum):
+    GET_S = "GetS"  # read permission
+    GET_M = "GetM"  # write permission
+
+
+def next_state_for_requester(
+    request: CoherenceRequest, other_copies: bool
+) -> MesiState:
+    """State the requesting core's copy ends in."""
+    if request is CoherenceRequest.GET_M:
+        return MesiState.MODIFIED
+    return MesiState.SHARED if other_copies else MesiState.EXCLUSIVE
+
+
+def next_state_for_holder(
+    request: CoherenceRequest, current: MesiState
+) -> MesiState:
+    """State an existing holder's copy ends in when another core requests."""
+    if request is CoherenceRequest.GET_M:
+        return MesiState.INVALID
+    if current in (MesiState.MODIFIED, MesiState.EXCLUSIVE):
+        return MesiState.SHARED  # downgrade on a remote read
+    return current
+
+
+def check_swmr(states: Iterable[MesiState]) -> bool:
+    """The SWMR invariant over one line's per-core states."""
+    writers = 0
+    readers = 0
+    for state in states:
+        if state in (MesiState.MODIFIED, MesiState.EXCLUSIVE):
+            writers += 1
+        elif state is MesiState.SHARED:
+            readers += 1
+    if writers > 1:
+        return False
+    if writers == 1 and readers > 0:
+        return False
+    return True

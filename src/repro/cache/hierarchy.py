@@ -1,0 +1,288 @@
+"""The two-level inclusive cache hierarchy (Table III).
+
+Private L1 data caches per core sit under one shared LLC.  The hierarchy is
+inclusive: installing in the L1 requires LLC residency, and an LLC eviction
+back-invalidates every L1 copy.  The HTM design hooks two callbacks:
+
+* ``on_l1_evict(core_id, meta)`` — a transactionally written line left a
+  private cache; DHTM-style designs append it to the overflow list so commit
+  can locate the write-set in the LLC without scanning.
+* ``on_llc_evict(meta, directory_entry)`` — a line left the on-chip domain;
+  the design migrates its transactional tracking (capacity abort for bounded
+  designs, signature/exact-set insertion for unbounded ones) and, for
+  written lines, moves its speculative data off-chip (undo log + in-place
+  for DRAM, DRAM-cache buffering for NVM).
+
+Data values are *not* stored here: committed values live in the backing
+stores, speculative values in per-transaction write buffers.  Dirty bits
+exist for write-back traffic accounting only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Set
+
+from ..mem.controller import MemoryController
+from ..params import MachineConfig
+from .coherence import CoherenceRequest, MesiState, next_state_for_holder
+from .directory import Directory, DirectoryEntry
+from .setassoc import CacheLineMeta, SetAssociativeArray
+
+L1EvictCallback = Callable[[int, CacheLineMeta], None]
+LLCEvictCallback = Callable[[CacheLineMeta, Optional[DirectoryEntry]], None]
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Timing and path information for one memory access."""
+
+    latency_ns: float
+    #: "l1", "llc", or "mem" — where the request was satisfied.
+    level: str
+
+    @property
+    def llc_miss(self) -> bool:
+        return self.level == "mem"
+
+
+class CacheHierarchy:
+    """Per-core L1s + shared inclusive LLC + transactional directory."""
+
+    def __init__(self, machine: MachineConfig, controller: MemoryController) -> None:
+        self.machine = machine
+        self.controller = controller
+        self.l1s = [
+            SetAssociativeArray(machine.l1, f"l1[{core}]")
+            for core in range(machine.cores)
+        ]
+        self.llc = SetAssociativeArray(machine.llc, "llc")
+        self.directory = Directory()
+        #: Which cores' L1s hold each line (avoids probing all L1s).
+        self._l1_holders: Dict[int, Set[int]] = {}
+        self.on_l1_evict: Optional[L1EvictCallback] = None
+        self.on_llc_evict: Optional[LLCEvictCallback] = None
+        self.writebacks = 0
+
+    # -- the demand access path -----------------------------------------------
+
+    def would_miss_llc(self, core_id: int, line_addr: int) -> bool:
+        """Would an access by ``core_id`` go to memory right now?
+
+        Used to run off-chip conflict checks *before* the fill: a request
+        that loses its conflict check is nacked and must not install the
+        line (otherwise later requests would hit the cache and skip the
+        check — reading uncommitted in-place data).
+        """
+        if self.l1s[core_id].peek(line_addr) is not None:
+            return False
+        return self.llc.peek(line_addr) is None
+
+    def access(
+        self,
+        core_id: int,
+        line_addr: int,
+        is_write: bool,
+        tx_id: Optional[int] = None,
+        now_ns: float = 0.0,
+    ) -> AccessResult:
+        """Walk L1 → LLC → memory for one line-granularity access.
+
+        Transactional bookkeeping (directory Tx fields, signatures, write
+        buffers) is the HTM design's job; this method only moves tags and
+        reports timing.  Writes invalidate other cores' L1 copies (GetM).
+        ``now_ns`` (the requester's clock) feeds the optional bandwidth
+        model's channel queueing.
+        """
+        latency = self.machine.latency.l1_ns
+        l1 = self.l1s[core_id]
+        meta = l1.lookup(line_addr)
+        if meta is not None:
+            self._finish_access(core_id, line_addr, meta, is_write, tx_id)
+            return AccessResult(latency, "l1")
+
+        latency += self.machine.latency.llc_ns
+        llc_meta = self.llc.lookup(line_addr)
+        if llc_meta is not None:
+            l1_meta = self._fill_l1(core_id, line_addr)
+            self._finish_access(core_id, line_addr, l1_meta, is_write, tx_id)
+            return AccessResult(latency, "llc")
+
+        latency += self.controller.demand_access_latency(
+            line_addr, now_ns + latency
+        )
+        self._fill_llc(line_addr)
+        l1_meta = self._fill_l1(core_id, line_addr)
+        self._finish_access(core_id, line_addr, l1_meta, is_write, tx_id)
+        return AccessResult(latency, "mem")
+
+    def _finish_access(
+        self,
+        core_id: int,
+        line_addr: int,
+        l1_meta: CacheLineMeta,
+        is_write: bool,
+        tx_id: Optional[int],
+    ) -> None:
+        if is_write:
+            # GetM: invalidate every other copy; this copy goes to M (a
+            # sole E holder upgrades silently).
+            self._invalidate_other_l1s(core_id, line_addr)
+            l1_meta.mesi = MesiState.MODIFIED
+            l1_meta.dirty = True
+            if tx_id is not None:
+                l1_meta.tx_writer = tx_id
+        else:
+            # GetS: downgrade any M/E holder; requester takes S if the line
+            # is shared, E if it is the only copy.
+            holders = self._l1_holders.get(line_addr, ())
+            others = [c for c in holders if c != core_id]
+            for other in others:
+                other_meta = self.l1s[other].peek(line_addr)
+                if other_meta is not None:
+                    other_meta.mesi = next_state_for_holder(
+                        CoherenceRequest.GET_S, other_meta.mesi
+                    )
+            if others:
+                l1_meta.mesi = MesiState.SHARED
+            elif l1_meta.mesi is not MesiState.MODIFIED:
+                l1_meta.mesi = MesiState.EXCLUSIVE
+            if tx_id is not None:
+                l1_meta.tx_readers.add(tx_id)
+
+    # -- fills and evictions -----------------------------------------------------
+
+    def _fill_l1(self, core_id: int, line_addr: int) -> CacheLineMeta:
+        l1 = self.l1s[core_id]
+        existing = l1.peek(line_addr)
+        if existing is not None:
+            return existing
+        victims = l1.install(line_addr)
+        self._l1_holders.setdefault(line_addr, set()).add(core_id)
+        for victim in victims:
+            self._handle_l1_eviction(core_id, victim)
+        return l1.peek(line_addr)  # type: ignore[return-value]
+
+    def _handle_l1_eviction(self, core_id: int, victim: CacheLineMeta) -> None:
+        holders = self._l1_holders.get(victim.line_addr)
+        if holders is not None:
+            holders.discard(core_id)
+            if not holders:
+                del self._l1_holders[victim.line_addr]
+        # Inclusive hierarchy: the line is still in the LLC; propagate the
+        # dirty bit and transactional writer marker down a level.
+        llc_meta = self.llc.peek(victim.line_addr)
+        if llc_meta is not None:
+            llc_meta.dirty = llc_meta.dirty or victim.dirty
+            if victim.tx_writer is not None:
+                llc_meta.tx_writer = victim.tx_writer
+            llc_meta.tx_readers.update(victim.tx_readers)
+        if victim.tx_writer is not None and self.on_l1_evict is not None:
+            self.on_l1_evict(core_id, victim)
+
+    def _fill_llc(self, line_addr: int) -> None:
+        if self.llc.peek(line_addr) is not None:
+            return
+        victims = self.llc.install(line_addr)
+        for victim in victims:
+            self._handle_llc_eviction(victim)
+
+    def _handle_llc_eviction(self, victim: CacheLineMeta) -> None:
+        # Back-invalidate L1 copies, folding their freshest state in.
+        holders = self._l1_holders.pop(victim.line_addr, None)
+        if holders:
+            for core_id in holders:
+                l1_meta = self.l1s[core_id].remove(victim.line_addr)
+                if l1_meta is not None:
+                    victim.dirty = victim.dirty or l1_meta.dirty
+                    if l1_meta.tx_writer is not None:
+                        victim.tx_writer = l1_meta.tx_writer
+                    victim.tx_readers.update(l1_meta.tx_readers)
+        entry = self.directory.evict_line(victim.line_addr)
+        if victim.dirty and victim.tx_writer is None:
+            # Non-speculative dirty data: the backing store already holds
+            # the values (non-transactional stores write through); count the
+            # write-back for bandwidth accounting only.
+            self.writebacks += 1
+        if self.on_llc_evict is not None and (
+            victim.transactional or entry is not None
+        ):
+            self.on_llc_evict(victim, entry)
+
+    def _invalidate_other_l1s(self, core_id: int, line_addr: int) -> None:
+        holders = self._l1_holders.get(line_addr)
+        if not holders:
+            return
+        for other in list(holders):
+            if other == core_id:
+                continue
+            self.l1s[other].remove(line_addr)
+            holders.discard(other)
+        if not holders:
+            self._l1_holders.pop(line_addr, None)
+
+    def flush_private_cache(self, core_id: int) -> int:
+        """Flush one core's L1 into the LLC (context switch, Section IV-E).
+
+        "UHTM flushes modified data of both DRAM and NVM in the private
+        cache to the LLC on context switch.  Later, UHTM correctly locates
+        these blocks in the LLC without asking the other CPUs."  Dirty
+        state, MESI ownership, and transactional markers fold into the LLC
+        copy; transactionally written lines go through the normal L1-evict
+        path so they land on the overflow list.  Returns lines flushed.
+        """
+        l1 = self.l1s[core_id]
+        flushed = 0
+        for line_addr in list(l1.resident_lines()):
+            meta = l1.remove(line_addr)
+            if meta is None:
+                continue
+            self._handle_l1_eviction(core_id, meta)
+            flushed += 1
+        return flushed
+
+    # -- transaction-lifetime operations ----------------------------------------
+
+    def invalidate_written_lines(self, tx_id: int, lines: Set[int]) -> int:
+        """Drop a transaction's speculatively written lines (abort path).
+
+        "UHTM flushes all pipeline states of a core at first and invalidates
+        all cache blocks modified by the aborting transaction."
+        """
+        invalidated = 0
+        for line_addr in lines:
+            holders = self._l1_holders.pop(line_addr, None)
+            if holders:
+                for core_id in holders:
+                    self.l1s[core_id].remove(line_addr)
+            meta = self.llc.remove(line_addr)
+            if meta is not None or holders:
+                invalidated += 1
+            self.directory.evict_line(line_addr)
+        return invalidated
+
+    def clear_tx_markers(self, tx_id: int, lines: Set[int]) -> None:
+        """Commit path: make lines visible by clearing speculative markers."""
+        for line_addr in lines:
+            for core_id in self._l1_holders.get(line_addr, ()):
+                meta = self.l1s[core_id].peek(line_addr)
+                if meta is not None:
+                    meta.clear_tx(tx_id)
+            meta = self.llc.peek(line_addr)
+            if meta is not None:
+                meta.clear_tx(tx_id)
+
+    # -- introspection -------------------------------------------------------------
+
+    def llc_resident(self, line_addr: int) -> bool:
+        return self.llc.peek(line_addr) is not None
+
+    def l1_resident(self, core_id: int, line_addr: int) -> bool:
+        return self.l1s[core_id].peek(line_addr) is not None
+
+    def wipe(self) -> None:
+        """Lose all cached state (crash)."""
+        for l1 in self.l1s:
+            l1.clear()
+        self.llc.clear()
+        self._l1_holders.clear()

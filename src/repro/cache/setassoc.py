@@ -1,0 +1,106 @@
+"""A generic set-associative tag array with LRU replacement."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..params import CacheGeometry, LINE_SIZE
+from .coherence import MesiState
+
+
+@dataclass
+class CacheLineMeta:
+    """Metadata for one resident line."""
+
+    line_addr: int
+    dirty: bool = False
+    #: MESI state of this copy (meaningful for L1 copies; LLC copies of
+    #: lines with L1 holders defer to the L1 states).
+    mesi: MesiState = MesiState.SHARED
+    #: Transaction that speculatively wrote this line (None if none).
+    tx_writer: Optional[int] = None
+    #: Transactions that transactionally read this line while resident.
+    tx_readers: Set[int] = field(default_factory=set)
+
+    @property
+    def transactional(self) -> bool:
+        return self.tx_writer is not None or bool(self.tx_readers)
+
+    def clear_tx(self, tx_id: int) -> None:
+        if self.tx_writer == tx_id:
+            self.tx_writer = None
+        self.tx_readers.discard(tx_id)
+
+
+class SetAssociativeArray:
+    """Tag storage for one cache level (or one core's slice of it)."""
+
+    def __init__(self, geometry: CacheGeometry, name: str) -> None:
+        self.geometry = geometry
+        self.name = name
+        self._sets: List["OrderedDict[int, CacheLineMeta]"] = [
+            OrderedDict() for _ in range(geometry.num_sets)
+        ]
+        self._set_mask = geometry.num_sets
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _set_of(self, line_addr: int) -> "OrderedDict[int, CacheLineMeta]":
+        index = (line_addr // LINE_SIZE) % self._set_mask
+        return self._sets[index]
+
+    def lookup(self, line_addr: int, touch: bool = True) -> Optional[CacheLineMeta]:
+        """Probe for a line; refresh its LRU position on a hit."""
+        bucket = self._set_of(line_addr)
+        meta = bucket.get(line_addr)
+        if meta is None:
+            self.misses += 1
+            return None
+        if touch:
+            bucket.move_to_end(line_addr)
+        self.hits += 1
+        return meta
+
+    def peek(self, line_addr: int) -> Optional[CacheLineMeta]:
+        """Probe without touching LRU state or hit/miss counters."""
+        return self._set_of(line_addr).get(line_addr)
+
+    def install(self, line_addr: int) -> List[CacheLineMeta]:
+        """Insert a line (must not be resident); returns evicted victims."""
+        bucket = self._set_of(line_addr)
+        assert line_addr not in bucket, f"{self.name}: double install {line_addr:#x}"
+        evicted: List[CacheLineMeta] = []
+        while len(bucket) >= self.geometry.ways:
+            _, victim = bucket.popitem(last=False)  # LRU end
+            evicted.append(victim)
+            self.evictions += 1
+        bucket[line_addr] = CacheLineMeta(line_addr)
+        return evicted
+
+    def remove(self, line_addr: int) -> Optional[CacheLineMeta]:
+        """Invalidate a line, returning its metadata if present."""
+        return self._set_of(line_addr).pop(line_addr, None)
+
+    def resident_count(self) -> int:
+        return sum(len(bucket) for bucket in self._sets)
+
+    def resident_lines(self) -> List[int]:
+        lines: List[int] = []
+        for bucket in self._sets:
+            lines.extend(bucket.keys())
+        return lines
+
+    def clear(self) -> None:
+        for bucket in self._sets:
+            bucket.clear()
+
+    def occupancy_by_predicate(self, predicate) -> int:
+        return sum(
+            1
+            for bucket in self._sets
+            for meta in bucket.values()
+            if predicate(meta)
+        )

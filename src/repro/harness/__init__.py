@@ -1,0 +1,21 @@
+"""The experiment harness: regenerates every table and figure.
+
+Each ``figN`` function in :mod:`repro.harness.figures` configures the
+corresponding experiment of the paper's evaluation (Sections III and VI),
+runs it through :func:`repro.harness.runner.run_experiment`, and returns a
+:class:`FigureResult` whose rows mirror the published series.  The
+``benchmarks/`` directory exposes one pytest-benchmark target per figure.
+"""
+
+from .config import BenchmarkSpec, ExperimentSpec
+from .metrics import RunResult
+from .report import format_table
+from .runner import run_experiment
+
+__all__ = [
+    "BenchmarkSpec",
+    "ExperimentSpec",
+    "RunResult",
+    "format_table",
+    "run_experiment",
+]

@@ -1,0 +1,78 @@
+"""Export figure results as JSON and Markdown.
+
+``python -m repro all --json results.json --markdown results.md`` persists
+every regenerated table for archival / EXPERIMENTS.md updates.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from .report import FigureResult
+
+
+def figure_to_dict(result: FigureResult) -> Dict[str, Any]:
+    return {
+        "figure": result.figure,
+        "title": result.title,
+        "columns": list(result.columns),
+        "rows": [list(row) for row in result.rows],
+        "notes": list(result.notes),
+    }
+
+
+def figure_from_dict(payload: Dict[str, Any]) -> FigureResult:
+    result = FigureResult(
+        payload["figure"],
+        payload["title"],
+        list(payload["columns"]),
+        [list(row) for row in payload["rows"]],
+        list(payload.get("notes", ())),
+    )
+    return result
+
+
+def to_json(results: Iterable[FigureResult]) -> str:
+    return json.dumps(
+        [figure_to_dict(r) for r in results], indent=2, sort_keys=False
+    )
+
+
+def from_json(text: str) -> List[FigureResult]:
+    return [figure_from_dict(p) for p in json.loads(text)]
+
+
+def to_markdown(results: Iterable[FigureResult]) -> str:
+    """Render results as GitHub-flavoured Markdown tables."""
+    blocks: List[str] = []
+    for result in results:
+        lines = [f"### {result.figure} — {result.title}", ""]
+        lines.append("| " + " | ".join(result.columns) + " |")
+        lines.append("|" + "|".join("---" for _ in result.columns) + "|")
+        for row in result.rows:
+            cells = [
+                f"{cell:.3f}" if isinstance(cell, float) else str(cell)
+                for cell in row
+            ]
+            lines.append("| " + " | ".join(cells) + " |")
+        for note in result.notes:
+            lines.append("")
+            lines.append(f"> {note}")
+        blocks.append("\n".join(lines))
+    return "\n\n".join(blocks) + "\n"
+
+
+def render_bars(
+    labels: List[str], values: List[float], width: int = 40
+) -> str:
+    """A quick ASCII bar chart (one bar per label, scaled to max)."""
+    if not values:
+        return ""
+    peak = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = []
+    for label, value in zip(labels, values):
+        bar = "#" * max(1, int(round(value / peak * width)))
+        lines.append(f"{label.ljust(label_width)} | {bar} {value:.3f}")
+    return "\n".join(lines)

@@ -1,0 +1,107 @@
+"""Run metrics extracted from a finished simulation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, TYPE_CHECKING
+
+from ..sim.stats import ratio
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.system import System
+
+
+@dataclass
+class RunResult:
+    """Everything the figures need from one experiment run."""
+
+    label: str
+    elapsed_ns: float
+    committed_ops: int
+    commits: int
+    begins: int
+    aborts: int
+    aborts_by_reason: Dict[str, int] = field(default_factory=dict)
+    overflows: int = 0
+    capacity_fallbacks: int = 0
+    slow_path_executions: int = 0
+    sig_checks: int = 0
+    sig_false_hits: int = 0
+    sig_true_hits: int = 0
+    verified: bool = True
+    #: Committed operations per simulated process (consolidation fairness).
+    ops_by_process: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Committed operations per simulated millisecond."""
+        return ratio(self.committed_ops, self.elapsed_ns / 1e6)
+
+    @property
+    def abort_rate(self) -> float:
+        """Aborted transaction attempts over all attempts."""
+        return ratio(self.aborts, self.begins)
+
+    @property
+    def false_positive_share(self) -> float:
+        """Fraction of aborts caused by Bloom-filter aliasing."""
+        return ratio(self.aborts_by_reason.get("false_positive", 0), self.aborts)
+
+    def abort_decomposition(self) -> Dict[str, float]:
+        """Abort causes as fractions of transaction attempts (Figure 7)."""
+        groups = {
+            "true_conflict": ("conflict_coherence", "conflict_true",
+                              "non_tx_conflict", "lock_preempted"),
+            "false_positive": ("false_positive",),
+            "capacity": ("capacity",),
+        }
+        out = {}
+        for group, reasons in groups.items():
+            total = sum(self.aborts_by_reason.get(r, 0) for r in reasons)
+            out[group] = ratio(total, self.begins)
+        return out
+
+    def speedup_over(self, baseline: "RunResult") -> float:
+        return ratio(self.throughput, baseline.throughput)
+
+    def fairness(self) -> float:
+        """Jain's fairness index over per-process committed operations."""
+        values = [v for v in self.ops_by_process.values() if v >= 0]
+        if not values:
+            return 1.0
+        total = sum(values)
+        squares = sum(v * v for v in values)
+        if squares == 0:
+            return 1.0
+        return (total * total) / (len(values) * squares)
+
+
+def collect_metrics(system: "System", label: str, verified: bool) -> RunResult:
+    stats = system.stats
+    prefix = "tx.aborts."
+    by_reason = {
+        name[len(prefix):]: value
+        for name, value in stats.counters_with_prefix(prefix).items()
+    }
+    process_prefix = "ops.by_process."
+    ops_by_process = {
+        int(name[len(process_prefix):]): value
+        for name, value in stats.counters_with_prefix(process_prefix).items()
+    }
+    return RunResult(
+        label=label,
+        elapsed_ns=system.elapsed_ns,
+        committed_ops=stats.counter("ops.committed"),
+        commits=stats.counter("tx.commits"),
+        begins=stats.counter("tx.begins"),
+        aborts=stats.counter("tx.aborts"),
+        aborts_by_reason=by_reason,
+        overflows=stats.counter("tx.overflows"),
+        capacity_fallbacks=stats.counter("tx.capacity_fallbacks"),
+        slow_path_executions=stats.counter("tx.slow_path_executions"),
+        sig_checks=stats.counter("sig.checks"),
+        sig_false_hits=stats.counter("sig.hits.false"),
+        sig_true_hits=stats.counter("sig.hits.true"),
+        verified=verified,
+        ops_by_process=ops_by_process,
+    )

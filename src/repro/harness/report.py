@@ -1,0 +1,64 @@
+"""ASCII rendering of figure/table results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Sequence
+
+
+def _format_cell(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    columns: Sequence[str], rows: Sequence[Sequence[Any]], title: str = ""
+) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    rendered = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(c) for c in columns]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(widths[i]) for i, c in enumerate(columns))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+@dataclass
+class FigureResult:
+    """One regenerated figure: labelled rows plus free-form notes."""
+
+    figure: str
+    title: str
+    columns: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        self.rows.append(list(cells))
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def pretty(self) -> str:
+        out = format_table(self.columns, self.rows, f"[{self.figure}] {self.title}")
+        if self.notes:
+            out += "\n" + "\n".join(f"  * {n}" for n in self.notes)
+        return out
+
+    def column(self, name: str) -> List[Any]:
+        index = self.columns.index(name)
+        return [row[index] for row in self.rows]
+
+    def row_map(self, key_column: str = None) -> dict:
+        """Rows keyed by their first (or named) column."""
+        key_index = 0 if key_column is None else self.columns.index(key_column)
+        return {row[key_index]: row for row in self.rows}

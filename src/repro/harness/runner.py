@@ -1,0 +1,68 @@
+"""Builds a system from an :class:`ExperimentSpec`, runs it, collects metrics."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..errors import SimulationError
+from ..runtime.system import System
+from ..sim.engine import ThreadState
+from ..workloads import MemBoundWorkload, WORKLOADS, WorkloadParams
+from .config import ExperimentSpec
+from .metrics import RunResult, collect_metrics
+
+
+def build_system(spec: ExperimentSpec) -> System:
+    return System(spec.machine(), spec.htm, seed=spec.seed)
+
+
+def run_experiment(spec: ExperimentSpec, label: Optional[str] = None) -> RunResult:
+    """Run one experiment to completion and return its metrics.
+
+    Benchmarks get one simulated process each (their own conflict domain and
+    fallback lock); co-runners get processes of their own and run until
+    every benchmark thread finishes.
+    """
+    system = build_system(spec)
+    workloads = []
+    benchmark_threads = []
+    for index, bench in enumerate(spec.benchmarks):
+        process = system.process(f"{bench.workload}#{index}")
+        workload_cls = WORKLOADS[bench.workload]
+        workload = workload_cls(
+            system, process, bench.params, **bench.kwargs_dict()
+        )
+        workload.spawn()
+        workloads.append(workload)
+        benchmark_threads.extend(process.threads)
+
+    def benchmarks_done() -> bool:
+        return all(t.state is ThreadState.DONE for t in benchmark_threads)
+
+    hog_cls = WORKLOADS[spec.corunner]
+    for index in range(spec.membound_instances):
+        process = system.process(f"{spec.corunner}#{index}")
+        hog = hog_cls(
+            system,
+            process,
+            WorkloadParams(threads=1, value_bytes=64, initial_fill=0),
+            llc_multiple=spec.membound_llc_multiple,
+            stop_when=benchmarks_done,
+        )
+        hog.spawn()
+
+    system.run(max_steps=spec.max_steps or None)
+    if not benchmarks_done():
+        raise SimulationError(
+            f"experiment {spec.name!r} hit its step cap before finishing"
+        )
+    verified = all(w.verify() for w in workloads)
+    return collect_metrics(system, label or spec.htm.label, verified)
+
+
+def run_series(
+    specs: List[ExperimentSpec], labels: Optional[List[str]] = None
+) -> List[RunResult]:
+    if labels is None:
+        labels = [spec.htm.label for spec in specs]
+    return [run_experiment(spec, label) for spec, label in zip(specs, labels)]

@@ -1,0 +1,114 @@
+"""Generic parameter sweeps over experiment specifications.
+
+For custom studies beyond the paper's figures: build a grid of
+(HTM design x workload parameter) points, run them all, and get back a
+:class:`FigureResult` ready for printing or export.
+
+Example::
+
+    from repro.harness.sweep import SweepAxis, run_sweep
+
+    result = run_sweep(
+        base=ExperimentSpec(...),
+        axes=[
+            SweepAxis("sig_bits", [512, 1024, 4096],
+                      lambda spec, bits: replace_signature(spec, bits)),
+            SweepAxis("footprint", [100, 300],
+                      lambda spec, kb: replace_footprint(spec, kb)),
+        ],
+        metrics={"tput": lambda run: run.throughput},
+    )
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Sequence
+
+from ..params import SignatureConfig
+from .config import BenchmarkSpec, ExperimentSpec
+from .metrics import RunResult
+from .report import FigureResult
+from .runner import run_experiment
+
+SpecTransform = Callable[[ExperimentSpec, Any], ExperimentSpec]
+MetricFn = Callable[[RunResult], Any]
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """One swept dimension: a label, its values, and how to apply one."""
+
+    name: str
+    values: Sequence[Any]
+    apply: SpecTransform
+
+
+def run_sweep(
+    base: ExperimentSpec,
+    axes: Sequence[SweepAxis],
+    metrics: Dict[str, MetricFn],
+    title: str = "parameter sweep",
+) -> FigureResult:
+    """Run the full cross product of axis values over ``base``."""
+    if not axes:
+        raise ValueError("a sweep needs at least one axis")
+    if not metrics:
+        raise ValueError("a sweep needs at least one metric")
+    columns = [axis.name for axis in axes] + list(metrics)
+    result = FigureResult("Sweep", title, columns)
+    for combo in itertools.product(*(axis.values for axis in axes)):
+        spec = base
+        for axis, value in zip(axes, combo):
+            spec = axis.apply(spec, value)
+        run = run_experiment(spec)
+        row = list(combo) + [fn(run) for fn in metrics.values()]
+        result.rows.append(row)
+    return result
+
+
+# -- common transforms ---------------------------------------------------------
+
+
+def with_design(spec: ExperimentSpec, design: str) -> ExperimentSpec:
+    return dataclasses.replace(
+        spec, htm=dataclasses.replace(spec.htm, design=design)
+    )
+
+
+def with_signature_bits(spec: ExperimentSpec, bits: int) -> ExperimentSpec:
+    return dataclasses.replace(
+        spec,
+        htm=dataclasses.replace(
+            spec.htm,
+            signature=SignatureConfig(
+                bits=bits,
+                hash_functions=spec.htm.signature.hash_functions,
+                banked=spec.htm.signature.banked,
+            ),
+        ),
+    )
+
+
+def with_isolation(spec: ExperimentSpec, isolation: bool) -> ExperimentSpec:
+    return dataclasses.replace(
+        spec, htm=dataclasses.replace(spec.htm, isolation=isolation)
+    )
+
+
+def with_value_bytes(spec: ExperimentSpec, value_bytes: int) -> ExperimentSpec:
+    benchmarks = tuple(
+        BenchmarkSpec(
+            bench.workload,
+            bench.params.with_(value_bytes=value_bytes),
+            bench.kwargs,
+        )
+        for bench in spec.benchmarks
+    )
+    return dataclasses.replace(spec, benchmarks=benchmarks)
+
+
+def with_seed(spec: ExperimentSpec, seed: int) -> ExperimentSpec:
+    return dataclasses.replace(spec, seed=seed)

@@ -1,0 +1,50 @@
+"""Hardware transactional memory designs.
+
+The base machinery (:mod:`repro.htm.base`) implements the full transaction
+lifecycle — begin, transactional read/write, commit, abort — over the cache
+hierarchy, coherence directory, memory controller, and signature registry.
+Four designs specialise its overflow handling and off-chip conflict
+detection, matching Section V's comparison points:
+
+* :class:`LLCBoundedHTM` — DHTM-like baseline: coherence-only detection,
+  capacity abort when a transactional line leaves the LLC.
+* :class:`SignatureOnlyHTM` — Bulk/LogTM-SE-like: address signatures checked
+  on *all* coherence traffic, populated on every access.
+* :class:`UHTM` — staged detection (directory on-chip, signatures checked on
+  LLC misses only) with hybrid logging; ``isolation=True`` adds conflict
+  domains (the paper's ``_opt`` variants).
+* :class:`IdealHTM` — perfect unbounded detection (exact overflow sets, no
+  false positives).
+"""
+
+from .base import HTMSystem, TxHandle
+from .conflict import (
+    ConflictLocation,
+    Resolution,
+    ResolutionPolicy,
+    resolve_conflict,
+    resolve_conflict_oldest_wins,
+)
+from .designs import IdealHTM, LLCBoundedHTM, SignatureOnlyHTM, UHTM, build_htm
+from .fallback import FallbackLock
+from .tss import TransactionStatusStructure, TxStatus
+from .txid import TxIdAllocator
+
+__all__ = [
+    "HTMSystem",
+    "TxHandle",
+    "ConflictLocation",
+    "Resolution",
+    "ResolutionPolicy",
+    "resolve_conflict",
+    "resolve_conflict_oldest_wins",
+    "IdealHTM",
+    "LLCBoundedHTM",
+    "SignatureOnlyHTM",
+    "UHTM",
+    "build_htm",
+    "FallbackLock",
+    "TransactionStatusStructure",
+    "TxStatus",
+    "TxIdAllocator",
+]

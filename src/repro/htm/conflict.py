@@ -1,0 +1,93 @@
+"""Conflict resolution policy (Table II).
+
+|                    | Overflowed?  | Action                  |
+|--------------------|--------------|-------------------------|
+| On-chip cache      | One          | Abort non-overflowed Tx |
+|                    | None or both | Requester-wins          |
+| Off-chip memory    | One          | Abort non-overflowed Tx |
+|                    | None or both | Requester-aborts        |
+
+Overflowed transactions are prioritised because aborting one is expensive
+(undo-log rollback) and it would likely overflow again on retry.  Requester
+wins inside the caches (nacking is free there); off-chip the requester
+aborts itself because "the policy does not require extra communication
+between processors".
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import FrozenSet, List
+
+
+class ConflictLocation(enum.Enum):
+    ON_CHIP = "on_chip"
+    OFF_CHIP = "off_chip"
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """Outcome of resolving one conflict edge.
+
+    ``requester_aborts`` and ``victims_to_abort`` are mutually exclusive by
+    construction: either the requester dies, or some set of victims does.
+    """
+
+    requester_aborts: bool
+    victims_to_abort: FrozenSet[int]
+
+
+class ResolutionPolicy:
+    """Selectable conflict-resolution policies.
+
+    ``TABLE2`` is the paper's (requester-wins on-chip, requester-aborts
+    off-chip, overflow priority).  ``OLDEST_WINS`` is the classic
+    timestamp-ordering extension the paper's discussion points at for its
+    acknowledged livelock problem: the transaction with the smallest ID
+    (the oldest) wins every conflict, so some transaction always makes
+    progress.  The ``policy-ablation`` benchmark compares them.
+    """
+
+    TABLE2 = "table2"
+    OLDEST_WINS = "oldest_wins"
+
+    ALL = (TABLE2, OLDEST_WINS)
+
+
+def resolve_conflict_oldest_wins(
+    requester_id: int, victims: List[int]
+) -> Resolution:
+    """Timestamp ordering: the lowest transaction ID survives."""
+    oldest = min(victims + [requester_id])
+    if oldest != requester_id:
+        return Resolution(True, frozenset())
+    return Resolution(False, frozenset(victims))
+
+
+def resolve_conflict(
+    location: ConflictLocation,
+    requester_overflowed: bool,
+    victims: List[int],
+    victim_overflowed: "dict[int, bool]",
+) -> Resolution:
+    """Apply Table II to a requester-vs-victims conflict.
+
+    With multiple victims (e.g. a write against several readers), the
+    requester survives only if it beats *every* victim; otherwise it aborts
+    and no victim does.  That conservative choice avoids asymmetric partial
+    aborts the paper does not describe.
+    """
+    doomed: List[int] = []
+    for victim in victims:
+        v_overflowed = victim_overflowed.get(victim, False)
+        if requester_overflowed != v_overflowed:
+            if requester_overflowed:
+                doomed.append(victim)  # abort the non-overflowed one
+            else:
+                return Resolution(True, frozenset())
+        elif location is ConflictLocation.ON_CHIP:
+            doomed.append(victim)  # requester-wins
+        else:
+            return Resolution(True, frozenset())  # requester-aborts
+    return Resolution(False, frozenset(doomed))

@@ -1,0 +1,62 @@
+"""The per-process fallback lock of Algorithm 1.
+
+Commercial best-effort HTMs guarantee forward progress through a
+programmer-provided slow path guarded by a lock.  A fast-path transaction
+reads the lock at begin, so the lock word is in every transaction's read
+set: acquiring it for the slow path conflicts with — and therefore aborts —
+every running fast-path transaction in the same process.  Waiters spin with
+``pause()`` until the lock frees (Algorithm 1, lines 11–13).
+
+Locks are per process (they protect one application's data), independent of
+whether *signature* isolation is enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class FallbackLock:
+    """One slow-path lock; instances are kept per process."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._holder_thread: Optional[int] = None
+        #: Simulated time at which the current holder acquired the lock.
+        self.acquired_at_ns: float = 0.0
+        self.acquisitions = 0
+
+    @property
+    def locked(self) -> bool:
+        return self._holder_thread is not None
+
+    @property
+    def holder(self) -> Optional[int]:
+        return self._holder_thread
+
+    def acquire(self, thread_id: int, now_ns: float) -> None:
+        assert self._holder_thread is None, "acquire of a held fallback lock"
+        self._holder_thread = thread_id
+        self.acquired_at_ns = now_ns
+        self.acquisitions += 1
+
+    def release(self, thread_id: int) -> None:
+        assert self._holder_thread == thread_id, "release by non-holder"
+        self._holder_thread = None
+
+
+class FallbackLockTable:
+    """Lazily created fallback locks, one per process."""
+
+    def __init__(self) -> None:
+        self._locks: Dict[int, FallbackLock] = {}
+
+    def lock_for(self, process_id: int) -> FallbackLock:
+        lock = self._locks.get(process_id)
+        if lock is None:
+            lock = FallbackLock(f"proc{process_id}")
+            self._locks[process_id] = lock
+        return lock
+
+    def total_acquisitions(self) -> int:
+        return sum(lock.acquisitions for lock in self._locks.values())

@@ -1,0 +1,98 @@
+"""The Transaction Status Structure (TSS).
+
+Section IV-E: "UHTM maintains the transaction status structure (TSS) to
+track the status of all running transactions, whose entry consists of the
+transaction ID, abortion flag, and the overflow bit."
+
+The abort flag is how a conflict winner kills a (possibly suspended) victim:
+the victim's thread observes the flag at its next transactional operation
+and unwinds to its retry loop.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import AbortReason, TransactionStateError
+
+
+class TxStatus(enum.Enum):
+    ACTIVE = "active"
+    ABORTED = "aborted"
+    COMMITTED = "committed"
+
+
+@dataclass
+class TssEntry:
+    tx_id: int
+    status: TxStatus = TxStatus.ACTIVE
+    abort_reason: Optional[AbortReason] = None
+    overflowed: bool = False
+    #: Conflict domain the transaction runs in (process group ID).
+    domain_id: int = 0
+
+
+class TransactionStatusStructure:
+    """Status of all transactions that have ever run (sparse, reclaimed)."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, TssEntry] = {}
+
+    def register(self, tx_id: int, domain_id: int) -> TssEntry:
+        if tx_id in self._entries:
+            raise TransactionStateError(f"transaction {tx_id} already registered")
+        entry = TssEntry(tx_id, domain_id=domain_id)
+        self._entries[tx_id] = entry
+        return entry
+
+    def entry(self, tx_id: int) -> TssEntry:
+        entry = self._entries.get(tx_id)
+        if entry is None:
+            raise TransactionStateError(f"unknown transaction {tx_id}")
+        return entry
+
+    def is_active(self, tx_id: int) -> bool:
+        entry = self._entries.get(tx_id)
+        return entry is not None and entry.status is TxStatus.ACTIVE
+
+    def mark_aborted(self, tx_id: int, reason: AbortReason) -> None:
+        entry = self.entry(tx_id)
+        if entry.status is TxStatus.COMMITTED:
+            raise TransactionStateError(f"transaction {tx_id} already committed")
+        if entry.status is TxStatus.ABORTED:
+            return  # double abort is a no-op; first reason wins
+        entry.status = TxStatus.ABORTED
+        entry.abort_reason = reason
+
+    def mark_committed(self, tx_id: int) -> None:
+        entry = self.entry(tx_id)
+        if entry.status is not TxStatus.ACTIVE:
+            raise TransactionStateError(
+                f"cannot commit transaction {tx_id} in state {entry.status.value}"
+            )
+        entry.status = TxStatus.COMMITTED
+
+    def set_overflowed(self, tx_id: int) -> None:
+        self.entry(tx_id).overflowed = True
+
+    def is_overflowed(self, tx_id: int) -> bool:
+        entry = self._entries.get(tx_id)
+        return entry is not None and entry.overflowed
+
+    def active_in_domain(self, domain_id: int) -> List[int]:
+        return [
+            e.tx_id
+            for e in self._entries.values()
+            if e.status is TxStatus.ACTIVE and e.domain_id == domain_id
+        ]
+
+    def reclaim(self, tx_id: int) -> None:
+        """Drop a completed transaction's entry (bounded hardware table)."""
+        entry = self._entries.get(tx_id)
+        if entry is not None and entry.status is not TxStatus.ACTIVE:
+            del self._entries[tx_id]
+
+    def __len__(self) -> int:
+        return len(self._entries)

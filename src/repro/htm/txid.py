@@ -1,0 +1,27 @@
+"""Transaction identifiers.
+
+"Transaction ID, a monotonically increasing global counter, is stored in a
+register on each core and uniquely identifies a transaction" (Section IV-C).
+IDs are never reused within a run, which is what lets the directory and
+signatures name transactions instead of cores (context-switch safety).
+"""
+
+from __future__ import annotations
+
+
+class TxIdAllocator:
+    """A monotonically increasing global transaction-ID counter."""
+
+    def __init__(self, start: int = 1) -> None:
+        if start < 1:
+            raise ValueError("transaction IDs start at 1 (0 means 'none')")
+        self._next = start
+
+    def allocate(self) -> int:
+        tx_id = self._next
+        self._next += 1
+        return tx_id
+
+    @property
+    def last_allocated(self) -> int:
+        return self._next - 1

@@ -1,0 +1,30 @@
+"""The hybrid DRAM/NVM memory substrate.
+
+This package models everything below the LLC: the physical address-space
+layout (DRAM and NVM regions plus their reserved log areas), word-addressed
+backing stores with Table III latencies, a bump/free-list allocator, the
+hardware undo/redo logs appended by the memory controllers, and the DRAM
+cache that sits between the LLC and NVM (Jeong et al., MICRO'18).
+"""
+
+from .address import AddressSpace, MemoryKind, line_of, line_index, word_of
+from .allocator import RegionAllocator
+from .backend import BackingStore
+from .controller import MemoryController
+from .dram_cache import DramCache
+from .log import HardwareLog, LogRecord, RecordKind
+
+__all__ = [
+    "AddressSpace",
+    "MemoryKind",
+    "line_of",
+    "line_index",
+    "word_of",
+    "RegionAllocator",
+    "BackingStore",
+    "MemoryController",
+    "DramCache",
+    "HardwareLog",
+    "LogRecord",
+    "RecordKind",
+]

@@ -1,0 +1,117 @@
+"""Physical address-space layout for the hybrid memory system.
+
+The simulated machine maps DRAM at a low base and NVM at a high base, far
+enough apart that regions can grow without colliding.  Each region reserves a
+log area at its top, accessible only to the memory controller (Section IV-B:
+"UHTM reserves the part of the DRAM and NVM regions for the log area").
+
+Addresses are plain integers (byte addresses).  Helper functions convert
+between byte, word, and cache-line granularity.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import AddressError
+from ..params import LINE_SIZE, WORD_SIZE, MemoryConfig
+
+#: Base of the DRAM region.
+DRAM_BASE = 0x0000_1000_0000
+#: Base of the NVM region; well above any realistic DRAM top.
+NVM_BASE = 0x1000_0000_0000
+
+
+class MemoryKind(enum.Enum):
+    """Which physical medium an address lives on."""
+
+    DRAM = "dram"
+    NVM = "nvm"
+
+
+def line_of(addr: int) -> int:
+    """The base address of the cache line containing ``addr``."""
+    return addr & ~(LINE_SIZE - 1)
+
+
+def line_index(addr: int) -> int:
+    """The line number (address divided by the line size)."""
+    return addr // LINE_SIZE
+
+
+def word_of(addr: int) -> int:
+    """The base address of the 8-byte word containing ``addr``."""
+    return addr & ~(WORD_SIZE - 1)
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous address range of one memory kind."""
+
+    kind: MemoryKind
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+
+class AddressSpace:
+    """The machine's physical memory map.
+
+    Splits each medium into a *heap* region (software-visible) and a *log*
+    region (controller-only).  The classifier :meth:`kind_of` is on the hot
+    path of every memory access, so it is two range comparisons.
+    """
+
+    def __init__(self, config: MemoryConfig) -> None:
+        self._config = config
+        heap_dram = config.dram_bytes - config.dram_log_bytes
+        heap_nvm = config.nvm_bytes - config.nvm_log_bytes
+        if heap_dram <= 0:
+            raise AddressError("DRAM log area exceeds DRAM size")
+        if heap_nvm <= 0:
+            raise AddressError("NVM log area exceeds NVM size")
+        self.dram_heap = Region(MemoryKind.DRAM, DRAM_BASE, heap_dram)
+        self.dram_log = Region(
+            MemoryKind.DRAM, DRAM_BASE + heap_dram, config.dram_log_bytes
+        )
+        self.nvm_heap = Region(MemoryKind.NVM, NVM_BASE, heap_nvm)
+        self.nvm_log = Region(
+            MemoryKind.NVM, NVM_BASE + heap_nvm, config.nvm_log_bytes
+        )
+        self._dram_end = DRAM_BASE + config.dram_bytes
+        self._nvm_end = NVM_BASE + config.nvm_bytes
+
+    @property
+    def config(self) -> MemoryConfig:
+        return self._config
+
+    def kind_of(self, addr: int) -> MemoryKind:
+        """Classify a byte address; raises :class:`AddressError` if unmapped."""
+        if DRAM_BASE <= addr < self._dram_end:
+            return MemoryKind.DRAM
+        if NVM_BASE <= addr < self._nvm_end:
+            return MemoryKind.NVM
+        raise AddressError(f"address {addr:#x} is not mapped")
+
+    def is_dram(self, addr: int) -> bool:
+        return DRAM_BASE <= addr < self._dram_end
+
+    def is_nvm(self, addr: int) -> bool:
+        return NVM_BASE <= addr < self._nvm_end
+
+    def is_log(self, addr: int) -> bool:
+        """True if ``addr`` lies in a reserved, controller-only log area."""
+        return self.dram_log.contains(addr) or self.nvm_log.contains(addr)
+
+    def heap_region(self, kind: MemoryKind) -> Region:
+        return self.dram_heap if kind is MemoryKind.DRAM else self.nvm_heap
+
+    def log_region(self, kind: MemoryKind) -> Region:
+        return self.dram_log if kind is MemoryKind.DRAM else self.nvm_log

@@ -1,0 +1,80 @@
+"""A simple line-aligned allocator over one heap region.
+
+The transactional heap allocates node and payload storage from here.  A bump
+pointer serves fresh blocks; freed blocks go to per-size free lists so
+abort/retry loops and delete-heavy workloads do not leak the region.  All
+allocations are rounded up to cache-line multiples so distinct objects never
+share a line — matching how the paper's benchmarks allocate pool objects and
+keeping false sharing out of the conflict statistics.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import DefaultDict, List
+
+from ..errors import AllocationError
+from ..params import LINE_SIZE
+from .address import Region
+
+
+def _round_up_lines(size: int) -> int:
+    if size <= 0:
+        raise AllocationError(f"allocation size must be positive, got {size}")
+    return (size + LINE_SIZE - 1) // LINE_SIZE * LINE_SIZE
+
+
+class RegionAllocator:
+    """Bump allocation plus size-class free lists for one region."""
+
+    def __init__(self, region: Region) -> None:
+        self._region = region
+        self._next = region.base
+        self._free: DefaultDict[int, List[int]] = defaultdict(list)
+        self._allocated_bytes = 0
+
+    @property
+    def region(self) -> Region:
+        return self._region
+
+    @property
+    def allocated_bytes(self) -> int:
+        """Bytes currently handed out (excludes free-listed blocks)."""
+        return self._allocated_bytes
+
+    @property
+    def high_water_bytes(self) -> int:
+        """Peak region usage by the bump pointer."""
+        return self._next - self._region.base
+
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns a line-aligned base address."""
+        rounded = _round_up_lines(size)
+        free_list = self._free.get(rounded)
+        if free_list:
+            addr = free_list.pop()
+        else:
+            addr = self._next
+            if addr + rounded > self._region.end:
+                raise AllocationError(
+                    f"{self._region.kind.value} heap exhausted: "
+                    f"need {rounded} bytes, "
+                    f"{self._region.end - addr} remain"
+                )
+            self._next += rounded
+        self._allocated_bytes += rounded
+        return addr
+
+    def free(self, addr: int, size: int) -> None:
+        """Return a block to its size-class free list."""
+        rounded = _round_up_lines(size)
+        if not self._region.contains(addr):
+            raise AllocationError(f"free of {addr:#x} outside region")
+        self._free[rounded].append(addr)
+        self._allocated_bytes -= rounded
+
+    def reset(self) -> None:
+        """Drop all allocations (used between experiment repetitions)."""
+        self._next = self._region.base
+        self._free.clear()
+        self._allocated_bytes = 0

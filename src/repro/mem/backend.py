@@ -1,0 +1,65 @@
+"""Word-addressed backing stores for DRAM and NVM.
+
+A :class:`BackingStore` holds the *globally visible* contents of one medium
+as a sparse word-address → value map, and knows its read/write latencies.
+Unwritten words read as zero, like zero-initialised physical memory.
+
+The NVM store survives a simulated crash; the DRAM store is wiped.  Values
+are opaque Python ints (the heap stores 64-bit words: keys, payload words,
+and pointers encoded as addresses).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from ..errors import AddressError
+from ..params import LatencyConfig
+from .address import MemoryKind, word_of
+
+
+class BackingStore:
+    """The contents and timing of one physical memory medium."""
+
+    def __init__(self, kind: MemoryKind, latency: LatencyConfig) -> None:
+        self.kind = kind
+        self._words: Dict[int, int] = {}
+        if kind is MemoryKind.DRAM:
+            self._read_ns = latency.dram_ns
+            self._write_ns = latency.dram_ns
+        else:
+            self._read_ns = latency.nvm_read_ns
+            self._write_ns = latency.nvm_write_ns
+
+    @property
+    def read_ns(self) -> float:
+        return self._read_ns
+
+    @property
+    def write_ns(self) -> float:
+        return self._write_ns
+
+    def load(self, addr: int) -> int:
+        """Read the 64-bit word containing ``addr``."""
+        return self._words.get(word_of(addr), 0)
+
+    def store(self, addr: int, value: int) -> None:
+        """Write the 64-bit word containing ``addr``."""
+        if not isinstance(value, int):
+            raise AddressError(f"stores take int values, got {type(value).__name__}")
+        self._words[word_of(addr)] = value
+
+    def words(self) -> Iterator[Tuple[int, int]]:
+        """Iterate over (word address, value) pairs that were written."""
+        return iter(self._words.items())
+
+    def word_count(self) -> int:
+        return len(self._words)
+
+    def wipe(self) -> None:
+        """Lose all contents (power failure on a volatile medium)."""
+        self._words.clear()
+
+    def clone_contents(self) -> Dict[int, int]:
+        """Snapshot contents (used by recovery tests as ground truth)."""
+        return dict(self._words)

@@ -1,0 +1,64 @@
+"""Bandwidth-limited memory channels (optional queuing model).
+
+By default every off-chip access costs its Table III latency independently —
+infinite bandwidth.  With ``MemoryConfig.model_bandwidth`` enabled, each
+medium gets a :class:`MemoryChannel` whose service slots are finite: a
+request arriving while the channel is busy queues behind it, so bursts (a
+co-runner's streaming sweep, a commit flushing hundreds of lines) see
+growing latency exactly as a saturated DDR/NVDIMM channel does.
+
+The model is the classic busy-until scalar per channel: service time is
+``line transfer = latency.line_transfer_ns`` (bandwidth term) while the
+device latency itself still overlaps across banks.  Deterministic and
+O(1) per access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class ChannelStats:
+    requests: int = 0
+    queued_ns_total: float = 0.0
+
+    @property
+    def mean_queue_ns(self) -> float:
+        if self.requests == 0:
+            return 0.0
+        return self.queued_ns_total / self.requests
+
+
+class MemoryChannel:
+    """One medium's command/data bus with a finite service rate."""
+
+    def __init__(self, name: str, service_ns: float) -> None:
+        self.name = name
+        #: Time the channel occupies per line transfer.
+        self.service_ns = service_ns
+        self._busy_until_ns = 0.0
+        self.stats = ChannelStats()
+
+    def request(self, now_ns: float) -> float:
+        """Issue a line transfer at ``now_ns``; returns queueing delay.
+
+        The caller adds the returned delay (possibly zero) on top of the
+        device latency.  The channel is then busy for ``service_ns`` after
+        the request's start-of-service.
+        """
+        start = max(now_ns, self._busy_until_ns)
+        delay = start - now_ns
+        self._busy_until_ns = start + self.service_ns
+        self.stats.requests += 1
+        self.stats.queued_ns_total += delay
+        return delay
+
+    @property
+    def busy_until_ns(self) -> float:
+        return self._busy_until_ns
+
+    def utilisation(self, elapsed_ns: float) -> float:
+        if elapsed_ns <= 0:
+            return 0.0
+        return min(1.0, self.stats.requests * self.service_ns / elapsed_ns)

@@ -1,0 +1,270 @@
+"""The memory controller: backing stores, hardware logs, and the DRAM cache.
+
+The controller is the only component allowed to touch the reserved log areas
+(Section IV-B).  Its methods return the latency in nanoseconds that the
+*calling thread* must be charged; operations the paper places off the
+critical path (undo-log writes on eviction, background drains, deferred log
+deletion) return zero and are accounted in counters instead.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..params import LatencyConfig, MemoryConfig
+from .address import AddressSpace, MemoryKind, line_of
+from .backend import BackingStore
+from .channel import MemoryChannel
+from .dram_cache import DramCache
+from .log import HardwareLog, RecordKind
+
+
+class MemoryController:
+    """Serialises log appends and mediates all off-chip data movement."""
+
+    def __init__(self, config: MemoryConfig, latency: LatencyConfig) -> None:
+        self.address_space = AddressSpace(config)
+        self.latency = latency
+        self.dram = BackingStore(MemoryKind.DRAM, latency)
+        self.nvm = BackingStore(MemoryKind.NVM, latency)
+        self.dram_log = HardwareLog(self.address_space.dram_log, "dram")
+        self.nvm_log = HardwareLog(self.address_space.nvm_log, "nvm")
+        self.dram_cache = DramCache(config, self.nvm)
+        if config.model_bandwidth:
+            self.dram_channel: Optional[MemoryChannel] = MemoryChannel(
+                "dram", latency.dram_line_transfer_ns
+            )
+            self.nvm_channel: Optional[MemoryChannel] = MemoryChannel(
+                "nvm", latency.nvm_line_transfer_ns
+            )
+        else:
+            self.dram_channel = None
+            self.nvm_channel = None
+        #: NVM writes performed by background drains (bandwidth accounting).
+        self.background_nvm_writes = 0
+        #: DRAM writes performed by asynchronous undo logging.
+        self.background_dram_writes = 0
+
+    # -- data-path helpers ---------------------------------------------------
+
+    def backend_for(self, addr: int) -> BackingStore:
+        if self.address_space.is_dram(addr):
+            return self.dram
+        return self.nvm
+
+    def read_latency(self, addr: int) -> float:
+        """Latency of a demand read that reached this controller.
+
+        A persistent line resident in the DRAM cache is served at DRAM-cache
+        speed instead of NVM speed.
+        """
+        backend = self.backend_for(addr)
+        if backend is self.nvm and self.dram_cache.contains(line_of(addr)):
+            return self.latency.dram_cache_ns
+        return backend.read_ns
+
+    def demand_access_latency(self, addr: int, now_ns: float) -> float:
+        """Device latency plus channel queueing (if bandwidth is modelled)."""
+        base = self.read_latency(addr)
+        if self.dram_channel is None:
+            return base
+        serving_nvm = self.address_space.is_nvm(addr) and not (
+            base == self.latency.dram_cache_ns
+        )
+        channel = self.nvm_channel if serving_nvm else self.dram_channel
+        return base + channel.request(now_ns)
+
+    def load_word(self, addr: int) -> int:
+        """Architecturally visible value of a word, honouring the DRAM cache."""
+        if self.address_space.is_nvm(addr):
+            entry = self.dram_cache.lookup(line_of(addr))
+            if entry is not None and addr in entry.words:
+                return entry.words[addr]
+        return self.backend_for(addr).load(addr)
+
+    def store_word(self, addr: int, value: int) -> None:
+        """Non-transactional in-place store.
+
+        An NVM store must update a resident DRAM-cache line rather than the
+        backing NVM, or the stale cached copy would shadow the new value
+        until it drained.
+        """
+        if self.address_space.is_nvm(addr):
+            entry = self.dram_cache.lookup(line_of(addr))
+            if entry is not None:
+                entry.words[addr] = value
+                return
+        self.backend_for(addr).store(addr, value)
+
+    # -- undo logging (LLC-overflowed DRAM lines) ----------------------------
+
+    def log_undo_and_update(
+        self, tx_id: int, line_addr: int, new_words: Dict[int, int]
+    ) -> float:
+        """Undo-log a DRAM line's old image, then update it in place.
+
+        Happens on LLC eviction, which "is not in the critical path, [so]
+        the undo logging can happen asynchronously without stalling the
+        transaction" — hence the returned thread charge is zero.
+        """
+        old_words = {
+            word_addr: self.dram.load(word_addr) for word_addr in new_words
+        }
+        self.dram_log.append_data(RecordKind.UNDO, tx_id, line_addr, old_words)
+        for word_addr, value in new_words.items():
+            self.dram.store(word_addr, value)
+        self.background_dram_writes += 1 + len(new_words)
+        return 0.0
+
+    def rollback_undo(self, tx_id: int) -> float:
+        """Restore in-place DRAM data from the transaction's undo records.
+
+        Runs on abort, *on* the critical path: "the abort process is
+        expensive in exchange for fast commits".  Charges one DRAM write per
+        logged line plus one DRAM read to fetch each record.
+        """
+        records = self.dram_log.records_of(tx_id)
+        for record in reversed(records):
+            for word_addr, old_value in record.words:
+                self.dram.store(word_addr, old_value)
+        elapsed = len(records) * (self.latency.dram_ns * 2)
+        self.dram_log.append_mark(RecordKind.ABORT, tx_id)
+        self.dram_log.reclaim(tx_id)
+        return elapsed
+
+    def commit_undo(self, tx_id: int) -> float:
+        """Commit DRAM overflow data: a single commit-mark write.
+
+        "undo logging can finalize the commit protocol immediately by
+        placing the commit mark on the log because all changes are already
+        applied."
+        """
+        self.dram_log.append_mark(RecordKind.COMMIT, tx_id)
+        self.dram_log.reclaim(tx_id)  # background reclamation
+        return self.latency.dram_ns
+
+    # -- redo logging for DRAM (Figure 10 ablation) --------------------------
+
+    def log_redo_dram(
+        self, tx_id: int, line_addr: int, new_words: Dict[int, int]
+    ) -> float:
+        """Redo-log a DRAM line's new image, leaving in-place data unmodified."""
+        self.dram_log.append_data(RecordKind.REDO, tx_id, line_addr, new_words)
+        self.background_dram_writes += 1
+        return 0.0
+
+    def redo_dram_lookup(self, tx_id: int, addr: int) -> Optional[int]:
+        """Search the DRAM redo log for a transactional read (indirection)."""
+        for record in self.dram_log.records_of(tx_id):
+            if record.line_addr == line_of(addr):
+                for word_addr, value in record.words:
+                    if word_addr == addr:
+                        return value
+        return None
+
+    def redo_dram_indirection_latency(self) -> float:
+        """Extra DRAM accesses to index the log area on an overflowed read.
+
+        "Indexing the log area often necessitates multiple DRAM accesses" —
+        modelled as two extra DRAM reads (index + record).
+        """
+        return 2 * self.latency.dram_ns
+
+    def commit_redo_dram(self, tx_id: int) -> float:
+        """Commit under the redo-DRAM ablation: copy new values in place.
+
+        "the redo log needs to copy new values to in-place locations,
+        making the transaction commit slow."  Charges a read+write per line.
+        """
+        records = self.dram_log.records_of(tx_id)
+        for record in records:
+            for word_addr, value in record.words:
+                self.dram.store(word_addr, value)
+        elapsed = len(records) * (self.latency.dram_ns * 2) + self.latency.dram_ns
+        self.dram_log.append_mark(RecordKind.COMMIT, tx_id)
+        self.dram_log.reclaim(tx_id)
+        return elapsed
+
+    def discard_redo_dram(self, tx_id: int) -> float:
+        """Abort under the redo-DRAM ablation: drop the log (fast)."""
+        self.dram_log.append_mark(RecordKind.ABORT, tx_id)
+        self.dram_log.reclaim(tx_id)
+        return self.latency.dram_ns
+
+    # -- redo logging for NVM -------------------------------------------------
+
+    def log_redo_nvm(
+        self, tx_id: int, line_addr: int, new_words: Dict[int, int]
+    ) -> float:
+        """Append a durable redo record for a persistent line.
+
+        Log writes stream out during execution; the write-pending-queue/ADR
+        guarantee means the record is durable once accepted, so the charge
+        is a single NVM write.
+        """
+        self.nvm_log.append_data(RecordKind.REDO, tx_id, line_addr, new_words)
+        return self.latency.nvm_write_ns
+
+    def commit_nvm(
+        self, tx_id: int, lines: Dict[int, Dict[int, int]]
+    ) -> float:
+        """Commit persistent data: durable commit mark + DRAM-cache flushes.
+
+        ``lines`` maps line address → word updates of the write-set.  New
+        values go to the DRAM cache (fast), not to NVM in place; in-place
+        updates happen later via background drains.
+        """
+        elapsed = self.latency.nvm_write_ns  # durable commit mark
+        self.nvm_log.append_mark(RecordKind.COMMIT, tx_id)
+        for line_addr, words in lines.items():
+            drained = self.dram_cache.fill(line_addr, words, tx_id, committed=True)
+            self.background_nvm_writes += drained
+            elapsed += self.latency.dram_cache_ns
+        return elapsed
+
+    def buffer_early_evicted_nvm(
+        self, tx_id: int, line_addr: int, words: Dict[int, int]
+    ) -> float:
+        """Place an LLC-evicted, uncommitted persistent line in the DRAM cache."""
+        drained = self.dram_cache.fill(line_addr, words, tx_id, committed=False)
+        self.background_nvm_writes += drained
+        return 0.0  # eviction path, off the critical path
+
+    def abort_nvm(self, tx_id: int, overflow_lines: List[int]) -> float:
+        """Abort persistent data: invalidate DRAM-cache entries, defer log
+        deletion behind an abort flag (Section IV-C)."""
+        for line_addr in overflow_lines:
+            self.dram_cache.invalidate(line_addr, tx_id)
+        self.nvm_log.append_mark(RecordKind.ABORT, tx_id)
+        # Setting invalidate bits is cheap; log deletion is deferred to the
+        # background reclaimer, so the thread pays only the abort mark.
+        self.nvm_log.reclaim(tx_id)
+        return self.latency.nvm_write_ns
+
+    # -- crash & recovery ------------------------------------------------------
+
+    def crash(self) -> None:
+        """Power failure: volatile state is lost; NVM and its log survive."""
+        self.dram.wipe()
+        self.dram_log.wipe()
+        self.dram_cache.wipe()
+
+    def recover(self) -> int:
+        """Replay committed NVM redo records; returns lines recovered.
+
+        "UHTM replays the committed redo entries in the NVM log area and
+        disregards the uncommitted one."
+        """
+        committed = set(self.nvm_log.committed_tx_ids())
+        aborted = set(self.nvm_log.aborted_tx_ids())
+        replayed = 0
+        for record in self.nvm_log:
+            if record.kind is not RecordKind.REDO:
+                continue
+            if record.tx_id in committed and record.tx_id not in aborted:
+                for word_addr, value in record.words:
+                    self.nvm.store(word_addr, value)
+                replayed += 1
+        for tx_id in committed | aborted:
+            self.nvm_log.reclaim(tx_id)
+        return replayed

@@ -1,0 +1,226 @@
+"""Hardware log areas appended by the memory controllers.
+
+Two instances exist: the DRAM log (undo records for LLC-overflowed volatile
+lines, or redo records under the Figure 10 ablation) and the NVM log (redo
+records for persistent lines).  The controller serialises concurrent appends
+to the end of the area (Section IV-B), so the log is modelled as an ordered
+list of records plus a byte cursor for space accounting.
+
+Records carry real line contents so that abort rollback and post-crash
+recovery genuinely restore data, making consistency a testable property.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import LogOverflowError
+from ..params import LINE_SIZE
+from .address import Region
+
+#: Bytes per record header: transaction id, address, kind, sequence.
+HEADER_BYTES = 16
+#: Bytes of payload in a data record (one cache line image).
+PAYLOAD_BYTES = LINE_SIZE
+
+
+class RecordKind(enum.Enum):
+    UNDO = "undo"
+    REDO = "redo"
+    COMMIT = "commit"
+    ABORT = "abort"
+
+
+@dataclass(frozen=True)
+class LogRecord:
+    """One appended record.
+
+    ``words`` maps word addresses inside the line to their logged values —
+    old values for UNDO, new values for REDO; empty for marks.
+    """
+
+    kind: RecordKind
+    tx_id: int
+    line_addr: int
+    words: Tuple[Tuple[int, int], ...]
+    sequence: int
+
+    @property
+    def size_bytes(self) -> int:
+        if self.kind in (RecordKind.COMMIT, RecordKind.ABORT):
+            return HEADER_BYTES
+        return HEADER_BYTES + PAYLOAD_BYTES
+
+
+class HardwareLog:
+    """An append-only log confined to one reserved region.
+
+    When live data alone would overflow the reserved area, the controller
+    "traps the operating system to expand the log area" (Section IV-E);
+    that is modelled by doubling the capacity and counting the trap.  Set
+    ``allow_expansion=False`` to get a hard :class:`LogOverflowError`
+    instead (useful for sizing studies).
+    """
+
+    def __init__(
+        self, region: Region, name: str, allow_expansion: bool = True
+    ) -> None:
+        self._region = region
+        self._name = name
+        self._capacity_bytes = region.size
+        self._allow_expansion = allow_expansion
+        self._records: List[LogRecord] = []
+        self._cursor_bytes = 0
+        self._sequence = 0
+        #: OS traps taken to grow the area.
+        self.expansions = 0
+        #: Index from tx id to the positions of its data records, so abort
+        #: rollback does not scan the whole log (the overflow list plays
+        #: this role in hardware).
+        self._by_tx: Dict[int, List[int]] = {}
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def used_bytes(self) -> int:
+        return self._cursor_bytes
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity_bytes
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[LogRecord]:
+        return iter(self._records)
+
+    # -- appends -----------------------------------------------------------
+
+    def append_data(
+        self,
+        kind: RecordKind,
+        tx_id: int,
+        line_addr: int,
+        words: Dict[int, int],
+    ) -> LogRecord:
+        if kind not in (RecordKind.UNDO, RecordKind.REDO):
+            raise ValueError(f"append_data takes UNDO/REDO, got {kind}")
+        record = self._append(kind, tx_id, line_addr, tuple(sorted(words.items())))
+        positions = self._by_tx.setdefault(tx_id, [])
+        positions.append(len(self._records) - 1)
+        return record
+
+    def append_mark(self, kind: RecordKind, tx_id: int) -> LogRecord:
+        if kind not in (RecordKind.COMMIT, RecordKind.ABORT):
+            raise ValueError(f"append_mark takes COMMIT/ABORT, got {kind}")
+        return self._append(kind, tx_id, 0, ())
+
+    def _append(
+        self,
+        kind: RecordKind,
+        tx_id: int,
+        line_addr: int,
+        words: Tuple[Tuple[int, int], ...],
+    ) -> LogRecord:
+        self._sequence += 1
+        record = LogRecord(kind, tx_id, line_addr, words, self._sequence)
+        if self._cursor_bytes + record.size_bytes > self._capacity_bytes:
+            # Reclaim completed transactions' records first; if live data
+            # alone still exceeds the area, trap the OS for more space.
+            self._compact()
+            while self._cursor_bytes + record.size_bytes > self._capacity_bytes:
+                if not self._allow_expansion:
+                    raise LogOverflowError(
+                        f"{self._name} log exhausted "
+                        f"({self._cursor_bytes}/{self._capacity_bytes} bytes)"
+                    )
+                self._capacity_bytes *= 2
+                self.expansions += 1
+        self._records.append(record)
+        self._cursor_bytes += record.size_bytes
+        return record
+
+    # -- queries -----------------------------------------------------------
+
+    def records_of(self, tx_id: int) -> List[LogRecord]:
+        """Data records appended by ``tx_id``, in append order."""
+        return [self._records[i] for i in self._by_tx.get(tx_id, ())]
+
+    def committed_tx_ids(self) -> List[int]:
+        return [
+            r.tx_id for r in self._records if r.kind is RecordKind.COMMIT
+        ]
+
+    def aborted_tx_ids(self) -> List[int]:
+        return [r.tx_id for r in self._records if r.kind is RecordKind.ABORT]
+
+    # -- reclamation -------------------------------------------------------
+
+    def reclaim(self, tx_id: int) -> int:
+        """Drop a completed transaction's data records; returns bytes freed.
+
+        Mirrors the deferred background log reclamation of Section IV-C.
+        """
+        positions = self._by_tx.pop(tx_id, None)
+        if not positions:
+            return 0
+        doomed = set(positions)
+        freed = sum(self._records[i].size_bytes for i in doomed)
+        kept: List[LogRecord] = []
+        remap: Dict[int, List[int]] = {}
+        for index, record in enumerate(self._records):
+            if index in doomed:
+                continue
+            if record.kind in (RecordKind.UNDO, RecordKind.REDO):
+                remap.setdefault(record.tx_id, []).append(len(kept))
+            kept.append(record)
+        self._records = kept
+        self._by_tx = remap
+        self._cursor_bytes -= freed
+        return freed
+
+    def _compact(self) -> None:
+        """Reclaim every transaction that has a commit or abort mark."""
+        for tx_id in set(self.committed_tx_ids()) | set(self.aborted_tx_ids()):
+            self.reclaim(tx_id)
+        # Drop the marks themselves for transactions with no live data.
+        live = set(self._by_tx)
+        kept = [
+            r
+            for r in self._records
+            if r.kind in (RecordKind.UNDO, RecordKind.REDO) or r.tx_id in live
+        ]
+        freed = sum(r.size_bytes for r in self._records) - sum(
+            r.size_bytes for r in kept
+        )
+        if freed:
+            remap: Dict[int, List[int]] = {}
+            for index, record in enumerate(kept):
+                if record.kind in (RecordKind.UNDO, RecordKind.REDO):
+                    remap.setdefault(record.tx_id, []).append(index)
+            self._records = kept
+            self._by_tx = remap
+            self._cursor_bytes -= freed
+
+    def wipe(self) -> None:
+        """Lose all contents (crash of a volatile log)."""
+        self._records.clear()
+        self._by_tx.clear()
+        self._cursor_bytes = 0
+
+    def tail(self, count: int) -> List[LogRecord]:
+        return self._records[-count:]
+
+    def find_latest_mark(self, tx_id: int) -> Optional[LogRecord]:
+        for record in reversed(self._records):
+            if record.tx_id == tx_id and record.kind in (
+                RecordKind.COMMIT,
+                RecordKind.ABORT,
+            ):
+                return record
+        return None

@@ -1,0 +1,61 @@
+"""Simulated processes: the unit of conflict domains and fallback locks.
+
+A process groups threads that share data.  Its PID doubles as its conflict
+domain ID — matching the paper's modified pthread library, which "generate[s]
+a transaction group ID shared by threads in the process" — and as the key of
+its fallback lock.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, TYPE_CHECKING
+
+from ..sim.engine import SimThread
+from .thread import ThreadApi
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .system import System
+
+ThreadBodyFn = Callable[[ThreadApi], Generator[None, None, None]]
+
+
+class SimProcess:
+    """One application: a conflict domain with its own fallback lock."""
+
+    def __init__(self, system: "System", pid: int, name: str) -> None:
+        self.system = system
+        self.pid = pid
+        self.name = name
+        self.threads: List[SimThread] = []
+
+    @property
+    def domain_id(self) -> int:
+        return self.pid
+
+    def thread(
+        self,
+        body: ThreadBodyFn,
+        name: str = "",
+        migrate_every_ns: float = 0.0,
+    ) -> SimThread:
+        """Spawn a simulated thread running ``body(api)`` (a generator fn).
+
+        ``migrate_every_ns`` > 0 emulates a preemptive scheduler that
+        migrates the thread to the next core after each quantum, including
+        mid-transaction (Section IV-E context switches).
+        """
+        thread_id = self.system.next_thread_id()
+        core_id = thread_id % self.system.machine.cores
+        label = name or f"{self.name}.t{len(self.threads)}"
+
+        def factory(sim_thread: SimThread) -> Generator[None, None, None]:
+            api = ThreadApi(
+                self.system, self, sim_thread, core_id,
+                migrate_every_ns=migrate_every_ns,
+            )
+            return body(api)
+
+        sim_thread = SimThread(thread_id, label, factory)
+        self.threads.append(sim_thread)
+        self.system.engine.add_thread(sim_thread)
+        return sim_thread

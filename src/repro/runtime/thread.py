@@ -1,0 +1,177 @@
+"""Per-thread runtime façade and the Algorithm 1 retry/fallback protocol.
+
+``run_transaction`` is a generator (thread bodies drive it with ``yield
+from``) so it can interleave with other threads while spinning on the
+fallback lock or sleeping through backoff.  Its control flow is a direct
+transliteration of the paper's Algorithm 1:
+
+* fast path while the lock is free, with the lock in the read set (a
+  slow-path acquisition aborts every running transaction in the process);
+* on abort: wait for the lock if we were preempted by it, back off
+  randomly, and retry up to ``max_retries`` times;
+* on a capacity abort: take the slow path immediately, without retrying
+  ("capacity overflows tend to happen repeatedly even after restarts");
+* slow path: acquire the lock, run the same body serialised but still
+  failure-atomic, release.
+"""
+
+from __future__ import annotations
+
+import inspect
+from typing import Callable, Generator, Optional, TYPE_CHECKING
+
+from ..errors import AbortReason, TransactionAborted
+from ..sim.engine import SimThread
+from .txapi import DirectContext, MemoryContext, SlowPathContext, TxContext
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .process import SimProcess
+    from .system import System
+
+#: Cost of one ``pause()`` spin iteration while waiting on the lock, ns.
+PAUSE_NS = 100.0
+
+TxBody = Callable[[MemoryContext], Optional[Generator[None, None, None]]]
+
+
+class ThreadApi:
+    """Everything a simulated thread's body can do."""
+
+    def __init__(
+        self,
+        system: "System",
+        process: "SimProcess",
+        sim_thread: SimThread,
+        core_id: int,
+        migrate_every_ns: float = 0.0,
+    ) -> None:
+        self.system = system
+        self.process = process
+        self.thread = sim_thread
+        self.core_id = core_id
+        self.rng = system.rng.fork(sim_thread.thread_id).stream("thread")
+        self.heap = system.heap
+        #: Preemptive-scheduler emulation: migrate this thread to the next
+        #: core every so many simulated nanoseconds (0 = pinned), exercising
+        #: the Section IV-E context-switch protocol mid-transaction.
+        self.migrate_every_ns = migrate_every_ns
+        self._last_migration_ns = sim_thread.clock_ns
+        #: Non-transactional context for out-of-transaction work.
+        self.nontx = DirectContext(
+            system.htm, sim_thread, core_id, process.domain_id
+        )
+
+    # -- timing helpers -------------------------------------------------------
+
+    def charge(self, ns: float) -> None:
+        self.thread.advance(ns)
+
+    def charge_op(self) -> None:
+        self.thread.advance(self.system.machine.latency.cpu_op_ns)
+
+    # -- Algorithm 1 ------------------------------------------------------------
+
+    def run_transaction(
+        self, body: TxBody, ops: int = 1
+    ) -> Generator[None, None, None]:
+        """Execute ``body`` with full ACID guarantees; ``yield from`` this.
+
+        ``body`` may be a plain function or a generator function (yield
+        points inside it are scheduling boundaries).  ``ops`` is how many
+        logical operations the transaction performs, counted into the
+        throughput statistics on success.
+        """
+        system = self.system
+        stats = system.stats
+        lock = system.locks.lock_for(self.process.pid)
+        retries = 0
+        capacity = False
+        while True:
+            while lock.locked:  # Algorithm 1 line 4 / 11-13
+                self.thread.advance(PAUSE_NS)
+                yield
+            handle = system.htm.begin(
+                self.thread, self.core_id, self.process.pid, self.process.domain_id
+            )
+            ctx = TxContext(system.htm, handle)
+            self.charge_op()
+            try:
+                result = body(ctx)
+                if inspect.isgenerator(result):
+                    while True:
+                        try:
+                            next(result)
+                        except StopIteration:
+                            break
+                        self._maybe_migrate(handle)
+                        yield
+                system.htm.commit(handle)
+                stats.incr("ops.committed", ops)
+                stats.incr(f"ops.by_process.{self.process.pid}", ops)
+                stats.incr("tx.fast_path_successes")
+                return
+            except TransactionAborted as aborted:
+                system.htm.acknowledge_abort(handle)
+                stats.incr("tx.retries")
+                if aborted.reason is AbortReason.CAPACITY:
+                    capacity = True  # Algorithm 1 line 15-17
+                    break
+                retries += 1
+                if retries > system.htm.config.max_retries:
+                    break  # Algorithm 1 line 18-20
+                self._backoff(retries)
+                yield
+        if capacity:
+            stats.incr("tx.capacity_fallbacks")
+        yield from self._slow_path(body, ops)
+
+    def _maybe_migrate(self, handle) -> None:
+        """Preempt-and-migrate when the quantum expired (Section IV-E)."""
+        if not self.migrate_every_ns:
+            return
+        if self.thread.clock_ns - self._last_migration_ns < self.migrate_every_ns:
+            return
+        self._last_migration_ns = self.thread.clock_ns
+        new_core = (self.core_id + 1) % self.system.machine.cores
+        self.system.htm.context_switch(handle, new_core)
+        self.core_id = new_core
+        self.nontx = DirectContext(
+            self.system.htm, self.thread, new_core, self.process.domain_id
+        )
+
+    def _backoff(self, attempt: int) -> None:
+        """Randomised exponential backoff after a conflict abort."""
+        config = self.system.htm.config
+        ceiling = min(
+            config.backoff_ns * (2 ** min(attempt, 6)), config.backoff_max_ns
+        )
+        self.thread.advance(self.rng.uniform(config.backoff_ns, max(config.backoff_ns, ceiling)))
+
+    def _slow_path(
+        self, body: TxBody, ops: int
+    ) -> Generator[None, None, None]:
+        system = self.system
+        lock = system.locks.lock_for(self.process.pid)
+        while lock.locked:
+            self.thread.advance(PAUSE_NS)
+            yield
+        lock.acquire(self.thread.thread_id, self.thread.clock_ns)
+        # Acquiring the lock conflicts with every fast-path transaction in
+        # this process (the lock word is in their read sets).
+        system.htm.abort_all_in_process(
+            self.process.pid, AbortReason.LOCK_PREEMPTED
+        )
+        system.stats.incr("tx.slow_path_executions")
+        try:
+            ctx = SlowPathContext(
+                system.htm, self.thread, self.core_id, self.process.domain_id
+            )
+            self.charge_op()
+            result = body(ctx)
+            if inspect.isgenerator(result):
+                yield from result
+            ctx.finalize()
+            system.stats.incr("ops.committed", ops)
+            system.stats.incr(f"ops.by_process.{self.process.pid}", ops)
+        finally:
+            lock.release(self.thread.thread_id)

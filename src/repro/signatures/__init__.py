@@ -1,0 +1,21 @@
+"""Hardware address signatures (per-core read/write Bloom filters).
+
+Signatures encode the addresses of LLC-overflowed transactional lines so
+conflicts beyond the on-chip caches can be detected without walking the log
+(Section IV-D).  They are real Bloom filters over a hardware-style hash
+family, so false positives *emerge* from filter saturation exactly as they
+would in the modelled hardware rather than being injected statistically.
+"""
+
+from .addresssig import SignaturePair
+from .bloom import BloomFilter
+from .hashing import H3HashFamily, MultiplicativeHashFamily
+from .isolation import ConflictDomainRegistry
+
+__all__ = [
+    "SignaturePair",
+    "BloomFilter",
+    "H3HashFamily",
+    "MultiplicativeHashFamily",
+    "ConflictDomainRegistry",
+]

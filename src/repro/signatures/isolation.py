@@ -1,0 +1,77 @@
+"""Signature isolation: conflict domains (Section IV-D, "Optimization").
+
+"The conflict domain denotes a group of transactions that share the address
+space and, therefore, potentially conflict with each other."  The paper
+generates a transaction-group ID per process in the (modified) pthread
+library; we attach a domain ID to each simulated process.
+
+When isolation is enabled, an LLC miss is checked only against signatures
+registered in the *same* domain, eliminating the false conflicts between
+unrelated consolidated applications that otherwise raise the abort rate by
+17 percentage points.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from .addresssig import SignaturePair
+
+#: Domain ID used for every transaction when isolation is disabled.
+GLOBAL_DOMAIN = 0
+
+
+class ConflictDomainRegistry:
+    """Tracks which active transactions' signatures live in which domain."""
+
+    def __init__(self, isolation_enabled: bool) -> None:
+        self.isolation_enabled = isolation_enabled
+        self._domains: Dict[int, Dict[int, SignaturePair]] = {}
+        self._domain_of_tx: Dict[int, int] = {}
+
+    def effective_domain(self, domain_id: int) -> int:
+        """The domain a transaction lands in under the current policy."""
+        return domain_id if self.isolation_enabled else GLOBAL_DOMAIN
+
+    def register(
+        self, tx_id: int, domain_id: int, signature: SignaturePair
+    ) -> None:
+        domain = self.effective_domain(domain_id)
+        self._domains.setdefault(domain, {})[tx_id] = signature
+        self._domain_of_tx[tx_id] = domain
+
+    def unregister(self, tx_id: int) -> None:
+        domain = self._domain_of_tx.pop(tx_id, None)
+        if domain is None:
+            return
+        members = self._domains.get(domain)
+        if members is not None:
+            members.pop(tx_id, None)
+            if not members:
+                del self._domains[domain]
+
+    def signatures_to_check(
+        self, domain_id: int, exclude_tx: Optional[int] = None
+    ) -> Iterator[Tuple[int, SignaturePair]]:
+        """Signatures an access from ``domain_id`` must be checked against.
+
+        With isolation on, only the requester's domain; with it off, every
+        registered signature (one flat domain).
+        """
+        domain = self.effective_domain(domain_id)
+        members = self._domains.get(domain)
+        if not members:
+            return
+        for tx_id, signature in members.items():
+            if tx_id == exclude_tx:
+                continue
+            yield tx_id, signature
+
+    def active_tx_ids(self) -> Set[int]:
+        return set(self._domain_of_tx)
+
+    def domains(self) -> List[int]:
+        return sorted(self._domains)
+
+    def __len__(self) -> int:
+        return len(self._domain_of_tx)

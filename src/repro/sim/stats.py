@@ -1,0 +1,146 @@
+"""Statistics collection for simulation runs.
+
+A :class:`StatsRegistry` is a flat namespace of counters and scalar samples.
+Components increment counters through it rather than keeping private tallies
+so the harness can snapshot everything a run produced in one place.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+
+class StatsRegistry:
+    """Named counters plus simple scalar sample series."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, int] = defaultdict(int)
+        self._samples: Dict[str, List[float]] = defaultdict(list)
+        self._histograms: Dict[str, "Histogram"] = {}
+
+    # -- counters ----------------------------------------------------------
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        self._counters[name] += amount
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        return {
+            name: value
+            for name, value in self._counters.items()
+            if name.startswith(prefix)
+        }
+
+    # -- samples -----------------------------------------------------------
+
+    def record(self, name: str, value: float) -> None:
+        self._samples[name].append(value)
+
+    def samples(self, name: str) -> List[float]:
+        return list(self._samples.get(name, ()))
+
+    def mean(self, name: str) -> float:
+        values = self._samples.get(name)
+        if not values:
+            return 0.0
+        return sum(values) / len(values)
+
+    # -- histograms ----------------------------------------------------------
+
+    def histogram(self, name: str) -> "Histogram":
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = Histogram()
+            self._histograms[name] = histogram
+        return histogram
+
+    def histograms(self) -> Dict[str, "Histogram"]:
+        return dict(self._histograms)
+
+    # -- aggregation -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self._counters)
+
+    def merge(self, other: "StatsRegistry") -> None:
+        for name, value in other._counters.items():
+            self._counters[name] += value
+        for name, values in other._samples.items():
+            self._samples[name].extend(values)
+
+    def items(self) -> Iterable[Tuple[str, int]]:
+        return self._counters.items()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self._counters.items()))
+        return f"StatsRegistry({body})"
+
+
+class Histogram:
+    """A fixed-bucket latency histogram (log2 buckets by default).
+
+    Bucket ``i`` counts samples in ``[2^i, 2^(i+1))`` (ns); cheap enough to
+    sit on the commit path and good enough for tail inspection.
+    """
+
+    def __init__(self, buckets: int = 40) -> None:
+        self._counts = [0] * buckets
+        self._total = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def record(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("histogram samples must be >= 0")
+        index = 0 if value < 1 else min(
+            len(self._counts) - 1, int(value).bit_length() - 1
+        )
+        self._counts[index] += 1
+        self._total += 1
+        self._sum += value
+        if value > self._max:
+            self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._total if self._total else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max
+
+    def percentile(self, fraction: float) -> float:
+        """Upper bound of the bucket containing the given percentile."""
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        if self._total == 0:
+            return 0.0
+        threshold = fraction * self._total
+        seen = 0
+        for index, count in enumerate(self._counts):
+            seen += count
+            if seen >= threshold:
+                return float(2 ** (index + 1))
+        return float(2 ** len(self._counts))
+
+    def nonzero_buckets(self) -> List[Tuple[int, int]]:
+        return [(i, c) for i, c in enumerate(self._counts) if c]
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    """A division that treats 0/0 as 0 rather than raising."""
+    if denominator == 0:
+        return 0.0
+    return numerator / denominator
+
+
+def decompose(counts: Mapping[str, int], total: int) -> Dict[str, float]:
+    """Express ``counts`` as fractions of ``total`` (0 if total is 0)."""
+    return {name: ratio(value, total) for name, value in counts.items()}

@@ -1,0 +1,60 @@
+"""Lightweight event tracing for debugging and white-box tests.
+
+Tracing is off by default; when enabled the recorder keeps an in-memory list
+of :class:`TraceEvent` tuples that tests can assert against (e.g. "an undo
+log record was written before the in-place update").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One simulator event: a timestamped, categorised record."""
+
+    time_ns: float
+    category: str
+    thread_id: int
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Collects :class:`TraceEvent` objects when enabled."""
+
+    def __init__(self, enabled: bool = False, capacity: Optional[int] = None) -> None:
+        self.enabled = enabled
+        self._capacity = capacity
+        self._events: List[TraceEvent] = []
+        self._dropped = 0
+
+    def emit(self, time_ns: float, category: str, thread_id: int, **detail: Any) -> None:
+        if not self.enabled:
+            return
+        if self._capacity is not None and len(self._events) >= self._capacity:
+            self._dropped += 1
+            return
+        self._events.append(TraceEvent(time_ns, category, thread_id, detail))
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    def by_category(self, category: str) -> List[TraceEvent]:
+        return [e for e in self._events if e.category == category]
+
+    def clear(self) -> None:
+        self._events.clear()
+        self._dropped = 0
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)

@@ -1,0 +1,187 @@
+"""Memory-trace capture format: record once, replay anywhere.
+
+A :class:`MemoryTrace` is a per-thread list of committed transactions, each
+a list of (is_write, kind, offset) operations with addresses normalised to
+offsets within their memory kind — so a trace captured on one machine
+configuration replays on any other (the replay workload allocates fresh
+arenas of the right size).
+
+The on-disk format is line-oriented text::
+
+    # uhtm-trace v1
+    THREAD 0
+    TX
+    R d 128
+    W n 4096
+    END
+    TX
+    ...
+
+``d`` = DRAM, ``n`` = NVM; offsets are byte offsets into the kind's arena.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, TextIO, Tuple
+
+from ..errors import ReproError
+from ..mem.address import MemoryKind
+
+_MAGIC = "# uhtm-trace v1"
+
+_KIND_CODE = {MemoryKind.DRAM: "d", MemoryKind.NVM: "n"}
+_CODE_KIND = {"d": MemoryKind.DRAM, "n": MemoryKind.NVM}
+
+
+@dataclass(frozen=True)
+class TracedOp:
+    is_write: bool
+    kind: MemoryKind
+    offset: int
+
+
+@dataclass
+class TracedTx:
+    ops: List[TracedOp] = field(default_factory=list)
+
+
+@dataclass
+class ThreadTrace:
+    thread_id: int
+    txs: List[TracedTx] = field(default_factory=list)
+
+
+class MemoryTrace:
+    """A complete captured workload: one op stream per thread."""
+
+    def __init__(self) -> None:
+        self._threads: Dict[int, ThreadTrace] = {}
+
+    def thread(self, thread_id: int) -> ThreadTrace:
+        trace = self._threads.get(thread_id)
+        if trace is None:
+            trace = ThreadTrace(thread_id)
+            self._threads[thread_id] = trace
+        return trace
+
+    @property
+    def threads(self) -> List[ThreadTrace]:
+        return [self._threads[k] for k in sorted(self._threads)]
+
+    def total_txs(self) -> int:
+        return sum(len(t.txs) for t in self.threads)
+
+    def total_ops(self) -> int:
+        return sum(len(tx.ops) for t in self.threads for tx in t.txs)
+
+    def arena_bytes(self, kind: MemoryKind) -> int:
+        """Bytes of arena needed to replay all offsets of ``kind``."""
+        top = 0
+        for thread in self.threads:
+            for tx in thread.txs:
+                for op in tx.ops:
+                    if op.kind is kind:
+                        top = max(top, op.offset + 8)
+        return top
+
+    # -- serialisation -------------------------------------------------------
+
+    def dump(self, handle: TextIO) -> None:
+        handle.write(_MAGIC + "\n")
+        for thread in self.threads:
+            handle.write(f"THREAD {thread.thread_id}\n")
+            for tx in thread.txs:
+                handle.write("TX\n")
+                for op in tx.ops:
+                    tag = "W" if op.is_write else "R"
+                    handle.write(f"{tag} {_KIND_CODE[op.kind]} {op.offset}\n")
+                handle.write("END\n")
+
+    def dumps(self) -> str:
+        import io
+
+        buffer = io.StringIO()
+        self.dump(buffer)
+        return buffer.getvalue()
+
+    @classmethod
+    def load(cls, handle: TextIO) -> "MemoryTrace":
+        trace = cls()
+        first = handle.readline().rstrip("\n")
+        if first != _MAGIC:
+            raise ReproError(f"not a uhtm trace (header {first!r})")
+        current_thread: ThreadTrace = None
+        current_tx: TracedTx = None
+        for line_no, raw in enumerate(handle, start=2):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if parts[0] == "THREAD":
+                current_thread = trace.thread(int(parts[1]))
+                current_tx = None
+            elif parts[0] == "TX":
+                if current_thread is None:
+                    raise ReproError(f"line {line_no}: TX before THREAD")
+                current_tx = TracedTx()
+                current_thread.txs.append(current_tx)
+            elif parts[0] == "END":
+                current_tx = None
+            elif parts[0] in ("R", "W"):
+                if current_tx is None:
+                    raise ReproError(f"line {line_no}: op outside TX")
+                current_tx.ops.append(
+                    TracedOp(
+                        is_write=parts[0] == "W",
+                        kind=_CODE_KIND[parts[1]],
+                        offset=int(parts[2]),
+                    )
+                )
+            else:
+                raise ReproError(f"line {line_no}: bad record {line!r}")
+        return trace
+
+    @classmethod
+    def loads(cls, text: str) -> "MemoryTrace":
+        import io
+
+        return cls.load(io.StringIO(text))
+
+
+class TraceCapture:
+    """Attached to an HTM system to record committed transactions.
+
+    Speculative operations buffer per transaction; only commits publish to
+    the trace (an aborted attempt's ops are retried anyway).
+    """
+
+    def __init__(self, dram_base: int, nvm_base: int) -> None:
+        self._dram_base = dram_base
+        self._nvm_base = nvm_base
+        self._pending: Dict[int, Tuple[int, List[TracedOp]]] = {}
+        self.trace = MemoryTrace()
+
+    def begin(self, tx_id: int, thread_id: int) -> None:
+        self._pending[tx_id] = (thread_id, [])
+
+    def op(self, tx_id: int, is_write: bool, addr: int) -> None:
+        entry = self._pending.get(tx_id)
+        if entry is None:
+            return
+        if addr >= self._nvm_base:
+            kind, offset = MemoryKind.NVM, addr - self._nvm_base
+        else:
+            kind, offset = MemoryKind.DRAM, addr - self._dram_base
+        entry[1].append(TracedOp(is_write, kind, offset))
+
+    def commit(self, tx_id: int) -> None:
+        entry = self._pending.pop(tx_id, None)
+        if entry is None:
+            return
+        thread_id, ops = entry
+        tx = TracedTx(ops)
+        self.trace.thread(thread_id).txs.append(tx)
+
+    def abort(self, tx_id: int) -> None:
+        self._pending.pop(tx_id, None)

@@ -1,0 +1,65 @@
+"""The paper's benchmark suite (Table IV), built from scratch.
+
+Four PMDK-style transactional data structures — HashMap, B-Tree, RB-Tree,
+SkipList — each available in a volatile (DRAM) and persistent (NVM) version;
+two hybrid DRAM+NVM key-value stores — Hybrid-Index (HiKV-style: B-Tree
+index in DRAM, HashMap index in NVM) and Dual (cross-referencing-log style:
+mirrored stores in DRAM and NVM); the Echo store from WHISPER (a master
+thread applying client batches to a persistent hash table); and a
+memory-intensive streaming co-runner used to create LLC contention.
+
+Every structure is implemented over the transactional heap and accessed
+exclusively through a :class:`~repro.runtime.txapi.MemoryContext`, so the
+same code runs speculatively, serialised under the fallback lock, or
+non-transactionally — and its reads and writes are what the simulator
+actually measures.
+"""
+
+from .base import WorkloadParams, Workload, write_payload, read_payload
+from .btree import BTreeWorkload, TxBTree
+from .dual_kv import DualKVWorkload
+from .echo import EchoWorkload
+from .graphhog import GraphHogWorkload
+from .hashmap import HashMapWorkload, TxHashMap
+from .hybrid_index import HybridIndexWorkload
+from .membound import MemBoundWorkload
+from .rbtree import RBTreeWorkload, TxRBTree
+from .skiplist import SkipListWorkload, TxSkipList
+from .trace_replay import TraceReplayWorkload
+
+WORKLOADS = {
+    w.name: w
+    for w in (
+        HashMapWorkload,
+        BTreeWorkload,
+        RBTreeWorkload,
+        SkipListWorkload,
+        HybridIndexWorkload,
+        DualKVWorkload,
+        EchoWorkload,
+        MemBoundWorkload,
+        GraphHogWorkload,
+    )
+}
+
+__all__ = [
+    "WorkloadParams",
+    "Workload",
+    "write_payload",
+    "read_payload",
+    "TxHashMap",
+    "TxBTree",
+    "TxRBTree",
+    "TxSkipList",
+    "HashMapWorkload",
+    "BTreeWorkload",
+    "RBTreeWorkload",
+    "SkipListWorkload",
+    "HybridIndexWorkload",
+    "DualKVWorkload",
+    "EchoWorkload",
+    "MemBoundWorkload",
+    "GraphHogWorkload",
+    "TraceReplayWorkload",
+    "WORKLOADS",
+]

@@ -1,0 +1,92 @@
+"""A graph500-style co-runner: random pointer chasing over a large graph.
+
+The paper's LLC-contention experiments co-schedule graph analytics ("even a
+single memory-intensive application (e.g., graph500) could consume all of
+the shared LLC").  Where :class:`MemBoundWorkload` streams sequentially —
+maximum bandwidth, perfectly predictable set pressure — this co-runner
+builds a random graph in DRAM and walks it: every hop is a dependent random
+access, so its LLC pressure is spread uniformly over the sets exactly like
+BFS over an adjacency list.
+
+It is non-transactional and runs until ``stop_when()``, like the streaming
+hog; the co-runner ablation compares their impact on transactional abort
+rates.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional
+
+from ..mem.address import MemoryKind
+from ..params import LINE_SIZE, WORD_SIZE
+from .base import Workload, WorkloadParams
+
+#: Hops between scheduling yields.
+_HOP_CHUNK = 32
+
+#: Out-degree of each node.
+_DEGREE = 4
+
+
+class GraphHogWorkload(Workload):
+    """Random graph walker sized at ``llc_multiple`` times the LLC."""
+
+    name = "graphhog"
+
+    def __init__(
+        self,
+        system,
+        process,
+        params: WorkloadParams,
+        llc_multiple: float = 2.0,
+        stop_when: Optional[Callable[[], bool]] = None,
+        max_hops: int = 50_000_000,
+    ) -> None:
+        super().__init__(system, process, params)
+        self.node_count = max(
+            _HOP_CHUNK, int(system.machine.llc.num_lines * llc_multiple)
+        )
+        self.stop_when = stop_when or (lambda: False)
+        self.max_hops = max_hops
+        self.base: Optional[int] = None
+        self.hops_completed = 0
+
+    def setup(self) -> None:
+        """Build the adjacency lists: one line per node, _DEGREE edges."""
+        self.base = self.system.heap.alloc(
+            self.node_count * LINE_SIZE, MemoryKind.DRAM
+        )
+        rng = self.system.rng.fork(self.process.pid).stream("graph_edges")
+        for node in range(self.node_count):
+            node_addr = self.base + node * LINE_SIZE
+            for slot in range(_DEGREE):
+                target = rng.randrange(self.node_count)
+                self.raw.write_word(node_addr + slot * WORD_SIZE, target)
+
+    def thread_bodies(self) -> List[Callable]:
+        return [self._make_body(i) for i in range(self.params.threads)]
+
+    def _make_body(self, thread_index: int) -> Callable:
+        rng = self.system.rng.fork(
+            self.process.pid * 131 + thread_index
+        ).stream("graph_walk")
+
+        def body(api) -> Generator[None, None, None]:
+            node = rng.randrange(self.node_count)
+            hops = 0
+            while hops < self.max_hops:
+                if self.stop_when():
+                    return
+                for _ in range(_HOP_CHUNK):
+                    node_addr = self.base + node * LINE_SIZE
+                    slot = rng.randrange(_DEGREE)
+                    node = api.nontx.read_word(node_addr + slot * WORD_SIZE)
+                    # Mark the visit (graph analytics writes frontiers too).
+                    api.nontx.write_word(
+                        node_addr + _DEGREE * WORD_SIZE, hops
+                    )
+                    hops += 1
+                self.hops_completed = max(self.hops_completed, hops)
+                yield
+
+        return body

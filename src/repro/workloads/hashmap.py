@@ -1,0 +1,181 @@
+"""A transactional chained hash map (PMDK ``hashmap_tx`` equivalent)."""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional, TYPE_CHECKING
+
+from ..mem.address import MemoryKind
+from ..runtime.txapi import MemoryContext
+from .base import PayloadPool, Workload, WorkloadParams, write_payload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.heap import TxHeap
+
+_GOLDEN = 0x9E3779B97F4A7C15
+_MASK64 = (1 << 64) - 1
+
+# Header layout (words): bucket-array pointer, bucket count, element count.
+_H_BUCKETS = 0
+_H_NBUCKETS = 1
+_H_SIZE = 2
+# Node layout (words): key, value, next pointer.
+_N_KEY = 0
+_N_VALUE = 1
+_N_NEXT = 2
+_NODE_WORDS = 3
+
+
+class TxHashMap:
+    """A fixed-bucket chained hash table over the transactional heap."""
+
+    def __init__(self, heap: "TxHeap", base: int, kind: MemoryKind) -> None:
+        self.heap = heap
+        self.base = base
+        self.kind = kind
+
+    @classmethod
+    def create(
+        cls, heap: "TxHeap", ctx: MemoryContext, kind: MemoryKind, nbuckets: int = 64
+    ) -> "TxHashMap":
+        base = heap.alloc_words(4, kind)
+        buckets = heap.alloc_words(nbuckets, kind)
+        ctx.write_word(heap.field(base, _H_BUCKETS), buckets)
+        ctx.write_word(heap.field(base, _H_NBUCKETS), nbuckets)
+        ctx.write_word(heap.field(base, _H_SIZE), 0)
+        for i in range(nbuckets):
+            ctx.write_word(heap.field(buckets, i), 0)
+        return cls(heap, base, kind)
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _hash(key: int) -> int:
+        return ((key * _GOLDEN) & _MASK64) >> 32
+
+    def _bucket_slot(self, ctx: MemoryContext, key: int) -> int:
+        buckets = ctx.read_word(self.heap.field(self.base, _H_BUCKETS))
+        nbuckets = ctx.read_word(self.heap.field(self.base, _H_NBUCKETS))
+        return self.heap.field(buckets, self._hash(key) % nbuckets)
+
+    # -- operations ------------------------------------------------------------
+
+    def insert(self, ctx: MemoryContext, key: int, value: int) -> bool:
+        """Insert or update; returns True if the key was new."""
+        slot = self._bucket_slot(ctx, key)
+        node = ctx.read_word(slot)
+        while node != 0:
+            if ctx.read_word(self.heap.field(node, _N_KEY)) == key:
+                ctx.write_word(self.heap.field(node, _N_VALUE), value)
+                return False
+            node = ctx.read_word(self.heap.field(node, _N_NEXT))
+        fresh = self.heap.alloc_words(_NODE_WORDS, self.kind)
+        ctx.write_word(self.heap.field(fresh, _N_KEY), key)
+        ctx.write_word(self.heap.field(fresh, _N_VALUE), value)
+        ctx.write_word(self.heap.field(fresh, _N_NEXT), ctx.read_word(slot))
+        ctx.write_word(slot, fresh)
+        return True
+
+    def get(self, ctx: MemoryContext, key: int) -> Optional[int]:
+        slot = self._bucket_slot(ctx, key)
+        node = ctx.read_word(slot)
+        while node != 0:
+            if ctx.read_word(self.heap.field(node, _N_KEY)) == key:
+                return ctx.read_word(self.heap.field(node, _N_VALUE))
+            node = ctx.read_word(self.heap.field(node, _N_NEXT))
+        return None
+
+    def delete(self, ctx: MemoryContext, key: int) -> bool:
+        slot = self._bucket_slot(ctx, key)
+        node = ctx.read_word(slot)
+        prev_slot = slot
+        while node != 0:
+            next_node = ctx.read_word(self.heap.field(node, _N_NEXT))
+            if ctx.read_word(self.heap.field(node, _N_KEY)) == key:
+                ctx.write_word(prev_slot, next_node)
+                self.heap.free_words(node, _NODE_WORDS, self.kind)
+                return True
+            prev_slot = self.heap.field(node, _N_NEXT)
+            node = next_node
+        return False
+
+    def size(self, ctx: MemoryContext) -> int:
+        """Element count, by walking (a transactional global counter would
+        be a write hotspot serialising every insert)."""
+        return len(self.keys(ctx))
+
+    def keys(self, ctx: MemoryContext) -> List[int]:
+        """All keys (test/verification helper; O(buckets + elements))."""
+        buckets = ctx.read_word(self.heap.field(self.base, _H_BUCKETS))
+        nbuckets = ctx.read_word(self.heap.field(self.base, _H_NBUCKETS))
+        out: List[int] = []
+        for i in range(nbuckets):
+            node = ctx.read_word(self.heap.field(buckets, i))
+            while node != 0:
+                out.append(ctx.read_word(self.heap.field(node, _N_KEY)))
+                node = ctx.read_word(self.heap.field(node, _N_NEXT))
+        return out
+
+    def check_integrity(self, ctx: MemoryContext) -> bool:
+        """Size counter matches reachable nodes; chains are acyclic."""
+        seen = set()
+        keys = []
+        buckets = ctx.read_word(self.heap.field(self.base, _H_BUCKETS))
+        nbuckets = ctx.read_word(self.heap.field(self.base, _H_NBUCKETS))
+        for i in range(nbuckets):
+            node = ctx.read_word(self.heap.field(buckets, i))
+            while node != 0:
+                if node in seen:
+                    return False  # cycle
+                seen.add(node)
+                keys.append(ctx.read_word(self.heap.field(node, _N_KEY)))
+                node = ctx.read_word(self.heap.field(node, _N_NEXT))
+        return len(keys) == len(set(keys))
+
+
+class HashMapWorkload(Workload):
+    """Insert/update entries in a hash table (Table IV, HashMap [25])."""
+
+    name = "hashmap"
+
+    def __init__(self, system, process, params: WorkloadParams) -> None:
+        super().__init__(system, process, params)
+        self.map: Optional[TxHashMap] = None
+        self.pool: Optional[PayloadPool] = None
+
+    def setup(self) -> None:
+        self.map = TxHashMap.create(
+            self.system.heap,
+            self.raw,
+            self.params.kind,
+            nbuckets=max(64, self.params.keys // 4),
+        )
+        self.pool = PayloadPool(
+            self.system, self.params.keys, self.value_bytes, self.params.kind
+        )
+        for key in range(self.params.initial_fill):
+            self.map.insert(self.raw, key, self.pool.block_for(key))
+
+    def thread_bodies(self) -> List[Callable]:
+        return [self._make_body(i) for i in range(self.params.threads)]
+
+    def _make_body(self, thread_index: int) -> Callable:
+        def body(api) -> Generator[None, None, None]:
+            keys = self.key_stream(thread_index)
+            for tx_index in range(self.params.txs_per_thread):
+                batch = [next(keys) for _ in range(self.params.ops_per_tx)]
+
+                def work(tx, batch=batch, tag=tx_index + 1):
+                    for key in batch:
+                        payload = self.pool.block_for(key)
+                        yield from write_payload(
+                            tx, payload, self.value_bytes, tag
+                        )
+                        self.map.insert(tx, key, payload)
+                        yield
+
+                yield from api.run_transaction(work, ops=len(batch))
+
+        return body
+
+    def verify(self) -> bool:
+        return self.map.check_integrity(self.raw)

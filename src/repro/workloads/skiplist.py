@@ -1,0 +1,210 @@
+"""A transactional skip list (PMDK ``skiplist_map`` equivalent).
+
+Probabilistic towers with deterministic per-structure level selection.  The
+long horizontal traversals at low levels are why the paper observes many
+signature false positives on SkipList ("UHTM ends up with many
+false-positives while SkipList traverse the list").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Generator, List, Optional, TYPE_CHECKING
+
+from ..mem.address import MemoryKind
+from ..runtime.txapi import MemoryContext
+from .base import PayloadPool, Workload, WorkloadParams, write_payload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..runtime.heap import TxHeap
+
+_MAX_LEVEL = 8
+
+# Node layout (words): key, value, level, next[0.._MAX_LEVEL).
+_N_KEY = 0
+_N_VALUE = 1
+_N_LEVEL = 2
+_N_NEXT = 3
+_NODE_WORDS = _N_NEXT + _MAX_LEVEL
+
+#: Sentinel key of the head tower (smaller than every real key).
+_HEAD_KEY = -(2**62)
+
+
+class TxSkipList:
+    """A skip list over the transactional heap."""
+
+    def __init__(
+        self, heap: "TxHeap", base: int, kind: MemoryKind, seed: int = 1
+    ) -> None:
+        self.heap = heap
+        self.base = base  # address of the head tower
+        self.kind = kind
+        self._levels = random.Random(seed)
+
+    @classmethod
+    def create(
+        cls, heap: "TxHeap", ctx: MemoryContext, kind: MemoryKind, seed: int = 1
+    ) -> "TxSkipList":
+        head = heap.alloc_words(_NODE_WORDS, kind)
+        ctx.write_word(heap.field(head, _N_KEY), _HEAD_KEY)
+        ctx.write_word(heap.field(head, _N_VALUE), 0)
+        ctx.write_word(heap.field(head, _N_LEVEL), _MAX_LEVEL)
+        for level in range(_MAX_LEVEL):
+            ctx.write_word(heap.field(head, _N_NEXT + level), 0)
+        return cls(heap, head, kind, seed)
+
+    def _random_level(self) -> int:
+        level = 1
+        while level < _MAX_LEVEL and self._levels.random() < 0.5:
+            level += 1
+        return level
+
+    # -- operations ---------------------------------------------------------------
+
+    def get(self, ctx: MemoryContext, key: int) -> Optional[int]:
+        node = self.base
+        for level in range(_MAX_LEVEL - 1, -1, -1):
+            while True:
+                nxt = ctx.read_word(self.heap.field(node, _N_NEXT + level))
+                if nxt == 0 or ctx.read_word(self.heap.field(nxt, _N_KEY)) > key:
+                    break
+                node = nxt
+        if node != self.base and ctx.read_word(
+            self.heap.field(node, _N_KEY)
+        ) == key:
+            return ctx.read_word(self.heap.field(node, _N_VALUE))
+        return None
+
+    def insert(self, ctx: MemoryContext, key: int, value: int) -> bool:
+        update = [self.base] * _MAX_LEVEL
+        node = self.base
+        for level in range(_MAX_LEVEL - 1, -1, -1):
+            while True:
+                nxt = ctx.read_word(self.heap.field(node, _N_NEXT + level))
+                if nxt == 0 or ctx.read_word(self.heap.field(nxt, _N_KEY)) >= key:
+                    break
+                node = nxt
+            update[level] = node
+        candidate = ctx.read_word(self.heap.field(node, _N_NEXT))
+        if candidate != 0 and ctx.read_word(
+            self.heap.field(candidate, _N_KEY)
+        ) == key:
+            ctx.write_word(self.heap.field(candidate, _N_VALUE), value)
+            return False
+        level = self._random_level()
+        fresh = self.heap.alloc_words(_NODE_WORDS, self.kind)
+        ctx.write_word(self.heap.field(fresh, _N_KEY), key)
+        ctx.write_word(self.heap.field(fresh, _N_VALUE), value)
+        ctx.write_word(self.heap.field(fresh, _N_LEVEL), level)
+        for l in range(level):
+            prev = update[l]
+            ctx.write_word(
+                self.heap.field(fresh, _N_NEXT + l),
+                ctx.read_word(self.heap.field(prev, _N_NEXT + l)),
+            )
+            ctx.write_word(self.heap.field(prev, _N_NEXT + l), fresh)
+        for l in range(level, _MAX_LEVEL):
+            ctx.write_word(self.heap.field(fresh, _N_NEXT + l), 0)
+        return True
+
+    def delete(self, ctx: MemoryContext, key: int) -> bool:
+        """Unlink ``key`` from every level it appears on."""
+        update = [self.base] * _MAX_LEVEL
+        node = self.base
+        for level in range(_MAX_LEVEL - 1, -1, -1):
+            while True:
+                nxt = ctx.read_word(self.heap.field(node, _N_NEXT + level))
+                if nxt == 0 or ctx.read_word(self.heap.field(nxt, _N_KEY)) >= key:
+                    break
+                node = nxt
+            update[level] = node
+        victim = ctx.read_word(self.heap.field(node, _N_NEXT))
+        if victim == 0 or ctx.read_word(self.heap.field(victim, _N_KEY)) != key:
+            return False
+        level = ctx.read_word(self.heap.field(victim, _N_LEVEL))
+        for l in range(level):
+            prev = update[l]
+            if ctx.read_word(self.heap.field(prev, _N_NEXT + l)) == victim:
+                ctx.write_word(
+                    self.heap.field(prev, _N_NEXT + l),
+                    ctx.read_word(self.heap.field(victim, _N_NEXT + l)),
+                )
+        self.heap.free_words(victim, _NODE_WORDS, self.kind)
+        return True
+
+    # -- verification ----------------------------------------------------------------
+
+    def keys(self, ctx: MemoryContext) -> List[int]:
+        out: List[int] = []
+        node = ctx.read_word(self.heap.field(self.base, _N_NEXT))
+        while node != 0:
+            out.append(ctx.read_word(self.heap.field(node, _N_KEY)))
+            node = ctx.read_word(self.heap.field(node, _N_NEXT))
+        return out
+
+    def check_integrity(self, ctx: MemoryContext) -> bool:
+        """Level-0 order is strict; every level is a subsequence of level 0."""
+        keys = self.keys(ctx)
+        if keys != sorted(keys) or len(keys) != len(set(keys)):
+            return False
+        base_set = set(keys)
+        for level in range(1, _MAX_LEVEL):
+            node = ctx.read_word(self.heap.field(self.base, _N_NEXT + level))
+            previous = _HEAD_KEY
+            while node != 0:
+                key = ctx.read_word(self.heap.field(node, _N_KEY))
+                if key <= previous or key not in base_set:
+                    return False
+                if ctx.read_word(self.heap.field(node, _N_LEVEL)) <= level:
+                    return False
+                previous = key
+                node = ctx.read_word(self.heap.field(node, _N_NEXT + level))
+        return True
+
+
+class SkipListWorkload(Workload):
+    """Insert/update entries in a skip list (Table IV, SkipList [25])."""
+
+    name = "skiplist"
+
+    def __init__(self, system, process, params: WorkloadParams) -> None:
+        super().__init__(system, process, params)
+        self.list: Optional[TxSkipList] = None
+        self.pool: Optional[PayloadPool] = None
+
+    def setup(self) -> None:
+        self.list = TxSkipList.create(
+            self.system.heap, self.raw, self.params.kind,
+            seed=self.system.rng.seed + self.process.pid,
+        )
+        self.pool = PayloadPool(
+            self.system, self.params.keys, self.value_bytes, self.params.kind
+        )
+        for key in range(self.params.initial_fill):
+            self.list.insert(self.raw, key, self.pool.block_for(key))
+
+    def thread_bodies(self) -> List[Callable]:
+        return [self._make_body(i) for i in range(self.params.threads)]
+
+    def _make_body(self, thread_index: int) -> Callable:
+        def body(api) -> Generator[None, None, None]:
+            keys = self.key_stream(thread_index)
+            for tx_index in range(self.params.txs_per_thread):
+                batch = [next(keys) for _ in range(self.params.ops_per_tx)]
+
+                def work(tx, batch=batch, tag=tx_index + 1):
+                    for key in batch:
+                        payload = self.pool.block_for(key)
+                        yield from write_payload(
+                            tx, payload, self.value_bytes, tag
+                        )
+                        self.list.insert(tx, key, payload)
+                        yield
+
+                yield from api.run_transaction(work, ops=len(batch))
+
+        return body
+
+    def verify(self) -> bool:
+        return self.list.check_integrity(self.raw)

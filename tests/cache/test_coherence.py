@@ -1,0 +1,154 @@
+"""Tests of the MESI protocol: transitions and the SWMR invariant."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.coherence import (
+    CoherenceRequest,
+    MesiState,
+    check_swmr,
+    next_state_for_holder,
+    next_state_for_requester,
+)
+from repro.cache.hierarchy import CacheHierarchy
+from repro.mem.controller import MemoryController
+from repro.params import (
+    CacheGeometry,
+    LINE_SIZE,
+    LatencyConfig,
+    MachineConfig,
+    MemoryConfig,
+)
+
+
+def make_hierarchy(cores=4):
+    machine = MachineConfig(
+        cores=cores,
+        l1=CacheGeometry(size_bytes=8 * LINE_SIZE, ways=2),
+        llc=CacheGeometry(size_bytes=64 * LINE_SIZE, ways=4),
+    )
+    controller = MemoryController(machine.memory, machine.latency)
+    return CacheHierarchy(machine, controller), controller
+
+
+def dram_line(controller, index):
+    return controller.address_space.dram_heap.base + index * LINE_SIZE
+
+
+def states_of(hierarchy, line):
+    out = []
+    for l1 in hierarchy.l1s:
+        meta = l1.peek(line)
+        out.append(meta.mesi if meta is not None else MesiState.INVALID)
+    return out
+
+
+class TestTransitionTable:
+    def test_getm_always_modified(self):
+        assert next_state_for_requester(CoherenceRequest.GET_M, False) is \
+            MesiState.MODIFIED
+        assert next_state_for_requester(CoherenceRequest.GET_M, True) is \
+            MesiState.MODIFIED
+
+    def test_gets_exclusive_when_alone(self):
+        assert next_state_for_requester(CoherenceRequest.GET_S, False) is \
+            MesiState.EXCLUSIVE
+
+    def test_gets_shared_with_others(self):
+        assert next_state_for_requester(CoherenceRequest.GET_S, True) is \
+            MesiState.SHARED
+
+    def test_holder_invalidated_by_getm(self):
+        for state in MesiState:
+            assert next_state_for_holder(CoherenceRequest.GET_M, state) is \
+                MesiState.INVALID
+
+    def test_holder_downgraded_by_gets(self):
+        assert next_state_for_holder(
+            CoherenceRequest.GET_S, MesiState.MODIFIED
+        ) is MesiState.SHARED
+        assert next_state_for_holder(
+            CoherenceRequest.GET_S, MesiState.EXCLUSIVE
+        ) is MesiState.SHARED
+        assert next_state_for_holder(
+            CoherenceRequest.GET_S, MesiState.SHARED
+        ) is MesiState.SHARED
+
+
+class TestHierarchyStates:
+    def test_first_reader_is_exclusive(self):
+        hierarchy, controller = make_hierarchy()
+        line = dram_line(controller, 0)
+        hierarchy.access(0, line, False)
+        assert hierarchy.l1s[0].peek(line).mesi is MesiState.EXCLUSIVE
+
+    def test_second_reader_shares_and_downgrades(self):
+        hierarchy, controller = make_hierarchy()
+        line = dram_line(controller, 0)
+        hierarchy.access(0, line, False)
+        hierarchy.access(1, line, False)
+        assert hierarchy.l1s[0].peek(line).mesi is MesiState.SHARED
+        assert hierarchy.l1s[1].peek(line).mesi is MesiState.SHARED
+
+    def test_writer_is_modified_and_sole(self):
+        hierarchy, controller = make_hierarchy()
+        line = dram_line(controller, 0)
+        hierarchy.access(0, line, False)
+        hierarchy.access(1, line, False)
+        hierarchy.access(2, line, True)
+        assert hierarchy.l1s[2].peek(line).mesi is MesiState.MODIFIED
+        assert hierarchy.l1s[0].peek(line) is None
+        assert hierarchy.l1s[1].peek(line) is None
+
+    def test_silent_upgrade_e_to_m(self):
+        hierarchy, controller = make_hierarchy()
+        line = dram_line(controller, 0)
+        hierarchy.access(0, line, False)
+        assert hierarchy.l1s[0].peek(line).mesi is MesiState.EXCLUSIVE
+        hierarchy.access(0, line, True)
+        assert hierarchy.l1s[0].peek(line).mesi is MesiState.MODIFIED
+
+    def test_read_after_remote_write_downgrades_writer(self):
+        hierarchy, controller = make_hierarchy()
+        line = dram_line(controller, 0)
+        hierarchy.access(0, line, True)
+        hierarchy.access(1, line, False)
+        assert hierarchy.l1s[0].peek(line).mesi is MesiState.SHARED
+        assert hierarchy.l1s[1].peek(line).mesi is MesiState.SHARED
+
+
+class TestSwmrInvariant:
+    def test_check_swmr_logic(self):
+        M, E, S, I = (MesiState.MODIFIED, MesiState.EXCLUSIVE,
+                      MesiState.SHARED, MesiState.INVALID)
+        assert check_swmr([M, I, I])
+        assert check_swmr([S, S, S])
+        assert check_swmr([I, I, I])
+        assert not check_swmr([M, M, I])
+        assert not check_swmr([M, S, I])
+        assert not check_swmr([E, E, I])
+        assert not check_swmr([E, S, I])
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),   # core
+                st.integers(min_value=0, max_value=5),   # line index
+                st.booleans(),                            # is_write
+            ),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_swmr_holds_under_random_traffic(self, ops):
+        hierarchy, controller = make_hierarchy()
+        lines = [dram_line(controller, i) for i in range(6)]
+        for core, line_index, is_write in ops:
+            hierarchy.access(core, lines[line_index], is_write)
+            for line in lines:
+                assert check_swmr(states_of(hierarchy, line)), (
+                    f"SWMR violated on {line:#x}"
+                )

@@ -1,0 +1,115 @@
+"""Tests for the set-associative tag array."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.setassoc import CacheLineMeta, SetAssociativeArray
+from repro.params import CacheGeometry, LINE_SIZE
+
+
+def make_array(sets=4, ways=2):
+    geometry = CacheGeometry(size_bytes=sets * ways * LINE_SIZE, ways=ways)
+    return SetAssociativeArray(geometry, "test")
+
+
+class TestLookupInstall:
+    def test_miss_then_hit(self):
+        array = make_array()
+        assert array.lookup(0x1000) is None
+        array.install(0x1000)
+        assert array.lookup(0x1000) is not None
+        assert array.hits == 1
+        assert array.misses == 1
+
+    def test_peek_does_not_count(self):
+        array = make_array()
+        array.install(0x1000)
+        array.peek(0x1000)
+        array.peek(0x2000)
+        assert array.hits == 0
+        assert array.misses == 0
+
+    def test_double_install_asserts(self):
+        array = make_array()
+        array.install(0x1000)
+        with pytest.raises(AssertionError):
+            array.install(0x1000)
+
+    def test_remove(self):
+        array = make_array()
+        array.install(0x1000)
+        meta = array.remove(0x1000)
+        assert meta is not None
+        assert array.peek(0x1000) is None
+        assert array.remove(0x1000) is None
+
+
+class TestReplacement:
+    def test_lru_eviction_order(self):
+        array = make_array(sets=1, ways=2)
+        array.install(0 * LINE_SIZE)
+        array.install(1 * LINE_SIZE)
+        victims = array.install(2 * LINE_SIZE)
+        assert [v.line_addr for v in victims] == [0]
+
+    def test_lookup_refreshes_lru(self):
+        array = make_array(sets=1, ways=2)
+        array.install(0 * LINE_SIZE)
+        array.install(1 * LINE_SIZE)
+        array.lookup(0)  # 0 becomes MRU
+        victims = array.install(2 * LINE_SIZE)
+        assert [v.line_addr for v in victims] == [LINE_SIZE]
+
+    def test_set_indexing_isolates_sets(self):
+        array = make_array(sets=4, ways=1)
+        # These addresses map to different sets: no evictions.
+        for i in range(4):
+            assert array.install(i * LINE_SIZE) == []
+        # Same set as line 0 (stride = sets * line):
+        victims = array.install(4 * LINE_SIZE)
+        assert [v.line_addr for v in victims] == [0]
+
+    def test_eviction_counter(self):
+        array = make_array(sets=1, ways=1)
+        array.install(0)
+        array.install(LINE_SIZE)
+        assert array.evictions == 1
+
+
+class TestMeta:
+    def test_meta_transactional_flag(self):
+        meta = CacheLineMeta(0)
+        assert not meta.transactional
+        meta.tx_readers.add(4)
+        assert meta.transactional
+        meta.tx_readers.clear()
+        meta.tx_writer = 9
+        assert meta.transactional
+
+    def test_clear_tx(self):
+        meta = CacheLineMeta(0, tx_writer=3)
+        meta.tx_readers.update({3, 4})
+        meta.clear_tx(3)
+        assert meta.tx_writer is None
+        assert meta.tx_readers == {4}
+
+    def test_resident_introspection(self):
+        array = make_array()
+        array.install(0)
+        array.install(LINE_SIZE)
+        assert array.resident_count() == 2
+        assert sorted(array.resident_lines()) == [0, LINE_SIZE]
+
+    def test_occupancy_by_predicate(self):
+        array = make_array()
+        array.install(0)
+        array.peek(0).dirty = True
+        array.install(LINE_SIZE)
+        assert array.occupancy_by_predicate(lambda m: m.dirty) == 1
+
+    def test_clear(self):
+        array = make_array()
+        array.install(0)
+        array.clear()
+        assert array.resident_count() == 0

@@ -1,0 +1,54 @@
+"""Shared fixtures for the UHTM reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HTMConfig, MachineConfig, SignatureConfig, System
+from repro.mem.address import MemoryKind
+
+
+@pytest.fixture
+def tiny_machine() -> MachineConfig:
+    """A 4-core machine scaled to 1/64: L1 512 B, LLC 256 KB."""
+    return MachineConfig.scaled(1 / 64, cores=4)
+
+
+@pytest.fixture
+def small_machine() -> MachineConfig:
+    """An 8-core machine scaled to 1/16: L1 2 KB, LLC 1 MB."""
+    return MachineConfig.scaled(1 / 16, cores=8)
+
+
+def make_system(
+    design: str = "uhtm",
+    machine: MachineConfig = None,
+    isolation: bool = True,
+    signature_bits: int = 1024,
+    seed: int = 2020,
+    **htm_kwargs,
+) -> System:
+    """Build a ready-to-use system with sensible test defaults."""
+    machine = machine or MachineConfig.scaled(1 / 64, cores=4)
+    config = HTMConfig(
+        design=design,
+        isolation=isolation,
+        signature=SignatureConfig(bits=signature_bits),
+        **htm_kwargs,
+    )
+    return System(machine, config, seed=seed)
+
+
+@pytest.fixture
+def uhtm_system(tiny_machine) -> System:
+    return make_system("uhtm", tiny_machine)
+
+
+@pytest.fixture
+def dram_word(uhtm_system) -> int:
+    return uhtm_system.heap.alloc_words(1, MemoryKind.DRAM)
+
+
+@pytest.fixture
+def nvm_word(uhtm_system) -> int:
+    return uhtm_system.heap.alloc_words(1, MemoryKind.NVM)

@@ -1,0 +1,125 @@
+"""Tests for experiment configuration and the runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.harness.config import (
+    BenchmarkSpec,
+    ExperimentSpec,
+    consolidated,
+    mixed_pmdk,
+)
+from repro.harness.metrics import RunResult
+from repro.harness.runner import run_experiment, run_series
+from repro.params import HTMConfig
+from repro.workloads import WorkloadParams
+
+
+def small_params():
+    return WorkloadParams(
+        threads=2, txs_per_thread=2, value_bytes=16 << 10,
+        keys=64, initial_fill=16,
+    )
+
+
+def small_spec(design="uhtm", **kwargs):
+    return ExperimentSpec(
+        name="t",
+        htm=HTMConfig(design=design),
+        benchmarks=consolidated("hashmap", 2, small_params()),
+        scale=1 / 16,
+        cores=4,
+        **kwargs,
+    )
+
+
+class TestSpecs:
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigError):
+            BenchmarkSpec("no_such_bench", small_params())
+
+    def test_empty_benchmarks_rejected(self):
+        with pytest.raises(ConfigError):
+            ExperimentSpec(name="x", htm=HTMConfig(), benchmarks=())
+
+    def test_consolidated_builds_instances(self):
+        benches = consolidated("btree", 4, small_params())
+        assert len(benches) == 4
+        assert all(b.workload == "btree" for b in benches)
+
+    def test_mixed_pmdk(self):
+        names = [b.workload for b in mixed_pmdk(small_params())]
+        assert names == ["hashmap", "btree", "rbtree", "skiplist"]
+
+    def test_kwargs_roundtrip(self):
+        bench = BenchmarkSpec(
+            "echo", small_params(), (("long_tx_ratio", 0.01),)
+        )
+        assert bench.kwargs_dict() == {"long_tx_ratio": 0.01}
+
+    def test_machine_uses_cache_scale(self):
+        spec = small_spec()
+        machine = spec.machine()
+        # Default compensation: caches at scale/16.
+        assert machine.llc.num_sets == int(16384 * (1 / 16) / 16)
+
+    def test_explicit_cache_scale(self):
+        spec = small_spec(cache_scale=1 / 16)
+        assert spec.machine().llc.num_sets == 1024
+
+
+class TestRunner:
+    def test_run_produces_metrics(self):
+        result = run_experiment(small_spec())
+        assert isinstance(result, RunResult)
+        assert result.committed_ops > 0
+        assert result.elapsed_ns > 0
+        assert result.verified
+        assert result.throughput > 0
+
+    def test_membound_instances_run_and_stop(self):
+        result = run_experiment(small_spec(membound_instances=1))
+        assert result.committed_ops > 0
+
+    def test_run_series_labels(self):
+        specs = [small_spec(), small_spec(design="ideal")]
+        results = run_series(specs)
+        assert [r.label for r in results] == ["1k_opt", "Ideal"]
+
+    def test_determinism_across_runs(self):
+        first = run_experiment(small_spec())
+        second = run_experiment(small_spec())
+        assert first.elapsed_ns == second.elapsed_ns
+        assert first.committed_ops == second.committed_ops
+        assert first.aborts == second.aborts
+
+
+class TestRunResultDerived:
+    def test_abort_rate_and_decomposition(self):
+        result = RunResult(
+            label="x", elapsed_ns=1e6, committed_ops=10, commits=10,
+            begins=20, aborts=10,
+            aborts_by_reason={
+                "false_positive": 4, "capacity": 2, "conflict_coherence": 3,
+                "lock_preempted": 1,
+            },
+        )
+        assert result.abort_rate == 0.5
+        assert result.false_positive_share == 0.4
+        decomposition = result.abort_decomposition()
+        assert decomposition["false_positive"] == 0.2
+        assert decomposition["capacity"] == 0.1
+        assert decomposition["true_conflict"] == 0.2
+
+    def test_speedup(self):
+        base = RunResult("a", 2e6, 10, 10, 10, 0)
+        fast = RunResult("b", 1e6, 10, 10, 10, 0)
+        assert fast.speedup_over(base) == 2.0
+
+    def test_zero_guards(self):
+        empty = RunResult("z", 0.0, 0, 0, 0, 0)
+        assert empty.throughput == 0.0
+        assert empty.abort_rate == 0.0
+        assert empty.false_positive_share == 0.0

@@ -1,0 +1,78 @@
+"""Tests for the JSON/Markdown export module."""
+
+from __future__ import annotations
+
+import json
+
+from repro.harness.export import (
+    figure_from_dict,
+    figure_to_dict,
+    from_json,
+    render_bars,
+    to_json,
+    to_markdown,
+)
+from repro.harness.report import FigureResult
+
+
+def sample():
+    result = FigureResult("Fig. X", "demo", ["name", "value"])
+    result.add_row("alpha", 1.25)
+    result.add_row("beta", 2.0)
+    result.note("caveat")
+    return result
+
+
+class TestJsonRoundTrip:
+    def test_to_dict(self):
+        payload = figure_to_dict(sample())
+        assert payload["figure"] == "Fig. X"
+        assert payload["rows"] == [["alpha", 1.25], ["beta", 2.0]]
+        assert payload["notes"] == ["caveat"]
+
+    def test_round_trip(self):
+        text = to_json([sample(), sample()])
+        restored = from_json(text)
+        assert len(restored) == 2
+        assert restored[0].columns == ["name", "value"]
+        assert restored[0].rows == [["alpha", 1.25], ["beta", 2.0]]
+        assert restored[0].notes == ["caveat"]
+
+    def test_json_is_valid(self):
+        parsed = json.loads(to_json([sample()]))
+        assert isinstance(parsed, list)
+
+    def test_from_dict_without_notes(self):
+        payload = figure_to_dict(sample())
+        del payload["notes"]
+        restored = figure_from_dict(payload)
+        assert restored.notes == []
+
+
+class TestMarkdown:
+    def test_structure(self):
+        text = to_markdown([sample()])
+        assert "### Fig. X — demo" in text
+        assert "| name | value |" in text
+        assert "| alpha | 1.250 |" in text
+        assert "> caveat" in text
+
+    def test_multiple_figures(self):
+        text = to_markdown([sample(), sample()])
+        assert text.count("### Fig. X") == 2
+
+
+class TestBars:
+    def test_render(self):
+        text = render_bars(["a", "bb"], [1.0, 2.0], width=10)
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert lines[1].count("#") == 10  # the max value fills the width
+        assert lines[0].count("#") == 5
+
+    def test_empty(self):
+        assert render_bars([], []) == ""
+
+    def test_zero_values(self):
+        text = render_bars(["z"], [0.0])
+        assert "#" in text  # minimum one tick

@@ -1,0 +1,41 @@
+"""Fast tests of the static figure renderers (tables, registry)."""
+
+from __future__ import annotations
+
+from repro.harness.figures import ALL_FIGURES, table1, table2, table4
+
+
+class TestTables:
+    def test_table1_rows(self):
+        result = table1()
+        designs = result.column("design")
+        assert "UHTM" in designs and "DHTM" in designs
+        uhtm = result.row_map()["UHTM"]
+        assert "signatures" in uhtm[4]
+        assert uhtm[5].startswith("undo")
+        assert uhtm[6] == "redo"
+
+    def test_table2_matches_policy_code(self):
+        """The renderer itself asserts against resolve_conflict; reaching
+        here means no drift."""
+        result = table2()
+        assert len(result.rows) == 4
+
+    def test_table4_covers_table_iv(self):
+        result = table4()
+        names = set(result.column("benchmark"))
+        assert {
+            "hashmap", "btree", "rbtree", "skiplist",
+            "hybrid_index", "dual_kv", "echo", "membound", "graphhog",
+        } == names
+
+    def test_figure_registry_complete(self):
+        assert set(ALL_FIGURES) == {
+            "fig2", "fig6", "fig7", "fig8", "fig9", "fig10",
+            "abort_claim", "table1", "table2", "table4",
+        }
+
+    def test_pretty_renders(self):
+        text = table1().pretty()
+        assert "[Table I]" in text
+        assert "UHTM" in text

@@ -1,0 +1,51 @@
+"""Tests for per-process metrics and the fairness index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.config import ExperimentSpec, consolidated
+from repro.harness.metrics import RunResult
+from repro.harness.runner import run_experiment
+from repro.params import HTMConfig
+from repro.workloads import WorkloadParams
+
+
+class TestFairnessIndex:
+    def test_perfectly_fair(self):
+        result = RunResult("x", 1.0, 40, 0, 0, 0,
+                           ops_by_process={1: 10, 2: 10, 3: 10, 4: 10})
+        assert result.fairness() == pytest.approx(1.0)
+
+    def test_totally_unfair(self):
+        result = RunResult("x", 1.0, 40, 0, 0, 0,
+                           ops_by_process={1: 40, 2: 0, 3: 0, 4: 0})
+        assert result.fairness() == pytest.approx(0.25)
+
+    def test_empty_defaults_to_one(self):
+        assert RunResult("x", 1.0, 0, 0, 0, 0).fairness() == 1.0
+
+    def test_intermediate(self):
+        result = RunResult("x", 1.0, 30, 0, 0, 0,
+                           ops_by_process={1: 20, 2: 10})
+        assert 0.5 < result.fairness() < 1.0
+
+
+class TestPerProcessCollection:
+    def test_ops_by_process_populated(self):
+        spec = ExperimentSpec(
+            name="f",
+            htm=HTMConfig(),
+            benchmarks=consolidated(
+                "hashmap", 3,
+                WorkloadParams(threads=2, txs_per_thread=2,
+                               value_bytes=16 << 10, keys=64,
+                               initial_fill=16),
+            ),
+            scale=1 / 16,
+            cores=4,
+        )
+        result = run_experiment(spec)
+        assert len(result.ops_by_process) == 3
+        assert sum(result.ops_by_process.values()) == result.committed_ops
+        assert 0.0 < result.fairness() <= 1.0

@@ -1,0 +1,57 @@
+"""Tests for the ASCII report renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.report import FigureResult, format_table
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", "y"]], title="T")
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.500" in out
+        assert "x" in out
+
+    def test_column_widths_accommodate_data(self):
+        out = format_table(["c"], [["wide-cell-value"]])
+        header, rule, row = out.splitlines()
+        assert len(header) == len(rule) == len(row)
+
+    def test_empty_rows(self):
+        out = format_table(["a"], [])
+        assert "a" in out
+
+
+class TestFigureResult:
+    def make(self):
+        result = FigureResult("Fig. X", "demo", ["name", "value"])
+        result.add_row("alpha", 1.0)
+        result.add_row("beta", 2.0)
+        return result
+
+    def test_pretty_contains_everything(self):
+        result = self.make()
+        result.note("a caveat")
+        text = result.pretty()
+        assert "[Fig. X] demo" in text
+        assert "alpha" in text
+        assert "a caveat" in text
+
+    def test_column_extraction(self):
+        assert self.make().column("value") == [1.0, 2.0]
+
+    def test_column_missing_raises(self):
+        with pytest.raises(ValueError):
+            self.make().column("nope")
+
+    def test_row_map(self):
+        rows = self.make().row_map()
+        assert rows["alpha"][1] == 1.0
+
+    def test_row_map_by_named_column(self):
+        rows = self.make().row_map("value")
+        assert rows[2.0][0] == "beta"

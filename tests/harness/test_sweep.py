@@ -1,0 +1,93 @@
+"""Tests for the parameter-sweep utility."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.config import ExperimentSpec, consolidated
+from repro.harness.sweep import (
+    SweepAxis,
+    run_sweep,
+    with_design,
+    with_isolation,
+    with_seed,
+    with_signature_bits,
+    with_value_bytes,
+)
+from repro.params import HTMConfig
+from repro.workloads import WorkloadParams
+
+
+def base_spec():
+    return ExperimentSpec(
+        name="sweep",
+        htm=HTMConfig(),
+        benchmarks=consolidated(
+            "hashmap", 2,
+            WorkloadParams(threads=2, txs_per_thread=2,
+                           value_bytes=16 << 10, keys=64, initial_fill=16),
+        ),
+        scale=1 / 16,
+        cores=4,
+    )
+
+
+class TestTransforms:
+    def test_with_design(self):
+        spec = with_design(base_spec(), "ideal")
+        assert spec.htm.design == "ideal"
+
+    def test_with_signature_bits(self):
+        spec = with_signature_bits(base_spec(), 512)
+        assert spec.htm.signature.bits == 512
+
+    def test_with_isolation(self):
+        assert not with_isolation(base_spec(), False).htm.isolation
+
+    def test_with_value_bytes(self):
+        spec = with_value_bytes(base_spec(), 32 << 10)
+        assert all(
+            b.params.value_bytes == 32 << 10 for b in spec.benchmarks
+        )
+
+    def test_with_seed(self):
+        assert with_seed(base_spec(), 7).seed == 7
+
+
+class TestRunSweep:
+    def test_cross_product_rows(self):
+        result = run_sweep(
+            base_spec(),
+            axes=[
+                SweepAxis("design", ["llc_bounded", "ideal"], with_design),
+                SweepAxis("seed", [1, 2], with_seed),
+            ],
+            metrics={
+                "tput": lambda run: run.throughput,
+                "aborts": lambda run: run.aborts,
+            },
+        )
+        assert result.columns == ["design", "seed", "tput", "aborts"]
+        assert len(result.rows) == 4
+        designs = {row[0] for row in result.rows}
+        assert designs == {"llc_bounded", "ideal"}
+        assert all(row[2] > 0 for row in result.rows)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_sweep(base_spec(), axes=[], metrics={"x": lambda r: 0})
+        with pytest.raises(ValueError):
+            run_sweep(
+                base_spec(),
+                axes=[SweepAxis("seed", [1], with_seed)],
+                metrics={},
+            )
+
+    def test_single_axis(self):
+        result = run_sweep(
+            base_spec(),
+            axes=[SweepAxis("seed", [1, 2, 3], with_seed)],
+            metrics={"ops": lambda run: run.committed_ops},
+        )
+        assert len(result.rows) == 3
+        assert all(row[1] > 0 for row in result.rows)

@@ -1,0 +1,110 @@
+"""Tests for the Table II conflict-resolution policy."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.htm.conflict import ConflictLocation, resolve_conflict
+
+
+class TestOverflowPriority:
+    """If only one side overflowed, abort the non-overflowed transaction."""
+
+    def test_overflowed_requester_beats_victim_onchip(self):
+        resolution = resolve_conflict(
+            ConflictLocation.ON_CHIP, True, [2], {2: False}
+        )
+        assert not resolution.requester_aborts
+        assert resolution.victims_to_abort == frozenset({2})
+
+    def test_overflowed_victim_beats_requester_onchip(self):
+        resolution = resolve_conflict(
+            ConflictLocation.ON_CHIP, False, [2], {2: True}
+        )
+        assert resolution.requester_aborts
+
+    def test_overflowed_requester_beats_victim_offchip(self):
+        resolution = resolve_conflict(
+            ConflictLocation.OFF_CHIP, True, [2], {2: False}
+        )
+        assert resolution.victims_to_abort == frozenset({2})
+
+    def test_overflowed_victim_beats_requester_offchip(self):
+        resolution = resolve_conflict(
+            ConflictLocation.OFF_CHIP, False, [2], {2: True}
+        )
+        assert resolution.requester_aborts
+
+
+class TestTieBreaks:
+    """Neither or both overflowed: requester wins on-chip, loses off-chip."""
+
+    def test_onchip_requester_wins(self):
+        for overflowed in (False, True):
+            resolution = resolve_conflict(
+                ConflictLocation.ON_CHIP,
+                overflowed,
+                [2],
+                {2: overflowed},
+            )
+            assert not resolution.requester_aborts
+            assert resolution.victims_to_abort == frozenset({2})
+
+    def test_offchip_requester_aborts(self):
+        for overflowed in (False, True):
+            resolution = resolve_conflict(
+                ConflictLocation.OFF_CHIP,
+                overflowed,
+                [2],
+                {2: overflowed},
+            )
+            assert resolution.requester_aborts
+
+
+class TestMultiVictim:
+    def test_requester_survives_only_if_it_beats_all(self):
+        resolution = resolve_conflict(
+            ConflictLocation.ON_CHIP, True, [2, 3], {2: False, 3: False}
+        )
+        assert resolution.victims_to_abort == frozenset({2, 3})
+
+    def test_one_overflowed_victim_kills_requester(self):
+        resolution = resolve_conflict(
+            ConflictLocation.ON_CHIP, False, [2, 3], {2: False, 3: True}
+        )
+        assert resolution.requester_aborts
+        assert resolution.victims_to_abort == frozenset()
+
+
+@given(
+    location=st.sampled_from(list(ConflictLocation)),
+    requester_overflowed=st.booleans(),
+    victims=st.lists(st.integers(min_value=1, max_value=50), min_size=1,
+                     max_size=8, unique=True),
+    overflow_bits=st.booleans(),
+)
+def test_resolution_is_exclusive(location, requester_overflowed, victims,
+                                 overflow_bits):
+    """Exactly one side aborts: never both, never neither."""
+    resolution = resolve_conflict(
+        location,
+        requester_overflowed,
+        victims,
+        {v: overflow_bits for v in victims},
+    )
+    if resolution.requester_aborts:
+        assert resolution.victims_to_abort == frozenset()
+    else:
+        assert resolution.victims_to_abort
+
+
+@given(
+    location=st.sampled_from(list(ConflictLocation)),
+    victims=st.lists(st.integers(min_value=1, max_value=50), min_size=1,
+                     max_size=8, unique=True),
+)
+def test_overflowed_requester_never_aborts_to_non_overflowed(location, victims):
+    resolution = resolve_conflict(
+        location, True, victims, {v: False for v in victims}
+    )
+    assert not resolution.requester_aborts

@@ -1,0 +1,242 @@
+"""Conflict detection between concurrent transactions, per design."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HTMConfig, MachineConfig, SignatureConfig, System, TransactionAborted
+from repro.errors import AbortReason
+from repro.htm.tss import TxStatus
+from repro.mem.address import MemoryKind
+from repro.params import LINE_SIZE
+from repro.sim.engine import SimThread
+
+
+def make_system(design="uhtm", scale=1 / 64, **kwargs):
+    machine = MachineConfig.scaled(scale, cores=4)
+    return System(machine, HTMConfig(design=design, **kwargs))
+
+
+def make_thread(thread_id=0):
+    return SimThread(thread_id, f"raw{thread_id}", lambda t: iter(()))
+
+
+class TestOnChipConflicts:
+    def test_waw_requester_wins(self):
+        """On-chip, neither overflowed: the later requester wins."""
+        system = make_system()
+        addr = system.heap.alloc_words(1, MemoryKind.DRAM)
+        t1, t2 = make_thread(0), make_thread(1)
+        tx1 = system.htm.begin(t1, 0, 1, 1)
+        tx2 = system.htm.begin(t2, 1, 1, 1)
+        system.htm.tx_write(tx1, addr, 1)
+        system.htm.tx_write(tx2, addr, 2)  # wins; tx1 dies
+        assert system.htm.tss.entry(tx1.tx_id).status is TxStatus.ABORTED
+        system.htm.commit(tx2)
+        assert system.controller.dram.load(addr) == 2
+
+    def test_war_requester_wins(self):
+        system = make_system()
+        addr = system.heap.alloc_words(1, MemoryKind.DRAM)
+        t1, t2 = make_thread(0), make_thread(1)
+        tx1 = system.htm.begin(t1, 0, 1, 1)
+        tx2 = system.htm.begin(t2, 1, 1, 1)
+        system.htm.tx_write(tx1, addr, 1)
+        value = system.htm.tx_read(tx2, addr)  # GetS vs Tx-Owner
+        assert system.htm.tss.entry(tx1.tx_id).status is TxStatus.ABORTED
+        assert value == 0  # tx1's speculative value never leaked
+
+    def test_raw_write_against_readers(self):
+        system = make_system()
+        addr = system.heap.alloc_words(1, MemoryKind.DRAM)
+        threads = [make_thread(i) for i in range(3)]
+        readers = [system.htm.begin(threads[i], i, 1, 1) for i in range(2)]
+        for reader in readers:
+            system.htm.tx_read(reader, addr)
+        writer = system.htm.begin(threads[2], 2, 1, 1)
+        system.htm.tx_write(writer, addr, 9)
+        for reader in readers:
+            assert system.htm.tss.entry(reader.tx_id).status is TxStatus.ABORTED
+        system.htm.commit(writer)
+
+    def test_read_read_no_conflict(self):
+        system = make_system()
+        addr = system.heap.alloc_words(1, MemoryKind.DRAM)
+        t1, t2 = make_thread(0), make_thread(1)
+        tx1 = system.htm.begin(t1, 0, 1, 1)
+        tx2 = system.htm.begin(t2, 1, 1, 1)
+        system.htm.tx_read(tx1, addr)
+        system.htm.tx_read(tx2, addr)
+        system.htm.commit(tx1)
+        system.htm.commit(tx2)
+        assert system.stats.counter("tx.aborts") == 0
+
+    def test_disjoint_lines_no_conflict(self):
+        system = make_system()
+        a = system.heap.alloc_words(1, MemoryKind.DRAM)
+        b = system.heap.alloc_words(1, MemoryKind.DRAM)
+        t1, t2 = make_thread(0), make_thread(1)
+        tx1 = system.htm.begin(t1, 0, 1, 1)
+        tx2 = system.htm.begin(t2, 1, 1, 1)
+        system.htm.tx_write(tx1, a, 1)
+        system.htm.tx_write(tx2, b, 2)
+        system.htm.commit(tx1)
+        system.htm.commit(tx2)
+        assert system.stats.counter("tx.aborts") == 0
+
+    def test_overflowed_victim_survives_onchip_conflict(self):
+        """Table II: abort the non-overflowed transaction."""
+        system = make_system()
+        addr = system.heap.alloc_words(1, MemoryKind.DRAM)
+        t1, t2 = make_thread(0), make_thread(1)
+        tx1 = system.htm.begin(t1, 0, 1, 1)
+        tx2 = system.htm.begin(t2, 1, 1, 1)
+        system.htm.tx_write(tx1, addr, 1)
+        system.htm.tss.set_overflowed(tx1.tx_id)
+        with pytest.raises(TransactionAborted):
+            system.htm.tx_write(tx2, addr, 2)  # non-overflowed requester dies
+        assert system.htm.tss.is_active(tx1.tx_id)
+        system.htm.commit(tx1)
+        assert system.controller.dram.load(addr) == 1
+
+
+class TestOffChipConflicts:
+    def _spill_writer(self, system, nlines=2048):
+        """Begin a tx on thread 0 and write far past the LLC."""
+        thread = make_thread(0)
+        base = system.heap.alloc(nlines * LINE_SIZE, MemoryKind.DRAM)
+        tx = system.htm.begin(thread, 0, 1, 1)
+        for i in range(nlines):
+            system.htm.tx_write(tx, base + i * LINE_SIZE, 1)
+        assert tx.dram_overflowed_lines
+        return tx, base
+
+    def test_true_conflict_on_overflowed_line(self):
+        system = make_system(scale=1 / 256)
+        tx, base = self._spill_writer(system)
+        victim_line = sorted(tx.dram_overflowed_lines)[0]
+        # Make sure the line is not LLC-resident (it was evicted).
+        assert not system.hierarchy.llc_resident(victim_line)
+        t2 = make_thread(1)
+        tx2 = system.htm.begin(t2, 1, 1, 1)
+        # tx (overflowed) beats tx2 (not overflowed): requester aborts.
+        with pytest.raises(TransactionAborted):
+            system.htm.tx_read(tx2, victim_line)
+        assert system.htm.tss.is_active(tx.tx_id)
+
+    def test_nontx_reader_aborts_overflowed_writer(self):
+        system = make_system(scale=1 / 256)
+        tx, base = self._spill_writer(system)
+        victim_line = sorted(tx.dram_overflowed_lines)[0]
+        t2 = make_thread(1)
+        system.htm.nontx_access(t2, 1, 1, victim_line, is_write=False)
+        assert system.htm.tss.entry(tx.tx_id).status is TxStatus.ABORTED
+        reason = system.htm.tss.entry(tx.tx_id).abort_reason
+        assert reason in (AbortReason.NON_TX_CONFLICT, AbortReason.FALSE_POSITIVE)
+        # The rollback already ran: pre-tx value (0) is restored in place.
+        assert system.controller.dram.load(victim_line) == 0
+
+    def test_isolation_skips_other_domains(self):
+        system = make_system(scale=1 / 256, isolation=True)
+        tx, base = self._spill_writer(system)
+        victim_line = sorted(tx.dram_overflowed_lines)[0]
+        t2 = make_thread(1)
+        # Same address, but a different conflict domain (process 2).
+        system.htm.nontx_access(t2, 1, 2, victim_line, is_write=False)
+        assert system.htm.tss.is_active(tx.tx_id)
+
+    def test_no_isolation_checks_all_domains(self):
+        system = make_system(scale=1 / 256, isolation=False)
+        tx, base = self._spill_writer(system)
+        victim_line = sorted(tx.dram_overflowed_lines)[0]
+        t2 = make_thread(1)
+        system.htm.nontx_access(t2, 1, 2, victim_line, is_write=False)
+        assert system.htm.tss.entry(tx.tx_id).status is TxStatus.ABORTED
+
+    def test_llc_hit_skips_signature_check(self):
+        """The staged filter: cache-resident lines never probe signatures."""
+        system = make_system()
+        addr = system.heap.alloc_words(1, MemoryKind.DRAM)
+        thread = make_thread(0)
+        tx = system.htm.begin(thread, 0, 1, 1)
+        system.htm.tx_read(tx, addr)  # LLC miss: one round of checks
+        checks_after_miss = system.stats.counter("sig.checks")
+        t2 = make_thread(1)
+        tx2 = system.htm.begin(t2, 1, 1, 1)
+        system.htm.tx_read(tx2, addr)  # LLC hit now
+        assert system.stats.counter("sig.checks") == checks_after_miss
+        system.htm.commit(tx)
+        system.htm.commit(tx2)
+
+
+class TestFalsePositives:
+    def test_false_positive_emerges_from_saturated_filter(self):
+        """With a tiny signature, unrelated lines collide in the filter."""
+        system = make_system(
+            scale=1 / 256, signature=SignatureConfig(bits=2048), isolation=True
+        )
+        # Saturate tx1's signature with ~2048 spilled lines (8-bit filter
+        # after scaling: fully saturated).
+        thread = make_thread(0)
+        nlines = 2048
+        base = system.heap.alloc(nlines * LINE_SIZE, MemoryKind.DRAM)
+        tx1 = system.htm.begin(thread, 0, 1, 1)
+        for i in range(nlines):
+            system.htm.tx_write(tx1, base + i * LINE_SIZE, 1)
+        # Unrelated lines in the same domain now false-hit with high
+        # probability; probing a batch makes at least one hit certain.
+        unrelated_base = system.heap.alloc(64 * LINE_SIZE, MemoryKind.DRAM)
+        t2 = make_thread(1)
+        saw_false_positive = False
+        for i in range(32):
+            tx2 = system.htm.begin(t2, 1, 1, 1)
+            try:
+                system.htm.tx_read(tx2, unrelated_base + i * LINE_SIZE)
+                system.htm.commit(tx2)
+            except TransactionAborted as aborted:
+                assert aborted.reason is AbortReason.FALSE_POSITIVE
+                system.htm.acknowledge_abort(tx2)
+                saw_false_positive = True
+                break
+        assert saw_false_positive
+        assert system.stats.counter("sig.hits.false") >= 1
+
+    def test_ideal_design_has_no_false_positives(self):
+        system = make_system(design="ideal", scale=1 / 256)
+        thread = make_thread(0)
+        nlines = 2048
+        base = system.heap.alloc(nlines * LINE_SIZE, MemoryKind.DRAM)
+        tx1 = system.htm.begin(thread, 0, 1, 1)
+        for i in range(nlines):
+            system.htm.tx_write(tx1, base + i * LINE_SIZE, 1)
+        unrelated = system.heap.alloc(LINE_SIZE, MemoryKind.DRAM)
+        t2 = make_thread(1)
+        tx2 = system.htm.begin(t2, 1, 1, 1)
+        system.htm.tx_read(tx2, unrelated)  # must not abort
+        assert system.htm.tss.is_active(tx2.tx_id)
+        assert system.stats.counter("sig.hits.false") == 0
+
+
+class TestCapacityAborts:
+    def test_llc_bounded_capacity_abort(self):
+        system = make_system(design="llc_bounded", scale=1 / 256)
+        thread = make_thread(0)
+        nlines = 2048
+        base = system.heap.alloc(nlines * LINE_SIZE, MemoryKind.DRAM)
+        tx = system.htm.begin(thread, 0, 1, 1)
+        with pytest.raises(TransactionAborted) as excinfo:
+            for i in range(nlines):
+                system.htm.tx_write(tx, base + i * LINE_SIZE, 1)
+        assert excinfo.value.reason is AbortReason.CAPACITY
+
+    def test_uhtm_survives_the_same_footprint(self):
+        system = make_system(design="uhtm", scale=1 / 256)
+        thread = make_thread(0)
+        nlines = 2048
+        base = system.heap.alloc(nlines * LINE_SIZE, MemoryKind.DRAM)
+        tx = system.htm.begin(thread, 0, 1, 1)
+        for i in range(nlines):
+            system.htm.tx_write(tx, base + i * LINE_SIZE, 1)
+        system.htm.commit(tx)
+        for i in range(nlines):
+            assert system.controller.dram.load(base + i * LINE_SIZE) == 1

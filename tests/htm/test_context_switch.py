@@ -1,0 +1,113 @@
+"""Context-switch virtualization tests (Section IV-E).
+
+"UHTM preserves contexts of transactions for conflict detection and version
+management across context switches by virtualizing the transaction ID."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HTMConfig, MachineConfig, System, TransactionAborted
+from repro.errors import AbortReason
+from repro.htm.tss import TxStatus
+from repro.mem.address import MemoryKind
+from repro.params import LINE_SIZE
+from repro.sim.engine import SimThread
+
+
+def make_system(scale=1 / 64, **kwargs):
+    return System(MachineConfig.scaled(scale, cores=4), HTMConfig(**kwargs))
+
+
+def make_thread(tid=0):
+    return SimThread(tid, f"t{tid}", lambda t: iter(()))
+
+
+class TestMigration:
+    def test_transaction_continues_on_new_core(self):
+        system = make_system()
+        thread = make_thread()
+        a = system.heap.alloc_words(1, MemoryKind.DRAM)
+        b = system.heap.alloc_words(1, MemoryKind.NVM)
+        tx = system.htm.begin(thread, 0, 1, 1)
+        system.htm.tx_write(tx, a, 1)
+        system.htm.context_switch(tx, new_core_id=2)
+        assert tx.core_id == 2
+        system.htm.tx_write(tx, b, 2)
+        assert system.htm.tx_read(tx, a) == 1  # own write still visible
+        system.htm.commit(tx)
+        assert system.controller.dram.load(a) == 1
+        assert system.controller.load_word(b) == 2
+
+    def test_flush_moves_lines_out_of_old_l1(self):
+        system = make_system()
+        thread = make_thread()
+        a = system.heap.alloc_words(1, MemoryKind.DRAM)
+        tx = system.htm.begin(thread, 0, 1, 1)
+        system.htm.tx_write(tx, a, 1)
+        line = a - a % LINE_SIZE
+        assert system.hierarchy.l1_resident(0, line)
+        system.htm.context_switch(tx, 2)
+        assert not system.hierarchy.l1_resident(0, line)
+        assert system.hierarchy.llc_resident(line)
+
+    def test_flushed_written_lines_land_on_overflow_list(self):
+        system = make_system()
+        thread = make_thread()
+        a = system.heap.alloc_words(1, MemoryKind.NVM)
+        tx = system.htm.begin(thread, 0, 1, 1)
+        system.htm.tx_write(tx, a, 1)
+        system.htm.context_switch(tx, 1)
+        line = a - a % LINE_SIZE
+        assert line in tx.overflow_list
+
+    def test_flush_cost_charged(self):
+        system = make_system()
+        thread = make_thread()
+        base = system.heap.alloc(8 * LINE_SIZE, MemoryKind.DRAM)
+        tx = system.htm.begin(thread, 0, 1, 1)
+        for i in range(4):
+            system.htm.tx_write(tx, base + i * LINE_SIZE, i)
+        before = thread.clock_ns
+        system.htm.context_switch(tx, 3)
+        assert thread.clock_ns - before >= 4 * system.machine.latency.llc_ns
+
+    def test_conflicts_still_detected_after_migration(self):
+        """Directory entries name the transaction, not the core, so a
+        migrated transaction still conflicts correctly."""
+        system = make_system()
+        t1, t2 = make_thread(0), make_thread(1)
+        a = system.heap.alloc_words(1, MemoryKind.DRAM)
+        tx1 = system.htm.begin(t1, 0, 1, 1)
+        system.htm.tx_write(tx1, a, 1)
+        system.htm.context_switch(tx1, 3)
+        tx2 = system.htm.begin(t2, 1, 1, 1)
+        system.htm.tx_write(tx2, a, 2)  # requester-wins: tx1 dies
+        assert system.htm.tss.entry(tx1.tx_id).status is TxStatus.ABORTED
+        system.htm.commit(tx2)
+
+    def test_migration_of_doomed_tx_raises(self):
+        system = make_system()
+        thread = make_thread()
+        tx = system.htm.begin(thread, 0, 1, 1)
+        system.htm._abort(tx, AbortReason.EXPLICIT)
+        with pytest.raises(TransactionAborted):
+            system.htm.context_switch(tx, 1)
+
+    def test_abort_after_migration_rolls_back_everything(self):
+        system = make_system(scale=1 / 256)
+        thread = make_thread()
+        nlines = 1024
+        base = system.heap.alloc(nlines * LINE_SIZE, MemoryKind.DRAM)
+        for i in range(nlines):
+            system.controller.dram.store(base + i * LINE_SIZE, 5)
+        tx = system.htm.begin(thread, 0, 1, 1)
+        for i in range(nlines // 2):
+            system.htm.tx_write(tx, base + i * LINE_SIZE, 9)
+        system.htm.context_switch(tx, 2)
+        for i in range(nlines // 2, nlines):
+            system.htm.tx_write(tx, base + i * LINE_SIZE, 9)
+        system.htm._abort(tx, AbortReason.EXPLICIT)
+        for i in range(nlines):
+            assert system.controller.dram.load(base + i * LINE_SIZE) == 5

@@ -1,0 +1,54 @@
+"""Tests for the fallback lock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.htm.fallback import FallbackLock, FallbackLockTable
+
+
+class TestFallbackLock:
+    def test_acquire_release(self):
+        lock = FallbackLock()
+        assert not lock.locked
+        lock.acquire(thread_id=3, now_ns=100.0)
+        assert lock.locked
+        assert lock.holder == 3
+        lock.release(3)
+        assert not lock.locked
+
+    def test_double_acquire_asserts(self):
+        lock = FallbackLock()
+        lock.acquire(1, 0.0)
+        with pytest.raises(AssertionError):
+            lock.acquire(2, 0.0)
+
+    def test_release_by_non_holder_asserts(self):
+        lock = FallbackLock()
+        lock.acquire(1, 0.0)
+        with pytest.raises(AssertionError):
+            lock.release(2)
+
+    def test_acquisition_count(self):
+        lock = FallbackLock()
+        for i in range(3):
+            lock.acquire(i, float(i))
+            lock.release(i)
+        assert lock.acquisitions == 3
+
+
+class TestFallbackLockTable:
+    def test_per_process_locks(self):
+        table = FallbackLockTable()
+        a = table.lock_for(1)
+        b = table.lock_for(2)
+        assert a is not b
+        assert table.lock_for(1) is a
+
+    def test_total_acquisitions(self):
+        table = FallbackLockTable()
+        table.lock_for(1).acquire(0, 0.0)
+        table.lock_for(1).release(0)
+        table.lock_for(2).acquire(1, 0.0)
+        table.lock_for(2).release(1)
+        assert table.total_acquisitions() == 2

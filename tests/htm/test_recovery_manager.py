@@ -1,0 +1,67 @@
+"""Tests for the crash controller / recovery manager."""
+
+from __future__ import annotations
+
+from repro import HTMConfig, MachineConfig, System
+from repro.htm.recovery import CrashController, RecoveryReport
+from repro.mem.address import MemoryKind
+from repro.sim.engine import SimThread
+
+
+def make_system():
+    return System(MachineConfig.scaled(1 / 64, cores=2), HTMConfig())
+
+
+def commit_word(system, addr, value):
+    thread = SimThread(0, "t", lambda t: iter(()))
+    tx = system.htm.begin(thread, 0, 1, 1)
+    system.htm.tx_write(tx, addr, value)
+    system.htm.commit(tx)
+
+
+class TestCrashController:
+    def test_crash_counts(self):
+        system = make_system()
+        assert system.crash_controller.crashes == 0
+        system.crash()
+        system.crash()
+        assert system.crash_controller.crashes == 2
+
+    def test_report_fields(self):
+        system = make_system()
+        addr = system.heap.alloc_words(1, MemoryKind.NVM)
+        commit_word(system, addr, 9)
+        system.crash()
+        report = system.recover()
+        assert isinstance(report, RecoveryReport)
+        assert report.replayed_lines >= 1
+        assert report.surviving_nvm_words >= 1
+
+    def test_crash_wipes_caches(self):
+        system = make_system()
+        addr = system.heap.alloc_words(1, MemoryKind.DRAM)
+        commit_word(system, addr, 9)
+        line = addr - addr % 64
+        assert system.hierarchy.llc_resident(line)
+        system.crash()
+        assert not system.hierarchy.llc_resident(line)
+        assert system.hierarchy.l1s[0].resident_count() == 0
+
+    def test_recover_with_empty_log(self):
+        system = make_system()
+        system.crash()
+        report = system.recover()
+        assert report.replayed_lines == 0
+
+    def test_recovery_then_new_transactions(self):
+        """The system is fully usable after a crash/recover cycle."""
+        system = make_system()
+        addr = system.heap.alloc_words(1, MemoryKind.NVM)
+        commit_word(system, addr, 1)
+        system.crash()
+        system.recover()
+        commit_word(system, addr, 2)
+        assert system.controller.load_word(addr) == 2
+        system.crash()
+        system.recover()
+        assert system.controller.nvm.load(addr) == 2

@@ -1,0 +1,102 @@
+"""Tests for the selectable conflict-resolution policies."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro import HTMConfig, MachineConfig, System, TransactionAborted
+from repro.htm.conflict import (
+    ResolutionPolicy,
+    resolve_conflict_oldest_wins,
+)
+from repro.htm.tss import TxStatus
+from repro.mem.address import MemoryKind
+from repro.sim.engine import SimThread
+
+
+def make_thread(tid=0):
+    return SimThread(tid, f"t{tid}", lambda t: iter(()))
+
+
+class TestOldestWinsFunction:
+    def test_older_requester_wins(self):
+        resolution = resolve_conflict_oldest_wins(1, [5, 9])
+        assert not resolution.requester_aborts
+        assert resolution.victims_to_abort == frozenset({5, 9})
+
+    def test_older_victim_wins(self):
+        resolution = resolve_conflict_oldest_wins(7, [3, 9])
+        assert resolution.requester_aborts
+
+    @given(
+        requester=st.integers(min_value=1, max_value=100),
+        victims=st.lists(st.integers(min_value=1, max_value=100),
+                         min_size=1, max_size=6, unique=True),
+    )
+    def test_exactly_one_side_survives(self, requester, victims):
+        victims = [v for v in victims if v != requester] or [requester + 1]
+        resolution = resolve_conflict_oldest_wins(requester, victims)
+        if resolution.requester_aborts:
+            assert resolution.victims_to_abort == frozenset()
+            assert min(victims) < requester
+        else:
+            assert resolution.victims_to_abort == frozenset(victims)
+            assert requester < min(victims)
+
+
+class TestOldestWinsInSystem:
+    def make_system(self):
+        return System(
+            MachineConfig.scaled(1 / 64, cores=4),
+            HTMConfig(design="uhtm", resolution=ResolutionPolicy.OLDEST_WINS),
+        )
+
+    def test_younger_requester_aborts_even_onchip(self):
+        """Contrast with Table II, where the on-chip requester wins."""
+        system = self.make_system()
+        addr = system.heap.alloc_words(1, MemoryKind.DRAM)
+        t1, t2 = make_thread(0), make_thread(1)
+        tx1 = system.htm.begin(t1, 0, 1, 1)   # older
+        tx2 = system.htm.begin(t2, 1, 1, 1)   # younger
+        system.htm.tx_write(tx1, addr, 1)
+        with pytest.raises(TransactionAborted):
+            system.htm.tx_write(tx2, addr, 2)
+        assert system.htm.tss.is_active(tx1.tx_id)
+        system.htm.commit(tx1)
+
+    def test_older_requester_kills_younger_victim(self):
+        system = self.make_system()
+        addr = system.heap.alloc_words(1, MemoryKind.DRAM)
+        t1, t2 = make_thread(0), make_thread(1)
+        tx1 = system.htm.begin(t1, 0, 1, 1)   # older
+        tx2 = system.htm.begin(t2, 1, 1, 1)   # younger
+        system.htm.tx_write(tx2, addr, 2)
+        system.htm.tx_write(tx1, addr, 1)     # older requester wins
+        assert system.htm.tss.entry(tx2.tx_id).status is TxStatus.ABORTED
+        system.htm.commit(tx1)
+        assert system.controller.dram.load(addr) == 1
+
+    def test_progress_under_heavy_contention(self):
+        """Oldest-wins guarantees someone always advances; totals hold."""
+        system = self.make_system()
+        proc = system.process("p")
+        addr = system.heap.alloc_words(1, MemoryKind.DRAM)
+
+        def worker(api):
+            for _ in range(20):
+                def work(tx):
+                    value = tx.read_word(addr)
+                    yield
+                    tx.write_word(addr, value + 1)
+
+                yield from api.run_transaction(work)
+
+        for _ in range(4):
+            proc.thread(worker)
+        system.run()
+        assert system.controller.dram.load(addr) == 80
+
+    def test_config_validation(self):
+        with pytest.raises(Exception):
+            HTMConfig(resolution="youngest_wins")

@@ -1,0 +1,109 @@
+"""Tests for transaction IDs and the transaction status structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AbortReason, TransactionStateError
+from repro.htm.tss import TransactionStatusStructure, TxStatus
+from repro.htm.txid import TxIdAllocator
+
+
+class TestTxIdAllocator:
+    def test_monotonically_increasing(self):
+        allocator = TxIdAllocator()
+        ids = [allocator.allocate() for _ in range(5)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+
+    def test_starts_at_one(self):
+        assert TxIdAllocator().allocate() == 1
+
+    def test_zero_start_rejected(self):
+        with pytest.raises(ValueError):
+            TxIdAllocator(start=0)
+
+    def test_last_allocated(self):
+        allocator = TxIdAllocator()
+        allocator.allocate()
+        allocator.allocate()
+        assert allocator.last_allocated == 2
+
+
+class TestTss:
+    def test_register_and_lookup(self):
+        tss = TransactionStatusStructure()
+        entry = tss.register(1, domain_id=7)
+        assert entry.status is TxStatus.ACTIVE
+        assert not entry.overflowed
+        assert tss.is_active(1)
+
+    def test_double_register_rejected(self):
+        tss = TransactionStatusStructure()
+        tss.register(1, 0)
+        with pytest.raises(TransactionStateError):
+            tss.register(1, 0)
+
+    def test_unknown_entry_raises(self):
+        with pytest.raises(TransactionStateError):
+            TransactionStatusStructure().entry(9)
+
+    def test_abort_flag_and_reason(self):
+        tss = TransactionStatusStructure()
+        tss.register(1, 0)
+        tss.mark_aborted(1, AbortReason.CAPACITY)
+        entry = tss.entry(1)
+        assert entry.status is TxStatus.ABORTED
+        assert entry.abort_reason is AbortReason.CAPACITY
+        assert not tss.is_active(1)
+
+    def test_double_abort_keeps_first_reason(self):
+        tss = TransactionStatusStructure()
+        tss.register(1, 0)
+        tss.mark_aborted(1, AbortReason.CAPACITY)
+        tss.mark_aborted(1, AbortReason.FALSE_POSITIVE)
+        assert tss.entry(1).abort_reason is AbortReason.CAPACITY
+
+    def test_commit(self):
+        tss = TransactionStatusStructure()
+        tss.register(1, 0)
+        tss.mark_committed(1)
+        assert tss.entry(1).status is TxStatus.COMMITTED
+
+    def test_commit_of_aborted_rejected(self):
+        tss = TransactionStatusStructure()
+        tss.register(1, 0)
+        tss.mark_aborted(1, AbortReason.EXPLICIT)
+        with pytest.raises(TransactionStateError):
+            tss.mark_committed(1)
+
+    def test_abort_of_committed_rejected(self):
+        tss = TransactionStatusStructure()
+        tss.register(1, 0)
+        tss.mark_committed(1)
+        with pytest.raises(TransactionStateError):
+            tss.mark_aborted(1, AbortReason.EXPLICIT)
+
+    def test_overflow_bit(self):
+        tss = TransactionStatusStructure()
+        tss.register(1, 0)
+        assert not tss.is_overflowed(1)
+        tss.set_overflowed(1)
+        assert tss.is_overflowed(1)
+
+    def test_active_in_domain(self):
+        tss = TransactionStatusStructure()
+        tss.register(1, domain_id=7)
+        tss.register(2, domain_id=7)
+        tss.register(3, domain_id=8)
+        tss.mark_committed(2)
+        assert tss.active_in_domain(7) == [1]
+
+    def test_reclaim_only_completed(self):
+        tss = TransactionStatusStructure()
+        tss.register(1, 0)
+        tss.reclaim(1)  # active: not reclaimed
+        assert len(tss) == 1
+        tss.mark_committed(1)
+        tss.reclaim(1)
+        assert len(tss) == 0

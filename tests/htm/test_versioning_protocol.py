@@ -1,0 +1,161 @@
+"""White-box tests of the hybrid version-management protocol (Section IV-B/C)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import DramLogPolicy, HTMConfig, MachineConfig, SignatureConfig, System
+from repro.errors import AbortReason
+from repro.mem.address import MemoryKind
+from repro.mem.log import RecordKind
+from repro.params import LINE_SIZE
+from repro.sim.engine import SimThread
+
+
+def make_system(scale=1 / 256, **kwargs):
+    return System(MachineConfig.scaled(scale, cores=4), HTMConfig(**kwargs))
+
+
+def make_thread(tid=0):
+    return SimThread(tid, f"t{tid}", lambda t: iter(()))
+
+
+def spill_dram_tx(system, nlines=2048):
+    thread = make_thread()
+    base = system.heap.alloc(nlines * LINE_SIZE, MemoryKind.DRAM)
+    tx = system.htm.begin(thread, 0, 1, 1)
+    for i in range(nlines):
+        system.htm.tx_write(tx, base + i * LINE_SIZE, i + 1)
+    assert tx.dram_overflowed_lines
+    return tx, base, nlines
+
+
+class TestUndoPolicy:
+    def test_spilled_lines_are_updated_in_place(self):
+        system = make_system(dram_log_policy=DramLogPolicy.UNDO)
+        tx, base, nlines = spill_dram_tx(system)
+        spilled = sorted(tx.dram_overflowed_lines)
+        # Under eager versioning the in-place location already holds the
+        # new value for spilled lines.
+        for line in spilled[: min(16, len(spilled))]:
+            index = (line - base) // LINE_SIZE
+            assert system.controller.dram.load(line) == index + 1
+
+    def test_undo_records_hold_old_values(self):
+        system = make_system(dram_log_policy=DramLogPolicy.UNDO)
+        tx, base, _ = spill_dram_tx(system)
+        records = system.controller.dram_log.records_of(tx.tx_id)
+        assert records
+        assert all(r.kind is RecordKind.UNDO for r in records)
+        # Old values were all zero (fresh allocation):
+        assert all(v == 0 for r in records for _, v in r.words)
+
+    def test_commit_appends_commit_mark(self):
+        system = make_system(dram_log_policy=DramLogPolicy.UNDO)
+        tx, base, nlines = spill_dram_tx(system)
+        system.htm.commit(tx)
+        # Background reclamation may already have removed the records, but
+        # every word must be in place.
+        for i in range(nlines):
+            assert system.controller.dram.load(base + i * LINE_SIZE) == i + 1
+
+
+class TestRedoPolicy:
+    def test_spilled_lines_left_unmodified_in_place(self):
+        system = make_system(dram_log_policy=DramLogPolicy.REDO)
+        tx, base, _ = spill_dram_tx(system)
+        for line in sorted(tx.dram_overflowed_lines)[:16]:
+            assert system.controller.dram.load(line) == 0  # lazy versioning
+
+    def test_own_reads_see_buffered_values_with_indirection_charge(self):
+        system = make_system(dram_log_policy=DramLogPolicy.REDO)
+        tx, base, _ = spill_dram_tx(system)
+        spilled = sorted(tx.dram_overflowed_lines)[0]
+        index = (spilled - base) // LINE_SIZE
+        before = tx.thread.clock_ns
+        assert system.htm.tx_read(tx, spilled) == index + 1
+        charged = tx.thread.clock_ns - before
+        # Access latency plus the log-indirection penalty:
+        assert charged >= system.controller.redo_dram_indirection_latency()
+        assert system.stats.counter("dram.redo_read_indirections") == 1
+
+    def test_commit_copies_into_place(self):
+        system = make_system(dram_log_policy=DramLogPolicy.REDO)
+        tx, base, nlines = spill_dram_tx(system)
+        system.htm.commit(tx)
+        for i in range(nlines):
+            assert system.controller.dram.load(base + i * LINE_SIZE) == i + 1
+
+    def test_abort_is_cheap_under_redo(self):
+        """The Figure 10 trade-off: redo aborts cheap, undo aborts costly."""
+        undo_system = make_system(dram_log_policy=DramLogPolicy.UNDO)
+        undo_tx, _, _ = spill_dram_tx(undo_system)
+        before = undo_tx.thread.clock_ns
+        undo_system.htm._abort(undo_tx, AbortReason.EXPLICIT)
+        undo_cost = undo_tx.thread.clock_ns - before
+
+        redo_system = make_system(dram_log_policy=DramLogPolicy.REDO)
+        redo_tx, _, _ = spill_dram_tx(redo_system)
+        before = redo_tx.thread.clock_ns
+        redo_system.htm._abort(redo_tx, AbortReason.EXPLICIT)
+        redo_cost = redo_tx.thread.clock_ns - before
+        assert redo_cost < undo_cost
+
+    def test_commit_is_cheap_under_undo(self):
+        undo_system = make_system(dram_log_policy=DramLogPolicy.UNDO)
+        undo_tx, _, _ = spill_dram_tx(undo_system)
+        before = undo_tx.thread.clock_ns
+        undo_system.htm.commit(undo_tx)
+        undo_cost = undo_tx.thread.clock_ns - before
+
+        redo_system = make_system(dram_log_policy=DramLogPolicy.REDO)
+        redo_tx, _, _ = spill_dram_tx(redo_system)
+        before = redo_tx.thread.clock_ns
+        redo_system.htm.commit(redo_tx)
+        redo_cost = redo_tx.thread.clock_ns - before
+        assert undo_cost < redo_cost
+
+
+class TestHybridCommitProtocol:
+    def test_parallel_commit_charges_max_not_sum(self):
+        """Section IV-B: "UHTM starts a commit protocol to DRAM and NVM in
+        parallel" — the charge is the slower of the two, not their sum."""
+        system = make_system()
+        thread = make_thread()
+        nlines = 2048
+        dram_base = system.heap.alloc(nlines * LINE_SIZE, MemoryKind.DRAM)
+        nvm_base = system.heap.alloc(nlines * LINE_SIZE, MemoryKind.NVM)
+        tx = system.htm.begin(thread, 0, 1, 1)
+        for i in range(nlines):
+            system.htm.tx_write(tx, dram_base + i * LINE_SIZE, 1)
+            system.htm.tx_write(tx, nvm_base + i * LINE_SIZE, 1)
+        walk_ns = len(tx.overflow_list) * system.machine.latency.llc_ns
+        nvm_side = (
+            system.machine.latency.nvm_write_ns
+            + nlines * system.machine.latency.dram_cache_ns
+        )
+        dram_side = system.machine.latency.dram_ns  # one commit mark
+        before = thread.clock_ns
+        system.htm.commit(tx)
+        charged = thread.clock_ns - before
+        assert charged == pytest.approx(walk_ns + max(nvm_side, dram_side), rel=0.2)
+
+    def test_abort_restores_both_memories_consistently(self):
+        """Figure 1's requirement: aborting a hybrid transaction reverts
+        DRAM (undo) and NVM (invalidate) together."""
+        system = make_system()
+        thread = make_thread()
+        nlines = 1024
+        dram_base = system.heap.alloc(nlines * LINE_SIZE, MemoryKind.DRAM)
+        nvm_base = system.heap.alloc(nlines * LINE_SIZE, MemoryKind.NVM)
+        for i in range(nlines):
+            system.controller.dram.store(dram_base + i * LINE_SIZE, 7)
+            system.controller.nvm.store(nvm_base + i * LINE_SIZE, 7)
+        tx = system.htm.begin(thread, 0, 1, 1)
+        for i in range(nlines):
+            system.htm.tx_write(tx, dram_base + i * LINE_SIZE, 99)
+            system.htm.tx_write(tx, nvm_base + i * LINE_SIZE, 99)
+        system.htm._abort(tx, AbortReason.EXPLICIT)
+        for i in range(nlines):
+            assert system.controller.dram.load(dram_base + i * LINE_SIZE) == 7
+            assert system.controller.load_word(nvm_base + i * LINE_SIZE) == 7

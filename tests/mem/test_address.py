@@ -1,0 +1,102 @@
+"""Tests for the physical address-space layout."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AddressError
+from repro.mem.address import (
+    AddressSpace,
+    DRAM_BASE,
+    MemoryKind,
+    NVM_BASE,
+    line_index,
+    line_of,
+    word_of,
+)
+from repro.params import MemoryConfig
+
+
+@pytest.fixture
+def space():
+    return AddressSpace(MemoryConfig())
+
+
+class TestAlignmentHelpers:
+    def test_line_of(self):
+        assert line_of(0) == 0
+        assert line_of(63) == 0
+        assert line_of(64) == 64
+        assert line_of(130) == 128
+
+    def test_word_of(self):
+        assert word_of(0) == 0
+        assert word_of(7) == 0
+        assert word_of(8) == 8
+        assert word_of(71) == 64
+
+    def test_line_index(self):
+        assert line_index(0) == 0
+        assert line_index(64) == 1
+        assert line_index(6400) == 100
+
+    def test_line_of_idempotent(self):
+        for addr in (0, 1, 63, 64, 1000, DRAM_BASE + 7):
+            assert line_of(line_of(addr)) == line_of(addr)
+
+
+class TestRegionLayout:
+    def test_kind_classification(self, space):
+        assert space.kind_of(DRAM_BASE) is MemoryKind.DRAM
+        assert space.kind_of(NVM_BASE) is MemoryKind.NVM
+
+    def test_unmapped_address_raises(self, space):
+        with pytest.raises(AddressError):
+            space.kind_of(0)
+        with pytest.raises(AddressError):
+            space.kind_of(NVM_BASE - 1)
+
+    def test_heap_and_log_partition_dram(self, space):
+        config = space.config
+        assert space.dram_heap.size + space.dram_log.size == config.dram_bytes
+        assert space.dram_heap.end == space.dram_log.base
+
+    def test_heap_and_log_partition_nvm(self, space):
+        config = space.config
+        assert space.nvm_heap.size + space.nvm_log.size == config.nvm_bytes
+        assert space.nvm_heap.end == space.nvm_log.base
+
+    def test_is_log(self, space):
+        assert not space.is_log(space.dram_heap.base)
+        assert space.is_log(space.dram_log.base)
+        assert space.is_log(space.nvm_log.base)
+        assert not space.is_log(space.nvm_heap.base)
+
+    def test_is_dram_is_nvm(self, space):
+        assert space.is_dram(DRAM_BASE)
+        assert not space.is_nvm(DRAM_BASE)
+        assert space.is_nvm(NVM_BASE)
+        assert not space.is_dram(NVM_BASE)
+
+    def test_region_accessors(self, space):
+        assert space.heap_region(MemoryKind.DRAM) is space.dram_heap
+        assert space.heap_region(MemoryKind.NVM) is space.nvm_heap
+        assert space.log_region(MemoryKind.DRAM) is space.dram_log
+        assert space.log_region(MemoryKind.NVM) is space.nvm_log
+
+    def test_log_exceeding_region_rejected(self):
+        with pytest.raises(AddressError):
+            AddressSpace(
+                MemoryConfig(dram_bytes=1 << 20, dram_log_bytes=1 << 20)
+            )
+        with pytest.raises(AddressError):
+            AddressSpace(MemoryConfig(nvm_bytes=1 << 20, nvm_log_bytes=2 << 20))
+
+    def test_regions_disjoint(self, space):
+        assert space.dram_log.end <= NVM_BASE
+
+    def test_region_contains(self, space):
+        region = space.dram_heap
+        assert region.contains(region.base)
+        assert region.contains(region.end - 1)
+        assert not region.contains(region.end)

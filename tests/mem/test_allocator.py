@@ -1,0 +1,87 @@
+"""Tests for the region allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.mem.address import AddressSpace, MemoryKind
+from repro.mem.allocator import RegionAllocator
+from repro.params import LINE_SIZE, MemoryConfig
+
+
+@pytest.fixture
+def allocator():
+    space = AddressSpace(MemoryConfig(dram_bytes=1 << 20, dram_log_bytes=1 << 16))
+    return RegionAllocator(space.dram_heap)
+
+
+class TestAllocation:
+    def test_line_alignment(self, allocator):
+        for size in (1, 8, 63, 64, 65, 200):
+            addr = allocator.alloc(size)
+            assert addr % LINE_SIZE == 0
+
+    def test_distinct_objects_never_share_a_line(self, allocator):
+        a = allocator.alloc(8)
+        b = allocator.alloc(8)
+        assert abs(a - b) >= LINE_SIZE
+
+    def test_allocations_within_region(self, allocator):
+        addr = allocator.alloc(128)
+        assert allocator.region.contains(addr)
+        assert allocator.region.contains(addr + 127)
+
+    def test_zero_size_rejected(self, allocator):
+        with pytest.raises(AllocationError):
+            allocator.alloc(0)
+
+    def test_exhaustion_raises(self):
+        space = AddressSpace(
+            MemoryConfig(dram_bytes=1 << 20, dram_log_bytes=(1 << 20) - 4096)
+        )
+        allocator = RegionAllocator(space.dram_heap)  # 4 KB heap
+        allocator.alloc(2048)
+        with pytest.raises(AllocationError):
+            allocator.alloc(4096)
+
+
+class TestFreeList:
+    def test_free_and_reuse(self, allocator):
+        addr = allocator.alloc(128)
+        allocator.free(addr, 128)
+        again = allocator.alloc(128)
+        assert again == addr
+
+    def test_free_lists_are_per_size_class(self, allocator):
+        small = allocator.alloc(64)
+        allocator.free(small, 64)
+        big = allocator.alloc(640)
+        assert big != small
+
+    def test_free_outside_region_rejected(self, allocator):
+        with pytest.raises(AllocationError):
+            allocator.free(0, 64)
+
+    def test_allocated_bytes_accounting(self, allocator):
+        a = allocator.alloc(64)
+        allocator.alloc(64)
+        assert allocator.allocated_bytes == 128
+        allocator.free(a, 64)
+        assert allocator.allocated_bytes == 64
+
+    def test_high_water_tracks_bump_pointer(self, allocator):
+        allocator.alloc(64)
+        allocator.alloc(64)
+        assert allocator.high_water_bytes == 128
+        # Reuse from the free list must not raise the high-water mark.
+        addr = allocator.alloc(64)
+        allocator.free(addr, 64)
+        allocator.alloc(64)
+        assert allocator.high_water_bytes == 192
+
+    def test_reset(self, allocator):
+        first = allocator.alloc(64)
+        allocator.reset()
+        assert allocator.alloc(64) == first
+        assert allocator.allocated_bytes == 64

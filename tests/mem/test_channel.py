@@ -1,0 +1,98 @@
+"""Tests for the bandwidth-limited memory channel model."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro import HTMConfig, MachineConfig, System
+from repro.mem.address import MemoryKind
+from repro.mem.channel import MemoryChannel
+from repro.params import LINE_SIZE, MemoryConfig
+
+
+class TestChannelQueueing:
+    def test_idle_channel_no_delay(self):
+        channel = MemoryChannel("dram", service_ns=2.5)
+        assert channel.request(100.0) == 0.0
+        assert channel.busy_until_ns == 102.5
+
+    def test_back_to_back_requests_queue(self):
+        channel = MemoryChannel("dram", service_ns=10.0)
+        assert channel.request(0.0) == 0.0
+        assert channel.request(0.0) == 10.0
+        assert channel.request(0.0) == 20.0
+
+    def test_spaced_requests_do_not_queue(self):
+        channel = MemoryChannel("dram", service_ns=10.0)
+        channel.request(0.0)
+        assert channel.request(50.0) == 0.0
+
+    def test_stats(self):
+        channel = MemoryChannel("nvm", service_ns=10.0)
+        channel.request(0.0)
+        channel.request(0.0)
+        assert channel.stats.requests == 2
+        assert channel.stats.queued_ns_total == 10.0
+        assert channel.stats.mean_queue_ns == 5.0
+
+    def test_utilisation(self):
+        channel = MemoryChannel("dram", service_ns=10.0)
+        for i in range(5):
+            channel.request(i * 100.0)
+        assert channel.utilisation(1000.0) == pytest.approx(0.05)
+        assert channel.utilisation(0.0) == 0.0
+
+
+class TestBandwidthModelIntegration:
+    def make_machine(self, model_bandwidth):
+        base = MachineConfig.scaled(1 / 256, cores=4)
+        return dataclasses.replace(
+            base,
+            memory=dataclasses.replace(
+                base.memory, model_bandwidth=model_bandwidth
+            ),
+        )
+
+    def run_streamers(self, model_bandwidth):
+        system = System(self.make_machine(model_bandwidth), HTMConfig())
+        proc = system.process("stream")
+        nlines = 2048
+        base = system.heap.alloc(nlines * LINE_SIZE, MemoryKind.DRAM)
+
+        def make_worker(index):
+            def worker(api):
+                for i in range(nlines // 4):
+                    addr = base + ((index * nlines // 4) + i) * LINE_SIZE
+                    api.nontx.read_word(addr)
+                    if i % 64 == 0:
+                        yield
+
+            return worker
+
+        for i in range(4):
+            proc.thread(make_worker(i))
+        system.run()
+        return system
+
+    def test_disabled_by_default(self):
+        system = self.run_streamers(model_bandwidth=False)
+        assert system.controller.dram_channel is None
+
+    def test_contention_lengthens_runtime(self):
+        """Four concurrent streams over one channel must take longer than
+        with infinite bandwidth."""
+        free = self.run_streamers(model_bandwidth=False)
+        limited = self.run_streamers(model_bandwidth=True)
+        assert limited.elapsed_ns > free.elapsed_ns
+        assert limited.controller.dram_channel.stats.requests > 0
+
+    def test_queueing_observed_under_bursts(self):
+        system = self.run_streamers(model_bandwidth=True)
+        assert system.controller.dram_channel.stats.queued_ns_total > 0
+
+    def test_determinism_with_bandwidth(self):
+        a = self.run_streamers(model_bandwidth=True)
+        b = self.run_streamers(model_bandwidth=True)
+        assert a.elapsed_ns == b.elapsed_ns

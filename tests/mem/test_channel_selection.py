@@ -1,0 +1,58 @@
+"""Tests for which channel a demand access uses under the bandwidth model."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.mem.controller import MemoryController
+from repro.mem.log import RecordKind
+from repro.params import LatencyConfig, MemoryConfig
+
+
+@pytest.fixture
+def controller():
+    return MemoryController(
+        MemoryConfig(model_bandwidth=True), LatencyConfig()
+    )
+
+
+class TestChannelSelection:
+    def test_dram_access_uses_dram_channel(self, controller):
+        addr = controller.address_space.dram_heap.base
+        controller.demand_access_latency(addr, 0.0)
+        assert controller.dram_channel.stats.requests == 1
+        assert controller.nvm_channel.stats.requests == 0
+
+    def test_nvm_access_uses_nvm_channel(self, controller):
+        addr = controller.address_space.nvm_heap.base
+        controller.demand_access_latency(addr, 0.0)
+        assert controller.nvm_channel.stats.requests == 1
+        assert controller.dram_channel.stats.requests == 0
+
+    def test_dram_cache_hit_uses_dram_channel(self, controller):
+        """An NVM line served from the DRAM cache travels the DRAM bus."""
+        addr = controller.address_space.nvm_heap.base
+        controller.commit_nvm(1, {addr: {addr: 5}})
+        controller.demand_access_latency(addr, 0.0)
+        assert controller.dram_channel.stats.requests == 1
+        assert controller.nvm_channel.stats.requests == 0
+
+    def test_latency_includes_queueing(self, controller):
+        addr = controller.address_space.nvm_heap.base
+        first = controller.demand_access_latency(addr, 0.0)
+        second = controller.demand_access_latency(addr, 0.0)
+        assert second > first  # queued behind the first transfer
+
+    def test_disabled_model_charges_base_only(self):
+        controller = MemoryController(
+            MemoryConfig(model_bandwidth=False), LatencyConfig()
+        )
+        addr = controller.address_space.nvm_heap.base
+        assert controller.demand_access_latency(addr, 0.0) == pytest.approx(
+            controller.latency.nvm_read_ns
+        )
+        assert controller.demand_access_latency(addr, 0.0) == pytest.approx(
+            controller.latency.nvm_read_ns
+        )

@@ -1,0 +1,145 @@
+"""Tests for the hardware log areas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import LogOverflowError
+from repro.mem.address import MemoryKind, Region
+from repro.mem.log import HEADER_BYTES, HardwareLog, LogRecord, PAYLOAD_BYTES, RecordKind
+
+
+def make_log(size=1 << 16):
+    return HardwareLog(Region(MemoryKind.DRAM, 0x1000, size), "test")
+
+
+class TestAppend:
+    def test_append_data_record(self):
+        log = make_log()
+        record = log.append_data(RecordKind.UNDO, 1, 0x40, {0x40: 7, 0x48: 8})
+        assert record.kind is RecordKind.UNDO
+        assert record.tx_id == 1
+        assert dict(record.words) == {0x40: 7, 0x48: 8}
+        assert len(log) == 1
+
+    def test_append_mark(self):
+        log = make_log()
+        mark = log.append_mark(RecordKind.COMMIT, 3)
+        assert mark.size_bytes == HEADER_BYTES
+        assert log.committed_tx_ids() == [3]
+
+    def test_data_record_size(self):
+        log = make_log()
+        record = log.append_data(RecordKind.REDO, 1, 0x40, {0x40: 1})
+        assert record.size_bytes == HEADER_BYTES + PAYLOAD_BYTES
+
+    def test_wrong_kind_rejected(self):
+        log = make_log()
+        with pytest.raises(ValueError):
+            log.append_data(RecordKind.COMMIT, 1, 0x40, {})
+        with pytest.raises(ValueError):
+            log.append_mark(RecordKind.UNDO, 1)
+
+    def test_sequence_monotonic(self):
+        log = make_log()
+        first = log.append_data(RecordKind.UNDO, 1, 0x40, {0x40: 1})
+        second = log.append_data(RecordKind.UNDO, 1, 0x80, {0x80: 2})
+        assert second.sequence > first.sequence
+
+    def test_used_bytes_accounting(self):
+        log = make_log()
+        log.append_data(RecordKind.UNDO, 1, 0x40, {0x40: 1})
+        log.append_mark(RecordKind.COMMIT, 1)
+        assert log.used_bytes == HEADER_BYTES + PAYLOAD_BYTES + HEADER_BYTES
+
+
+class TestQueries:
+    def test_records_of_transaction(self):
+        log = make_log()
+        log.append_data(RecordKind.UNDO, 1, 0x40, {0x40: 1})
+        log.append_data(RecordKind.UNDO, 2, 0x80, {0x80: 2})
+        log.append_data(RecordKind.UNDO, 1, 0xC0, {0xC0: 3})
+        records = log.records_of(1)
+        assert [r.line_addr for r in records] == [0x40, 0xC0]
+
+    def test_find_latest_mark(self):
+        log = make_log()
+        assert log.find_latest_mark(1) is None
+        log.append_mark(RecordKind.ABORT, 1)
+        log.append_mark(RecordKind.COMMIT, 1)
+        mark = log.find_latest_mark(1)
+        assert mark is not None and mark.kind is RecordKind.COMMIT
+
+    def test_tail(self):
+        log = make_log()
+        for i in range(5):
+            log.append_data(RecordKind.REDO, 1, i * 64, {i * 64: i})
+        assert [r.line_addr for r in log.tail(2)] == [192, 256]
+
+
+class TestReclamation:
+    def test_reclaim_frees_bytes(self):
+        log = make_log()
+        log.append_data(RecordKind.UNDO, 1, 0x40, {0x40: 1})
+        used = log.used_bytes
+        freed = log.reclaim(1)
+        assert freed == used
+        assert log.used_bytes == 0
+        assert log.records_of(1) == []
+
+    def test_reclaim_preserves_other_transactions(self):
+        log = make_log()
+        log.append_data(RecordKind.UNDO, 1, 0x40, {0x40: 1})
+        log.append_data(RecordKind.UNDO, 2, 0x80, {0x80: 2})
+        log.reclaim(1)
+        assert [r.tx_id for r in log.records_of(2)] == [2]
+
+    def test_reclaim_unknown_tx_is_noop(self):
+        log = make_log()
+        assert log.reclaim(99) == 0
+
+    def test_compaction_on_pressure(self):
+        """A full log reclaims completed transactions instead of failing."""
+        record_bytes = HEADER_BYTES + PAYLOAD_BYTES
+        log = make_log(size=record_bytes * 4)
+        for i in range(3):
+            log.append_data(RecordKind.REDO, 1, i * 64, {i * 64: i})
+        log.append_mark(RecordKind.COMMIT, 1)
+        # The log is nearly full, but tx 1 is committed and reclaimable.
+        log.append_data(RecordKind.REDO, 2, 0x400, {0x400: 9})
+        assert [r.tx_id for r in log.records_of(2)] == [2]
+
+    def test_overflow_of_live_data_expands_via_os_trap(self):
+        """Section IV-E: the OS is trapped to grow the area."""
+        record_bytes = HEADER_BYTES + PAYLOAD_BYTES
+        log = make_log(size=record_bytes * 2)
+        log.append_data(RecordKind.REDO, 1, 0, {0: 0})
+        log.append_data(RecordKind.REDO, 1, 64, {64: 1})
+        log.append_data(RecordKind.REDO, 1, 128, {128: 2})
+        assert log.expansions == 1
+        assert log.capacity_bytes == record_bytes * 4
+
+    def test_overflow_raises_when_expansion_disabled(self):
+        from repro.mem.address import MemoryKind, Region
+
+        record_bytes = HEADER_BYTES + PAYLOAD_BYTES
+        log = HardwareLog(
+            Region(MemoryKind.DRAM, 0x1000, record_bytes * 2),
+            "fixed",
+            allow_expansion=False,
+        )
+        log.append_data(RecordKind.REDO, 1, 0, {0: 0})
+        log.append_data(RecordKind.REDO, 1, 64, {64: 1})
+        with pytest.raises(LogOverflowError):
+            log.append_data(RecordKind.REDO, 1, 128, {128: 2})
+
+
+class TestWipe:
+    def test_wipe_clears_everything(self):
+        log = make_log()
+        log.append_data(RecordKind.UNDO, 1, 0x40, {0x40: 1})
+        log.append_mark(RecordKind.COMMIT, 1)
+        log.wipe()
+        assert len(log) == 0
+        assert log.used_bytes == 0
+        assert log.committed_tx_ids() == []

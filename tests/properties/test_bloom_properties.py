@@ -1,0 +1,82 @@
+"""Property-based tests of the Bloom-filter signatures (hypothesis)."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.params import SignatureConfig
+from repro.signatures.addresssig import SignaturePair
+from repro.signatures.bloom import BloomFilter
+from repro.signatures.hashing import MultiplicativeHashFamily
+
+lines = st.integers(min_value=0, max_value=2**40).map(lambda v: v * 64)
+
+
+@given(values=st.lists(lines, min_size=1, max_size=200))
+def test_bloom_no_false_negatives(values):
+    """Anything inserted is always reported present — the safety property
+    unbounded conflict detection rests on."""
+    bloom = BloomFilter(256, 4, MultiplicativeHashFamily(4, 256, seed=3))
+    bloom.insert_all(values)
+    assert all(bloom.maybe_contains(v) for v in values)
+
+
+@given(values=st.lists(lines, min_size=0, max_size=100))
+def test_popcount_monotone_and_bounded(values):
+    bloom = BloomFilter(128, 2, MultiplicativeHashFamily(2, 128, seed=5))
+    previous = 0
+    for value in values:
+        bloom.insert(value)
+        assert previous <= bloom.popcount <= 128
+        previous = bloom.popcount
+
+
+@given(values=st.lists(lines, min_size=1, max_size=50))
+def test_clear_resets_completely(values):
+    bloom = BloomFilter(128, 2, MultiplicativeHashFamily(2, 128, seed=7))
+    bloom.insert_all(values)
+    bloom.clear()
+    assert bloom.is_empty()
+    assert bloom.popcount == 0
+
+
+@given(
+    reads=st.lists(lines, max_size=60),
+    writes=st.lists(lines, max_size=60),
+    probe=lines,
+)
+def test_signature_answer_is_superset_of_truth(reads, writes, probe):
+    """Bloom answer must imply-contain the exact answer (never miss)."""
+    signature = SignaturePair(SignatureConfig(bits=512))
+    for line in reads:
+        signature.add_read(line)
+    for line in writes:
+        signature.add_write(line)
+    for is_write in (False, True):
+        if signature.truly_conflicts_with_access(probe, is_write):
+            assert signature.conflicts_with_access(probe, is_write)
+
+
+@given(writes=st.lists(lines, min_size=1, max_size=60))
+def test_read_probe_hits_write_set(writes):
+    signature = SignaturePair(SignatureConfig(bits=1024))
+    for line in writes:
+        signature.add_write(line)
+    for line in writes:
+        assert signature.conflicts_with_access(line, is_write=False)
+        assert signature.conflicts_with_access(line, is_write=True)
+
+
+@given(reads=st.lists(lines, min_size=1, max_size=60))
+def test_write_probe_hits_read_set_but_read_probe_does_not_conflict(reads):
+    signature = SignaturePair(SignatureConfig(bits=1024))
+    for line in reads:
+        signature.add_read(line)
+    for line in reads:
+        assert signature.conflicts_with_access(line, is_write=True)
+    # read-read sharing is never a conflict through the *write* filter —
+    # but the bloom read filter may alias into the write filter only if the
+    # write filter had insertions, which it did not:
+    for line in reads:
+        assert not signature.write_may_contain(line) or False  # may alias
+    assert signature.exact_write == set()

@@ -1,0 +1,85 @@
+"""Hypothesis model test: the directory vs a reference implementation."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.directory import Directory
+
+
+class ModelDirectory:
+    """A dict-of-sets reference for owner/sharer tracking."""
+
+    def __init__(self):
+        self.owner = {}
+        self.sharers = defaultdict(set)
+
+    def record(self, line, tx, is_write):
+        if is_write:
+            self.owner[line] = tx
+        else:
+            self.sharers[line].add(tx)
+
+    def clear_tx(self, tx):
+        for line in list(self.owner):
+            if self.owner[line] == tx:
+                del self.owner[line]
+        for line in list(self.sharers):
+            self.sharers[line].discard(tx)
+            if not self.sharers[line]:
+                del self.sharers[line]
+
+    def evict(self, line):
+        self.owner.pop(line, None)
+        self.sharers.pop(line, None)
+
+    def conflicts(self, line, tx, is_write):
+        victims = set()
+        owner = self.owner.get(line)
+        if is_write:
+            if owner is not None and owner != tx:
+                victims.add(owner)
+            victims.update(t for t in self.sharers.get(line, ()) if t != tx)
+        else:
+            if owner is not None and owner != tx:
+                victims.add(owner)
+        return victims
+
+
+operations = st.lists(
+    st.one_of(
+        st.tuples(st.just("record"), st.integers(0, 7),
+                  st.integers(1, 5), st.booleans()),
+        st.tuples(st.just("clear"), st.integers(1, 5)),
+        st.tuples(st.just("evict"), st.integers(0, 7)),
+        st.tuples(st.just("check"), st.integers(0, 7),
+                  st.integers(1, 5), st.booleans()),
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=operations)
+def test_directory_matches_model(ops):
+    directory = Directory()
+    model = ModelDirectory()
+    for op in ops:
+        if op[0] == "record":
+            _, line, tx, is_write = op
+            directory.record_access(line * 64, tx, is_write)
+            model.record(line, tx, is_write)
+        elif op[0] == "clear":
+            directory.clear_transaction(op[1])
+            model.clear_tx(op[1])
+        elif op[0] == "evict":
+            directory.evict_line(op[1] * 64)
+            model.evict(op[1])
+        else:
+            _, line, tx, is_write = op
+            conflict = directory.check_access(line * 64, tx, is_write)
+            expected = model.conflicts(line, tx, is_write)
+            got = set(conflict.victims) if conflict else set()
+            assert got == expected, f"line {line} tx {tx} w={is_write}"

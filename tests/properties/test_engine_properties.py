@@ -1,0 +1,93 @@
+"""Property-based tests of the discrete-event engine."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.engine import Engine, SimThread
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    step_costs=st.lists(
+        st.lists(st.floats(min_value=0.1, max_value=1000), min_size=1,
+                 max_size=10),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_all_threads_always_complete(step_costs):
+    """Whatever the cost structure, every thread runs to completion."""
+    completed = []
+
+    def make_body(index, costs):
+        def body(thread):
+            for cost in costs:
+                thread.advance(cost)
+                yield
+            completed.append(index)
+
+        return body
+
+    engine = Engine()
+    for index, costs in enumerate(step_costs):
+        engine.add_thread(SimThread(index, f"t{index}", make_body(index, costs)))
+    engine.run()
+    assert sorted(completed) == list(range(len(step_costs)))
+    assert engine.all_done()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    step_costs=st.lists(
+        st.lists(st.floats(min_value=0.1, max_value=1000), min_size=1,
+                 max_size=10),
+        min_size=1,
+        max_size=6,
+    )
+)
+def test_final_time_equals_max_thread_time(step_costs):
+    engine = Engine()
+
+    def make_body(costs):
+        def body(thread):
+            for cost in costs:
+                thread.advance(cost)
+                yield
+
+        return body
+
+    for index, costs in enumerate(step_costs):
+        engine.add_thread(SimThread(index, f"t{index}", make_body(costs)))
+    final = engine.run()
+    expected = max(sum(costs) for costs in step_costs)
+    assert final == max(t.clock_ns for t in engine.threads)
+    assert abs(final - expected) < 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    costs_a=st.lists(st.floats(min_value=1, max_value=100), min_size=2,
+                     max_size=8),
+    costs_b=st.lists(st.floats(min_value=1, max_value=100), min_size=2,
+                     max_size=8),
+)
+def test_steps_execute_in_nondecreasing_clock_order(costs_a, costs_b):
+    """The engine is a min-clock scheduler: observed start times of steps
+    never go backwards."""
+    observed = []
+
+    def make_body(costs):
+        def body(thread):
+            for cost in costs:
+                observed.append(thread.clock_ns)
+                thread.advance(cost)
+                yield
+
+        return body
+
+    engine = Engine()
+    engine.add_thread(SimThread(0, "a", make_body(costs_a)))
+    engine.add_thread(SimThread(1, "b", make_body(costs_b)))
+    engine.run()
+    assert observed == sorted(observed)

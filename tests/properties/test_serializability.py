@@ -1,0 +1,120 @@
+"""Serializability property: concurrent committed transactions must be
+equivalent to some serial execution.
+
+For commutative increment workloads, any serial execution yields the exact
+total, so the check is equality.  For last-writer-wins registers, the final
+value must be one that some committed transaction wrote.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import HTMConfig, MachineConfig, System
+from repro.mem.address import MemoryKind
+
+
+def build_system(design, seed, cores=4):
+    return System(
+        MachineConfig.scaled(1 / 64, cores=cores),
+        HTMConfig(design=design),
+        seed=seed,
+    )
+
+
+@settings(max_examples=12, deadline=None)
+@given(
+    design=st.sampled_from(["uhtm", "ideal", "llc_bounded"]),
+    seed=st.integers(min_value=0, max_value=10_000),
+    threads=st.integers(min_value=2, max_value=4),
+    increments=st.integers(min_value=5, max_value=20),
+    cells=st.integers(min_value=1, max_value=4),
+)
+def test_no_lost_updates(design, seed, threads, increments, cells):
+    """Counters incremented transactionally never lose an update."""
+    system = build_system(design, seed)
+    proc = system.process("p")
+    addrs = [system.heap.alloc_words(1, MemoryKind.DRAM) for _ in range(cells)]
+
+    def make_worker(index):
+        def worker(api):
+            rng = api.rng
+            for _ in range(increments):
+                target = addrs[rng.randrange(cells)]
+
+                def work(tx, target=target):
+                    value = tx.read_word(target)
+                    yield
+                    tx.write_word(target, value + 1)
+
+                yield from api.run_transaction(work)
+
+        return worker
+
+    for i in range(threads):
+        proc.thread(make_worker(i))
+    system.run()
+    total = sum(system.controller.dram.load(a) for a in addrs)
+    assert total == threads * increments
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    design=st.sampled_from(["uhtm", "ideal"]),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+def test_atomic_pair_invariant(design, seed):
+    """Two cells updated together always stay equal under concurrency —
+    transactions never expose or persist half an update."""
+    system = build_system(design, seed)
+    proc = system.process("p")
+    a = system.heap.alloc_words(1, MemoryKind.DRAM)
+    b = system.heap.alloc_words(1, MemoryKind.NVM)
+    violations = []
+
+    def worker(api):
+        for _ in range(10):
+            def work(tx):
+                x = tx.read_word(a)
+                y = tx.read_word(b)
+                if x != y:
+                    violations.append((x, y))
+                yield
+                tx.write_word(a, x + 1)
+                tx.write_word(b, y + 1)
+
+            yield from api.run_transaction(work)
+
+    for _ in range(3):
+        proc.thread(worker)
+    system.run()
+    assert violations == []
+    assert system.controller.dram.load(a) == system.controller.load_word(b) == 30
+
+
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_register_final_value_was_written_by_someone(seed):
+    system = build_system("uhtm", seed)
+    proc = system.process("p")
+    addr = system.heap.alloc_words(1, MemoryKind.DRAM)
+    written = set()
+
+    def make_worker(index):
+        def worker(api):
+            for i in range(5):
+                value = index * 1000 + i
+
+                def work(tx, value=value):
+                    tx.write_word(addr, value)
+                    yield
+
+                yield from api.run_transaction(work)
+                written.add(value)
+
+        return worker
+
+    for i in range(3):
+        proc.thread(make_worker(i))
+    system.run()
+    assert system.controller.dram.load(addr) in written

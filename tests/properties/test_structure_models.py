@@ -1,0 +1,128 @@
+"""Hypothesis model-based tests: each structure vs a Python dict."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import HTMConfig, MachineConfig, System
+from repro.mem.address import MemoryKind
+from repro.runtime.txapi import RawContext
+from repro.workloads.btree import TxBTree
+from repro.workloads.hashmap import TxHashMap
+from repro.workloads.rbtree import TxRBTree
+from repro.workloads.skiplist import TxSkipList
+
+
+def make_env():
+    system = System(MachineConfig.scaled(1 / 64, cores=2), HTMConfig())
+    return system.heap, RawContext(system.controller)
+
+
+ops = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "get", "delete"]),
+        st.integers(min_value=0, max_value=60),
+        st.integers(min_value=0, max_value=10_000),
+    ),
+    max_size=120,
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ops=ops)
+def test_hashmap_matches_dict(ops):
+    heap, ctx = make_env()
+    table = TxHashMap.create(heap, ctx, MemoryKind.NVM, nbuckets=8)
+    model = {}
+    for op, key, value in ops:
+        if op == "insert":
+            assert table.insert(ctx, key, value) == (key not in model)
+            model[key] = value
+        elif op == "get":
+            assert table.get(ctx, key) == model.get(key)
+        else:
+            assert table.delete(ctx, key) == (key in model)
+            model.pop(key, None)
+    assert sorted(table.keys(ctx)) == sorted(model)
+    assert table.check_integrity(ctx)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    entries=st.dictionaries(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=10_000),
+        max_size=80,
+    )
+)
+def test_btree_matches_dict(entries):
+    heap, ctx = make_env()
+    tree = TxBTree.create(heap, ctx, MemoryKind.DRAM)
+    for key, value in entries.items():
+        tree.insert(ctx, key, value)
+    for key, value in entries.items():
+        assert tree.get(ctx, key) == value
+    assert tree.keys(ctx) == sorted(entries)
+    assert tree.check_integrity(ctx)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    entries=st.dictionaries(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=10_000),
+        max_size=80,
+    ),
+    lo=st.integers(min_value=0, max_value=500),
+    span=st.integers(min_value=0, max_value=100),
+)
+def test_btree_scan_matches_dict_range(entries, lo, span):
+    heap, ctx = make_env()
+    tree = TxBTree.create(heap, ctx, MemoryKind.DRAM)
+    for key, value in entries.items():
+        tree.insert(ctx, key, value)
+    hi = lo + span
+    expected = sorted(
+        (k, v) for k, v in entries.items() if lo <= k <= hi
+    )
+    assert tree.scan(ctx, lo, hi) == expected
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    entries=st.dictionaries(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=10_000),
+        max_size=80,
+    )
+)
+def test_rbtree_matches_dict(entries):
+    heap, ctx = make_env()
+    tree = TxRBTree.create(heap, ctx, MemoryKind.DRAM)
+    for key, value in entries.items():
+        tree.insert(ctx, key, value)
+    for key, value in entries.items():
+        assert tree.get(ctx, key) == value
+    assert tree.keys(ctx) == sorted(entries)
+    assert tree.check_integrity(ctx)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    entries=st.dictionaries(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=0, max_value=10_000),
+        max_size=60,
+    ),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_skiplist_matches_dict(entries, seed):
+    heap, ctx = make_env()
+    slist = TxSkipList.create(heap, ctx, MemoryKind.NVM, seed=seed)
+    for key, value in entries.items():
+        slist.insert(ctx, key, value)
+    for key, value in entries.items():
+        assert slist.get(ctx, key) == value
+    assert slist.keys(ctx) == sorted(entries)
+    assert slist.check_integrity(ctx)

@@ -1,0 +1,79 @@
+"""End-to-end tests of preemptive thread migration (Section IV-E)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HTMConfig, MachineConfig, System
+from repro.mem.address import MemoryKind
+from repro.params import LINE_SIZE
+
+
+def run_with_migration(migrate_every_ns, threads=4, seed=7):
+    system = System(
+        MachineConfig.scaled(1 / 64, cores=4), HTMConfig(), seed=seed
+    )
+    proc = system.process("m")
+    counters = [system.heap.alloc_words(1, MemoryKind.NVM) for _ in range(4)]
+    payload = [
+        system.heap.alloc(32 * LINE_SIZE, MemoryKind.DRAM)
+        for _ in range(threads)
+    ]
+
+    def make_worker(index):
+        def worker(api):
+            for i in range(10):
+                def work(tx, i=i):
+                    # Enough work per tx that a small quantum preempts it.
+                    for j in range(32):
+                        tx.write_word(payload[index] + j * LINE_SIZE, i)
+                        if j % 8 == 7:
+                            yield
+                    target = counters[index % len(counters)]
+                    value = tx.read_word(target)
+                    tx.write_word(target, value + 1)
+
+                yield from api.run_transaction(work)
+
+        return worker
+
+    for i in range(threads):
+        proc.thread(make_worker(i), migrate_every_ns=migrate_every_ns)
+    system.run()
+    return system, counters
+
+
+class TestPreemptiveMigration:
+    def test_migrations_happen_and_results_hold(self):
+        system, counters = run_with_migration(migrate_every_ns=2000.0)
+        assert system.stats.counter("tx.context_switches") > 0
+        total = sum(system.controller.load_word(c) for c in counters)
+        assert total == 40  # nothing lost across migrations
+
+    def test_pinned_threads_never_migrate(self):
+        system, _ = run_with_migration(migrate_every_ns=0.0)
+        assert system.stats.counter("tx.context_switches") == 0
+
+    def test_migration_is_deterministic(self):
+        a, _ = run_with_migration(migrate_every_ns=2000.0, seed=3)
+        b, _ = run_with_migration(migrate_every_ns=2000.0, seed=3)
+        assert a.elapsed_ns == b.elapsed_ns
+        assert (
+            a.stats.counter("tx.context_switches")
+            == b.stats.counter("tx.context_switches")
+        )
+
+    def test_smaller_quantum_more_switches(self):
+        few, _ = run_with_migration(migrate_every_ns=20_000.0)
+        many, _ = run_with_migration(migrate_every_ns=1000.0)
+        assert (
+            many.stats.counter("tx.context_switches")
+            > few.stats.counter("tx.context_switches")
+        )
+
+    def test_durability_across_migrations(self):
+        system, counters = run_with_migration(migrate_every_ns=1500.0)
+        system.crash()
+        system.recover()
+        total = sum(system.controller.nvm.load(c) for c in counters)
+        assert total == 40

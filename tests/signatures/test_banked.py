@@ -1,0 +1,83 @@
+"""Tests for the banked (partitioned) Bloom-filter signatures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import SignatureConfig
+from repro.signatures.addresssig import SignaturePair
+from repro.signatures.bloom import BankedBloomFilter
+from repro.signatures.hashing import MultiplicativeHashFamily
+
+
+def make_banked(bits=256, k=4, seed=2):
+    return BankedBloomFilter(
+        bits, k, MultiplicativeHashFamily(k, bits // k, seed=seed)
+    )
+
+
+class TestBankedFilter:
+    def test_no_false_negatives(self):
+        bloom = make_banked()
+        values = [0x1000 + i * 64 for i in range(100)]
+        bloom.insert_all(values)
+        assert all(bloom.maybe_contains(v) for v in values)
+
+    def test_empty_and_clear(self):
+        bloom = make_banked()
+        assert bloom.is_empty()
+        bloom.insert(0x40)
+        assert not bloom.is_empty()
+        bloom.clear()
+        assert bloom.is_empty()
+        assert bloom.inserted == 0
+
+    def test_popcount_bounded_per_insert(self):
+        bloom = make_banked(bits=256, k=4)
+        bloom.insert(0x40)
+        assert 1 <= bloom.popcount <= 4
+
+    def test_saturation(self):
+        bloom = make_banked(bits=64, k=4)
+        for i in range(500):
+            bloom.insert(i * 64)
+        assert bloom.saturation > 0.9
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BankedBloomFilter(2, 4)
+        with pytest.raises(ValueError):
+            BankedBloomFilter(256, 4, MultiplicativeHashFamily(4, 256))
+
+    def test_banked_fp_rate_at_least_flat(self):
+        """The textbook result: partitioning never *reduces* the FP rate."""
+        from repro.signatures.bloom import BloomFilter
+
+        inserted = [0x4000_0000 + i * 64 for i in range(300)]
+        probes = [0x9000_0000 + i * 64 for i in range(4000)]
+        flat = BloomFilter(1024, 4, MultiplicativeHashFamily(4, 1024, seed=3))
+        banked = make_banked(bits=1024, k=4, seed=3)
+        flat.insert_all(inserted)
+        banked.insert_all(inserted)
+        fp_flat = sum(flat.maybe_contains(p) for p in probes)
+        fp_banked = sum(banked.maybe_contains(p) for p in probes)
+        assert fp_banked >= fp_flat * 0.8  # statistically ≥, allow noise
+
+
+class TestBankedSignaturePair:
+    def test_banked_config_builds_banked_filters(self):
+        pair = SignaturePair(SignatureConfig(bits=1024, banked=True))
+        assert isinstance(pair.read_filter, BankedBloomFilter)
+        assert isinstance(pair.write_filter, BankedBloomFilter)
+
+    def test_conflict_semantics_identical(self):
+        pair = SignaturePair(SignatureConfig(bits=1024, banked=True))
+        pair.add_write(0x40)
+        pair.add_read(0x80)
+        assert pair.conflicts_with_access(0x40, is_write=False)
+        assert pair.conflicts_with_access(0x80, is_write=True)
+        assert not pair.truly_conflicts_with_access(0x80, is_write=False)
+
+    def test_banked_bits_validation(self):
+        with pytest.raises(Exception):
+            SignatureConfig(bits=1022, banked=True)  # not divisible by k

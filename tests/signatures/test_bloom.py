@@ -1,0 +1,86 @@
+"""Tests for the Bloom filter underlying address signatures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.signatures.bloom import BloomFilter
+from repro.signatures.hashing import MultiplicativeHashFamily
+
+
+def make_filter(bits=256, k=4, seed=1):
+    return BloomFilter(bits, k, MultiplicativeHashFamily(k, bits, seed=seed))
+
+
+class TestMembership:
+    def test_no_false_negatives(self):
+        """The property correctness depends on: inserted ⇒ reported."""
+        bloom = make_filter()
+        values = [0x1000 + i * 64 for i in range(200)]
+        bloom.insert_all(values)
+        assert all(bloom.maybe_contains(v) for v in values)
+
+    def test_empty_filter_contains_nothing(self):
+        bloom = make_filter()
+        assert not bloom.maybe_contains(0x40)
+        assert bloom.is_empty()
+
+    def test_clear(self):
+        bloom = make_filter()
+        bloom.insert(0x40)
+        bloom.clear()
+        assert bloom.is_empty()
+        assert bloom.inserted == 0
+        assert not bloom.maybe_contains(0x40)
+
+
+class TestSaturation:
+    def test_popcount_grows_with_inserts(self):
+        bloom = make_filter(bits=512)
+        previous = 0
+        for i in range(10):
+            bloom.insert(0x9000 + i * 64)
+            assert bloom.popcount >= previous
+            previous = bloom.popcount
+
+    def test_saturation_bounded(self):
+        bloom = make_filter(bits=64)
+        for i in range(1000):
+            bloom.insert(i * 64)
+        assert bloom.saturation == 1.0
+        # A fully saturated filter reports everything: all false positives.
+        assert bloom.maybe_contains(0xDEADBEEF00)
+
+    def test_false_positive_rate_tracks_analytical_estimate(self):
+        """Measured FP rate should be near (popcount/m)^k."""
+        bloom = make_filter(bits=1024, k=4)
+        inserted = [0x4000_0000 + i * 64 for i in range(150)]
+        bloom.insert_all(inserted)
+        probes = [0x8000_0000 + i * 64 for i in range(4000)]
+        fp = sum(bloom.maybe_contains(p) for p in probes) / len(probes)
+        estimate = bloom.expected_false_positive_rate()
+        assert abs(fp - estimate) < 0.1
+
+    def test_bigger_filter_fewer_false_positives(self):
+        small = make_filter(bits=128)
+        large = make_filter(bits=4096)
+        inserted = [0x4000_0000 + i * 64 for i in range(100)]
+        small.insert_all(inserted)
+        large.insert_all(inserted)
+        probes = [0x8000_0000 + i * 64 for i in range(2000)]
+        fp_small = sum(small.maybe_contains(p) for p in probes)
+        fp_large = sum(large.maybe_contains(p) for p in probes)
+        assert fp_large < fp_small
+
+
+class TestValidation:
+    def test_zero_bits_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter(0, 2)
+
+    def test_family_bucket_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            BloomFilter(64, 2, MultiplicativeHashFamily(2, 128))
+
+    def test_estimate_of_empty_filter(self):
+        assert make_filter().expected_false_positive_rate() == 0.0

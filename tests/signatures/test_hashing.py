@@ -1,0 +1,71 @@
+"""Tests for the signature hash families."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.signatures.hashing import H3HashFamily, MultiplicativeHashFamily
+
+
+@pytest.mark.parametrize("family_cls", [H3HashFamily, MultiplicativeHashFamily])
+class TestHashFamilyContract:
+    def test_indices_in_range(self, family_cls):
+        family = family_cls(functions=4, buckets=128)
+        for value in (0, 1, 64, 0x12345678, 2**40):
+            for index in family.indices(value):
+                assert 0 <= index < 128
+
+    def test_right_number_of_functions(self, family_cls):
+        family = family_cls(functions=3, buckets=64)
+        assert len(list(family.indices(0xABC))) == 3
+
+    def test_deterministic(self, family_cls):
+        family = family_cls(functions=4, buckets=256)
+        assert list(family.indices(1234)) == list(family.indices(1234))
+
+    def test_same_seed_same_family(self, family_cls):
+        a = family_cls(functions=4, buckets=256, seed=9)
+        b = family_cls(functions=4, buckets=256, seed=9)
+        assert list(a.indices(777)) == list(b.indices(777))
+
+    def test_different_seeds_differ(self, family_cls):
+        a = family_cls(functions=4, buckets=4096, seed=1)
+        b = family_cls(functions=4, buckets=4096, seed=2)
+        diffs = sum(
+            list(a.indices(v)) != list(b.indices(v)) for v in range(0, 6400, 64)
+        )
+        assert diffs > 90  # nearly all inputs should map differently
+
+    def test_validation(self, family_cls):
+        with pytest.raises(ValueError):
+            family_cls(functions=0, buckets=64)
+        with pytest.raises(ValueError):
+            family_cls(functions=2, buckets=0)
+
+
+@pytest.mark.parametrize("family_cls", [H3HashFamily, MultiplicativeHashFamily])
+class TestUniformity:
+    def test_line_addresses_spread_over_buckets(self, family_cls):
+        """Line-aligned addresses (the real input) must not cluster."""
+        buckets = 64
+        family = family_cls(functions=1, buckets=buckets)
+        counts = [0] * buckets
+        n = 4096
+        base = 0x1000_0000
+        for i in range(n):
+            counts[list(family.indices(base + i * 64))[0]] += 1
+        expected = n / buckets
+        # Loose 3-sigma-ish bound on the max bucket.
+        assert max(counts) < expected * 2
+        assert min(counts) > expected / 3
+
+    def test_functions_are_mutually_independent_ish(self, family_cls):
+        """Two hash functions should rarely agree on an index."""
+        buckets = 1024
+        family = family_cls(functions=2, buckets=buckets)
+        agreements = 0
+        for i in range(2000):
+            h1, h2 = family.indices(0x2000_0000 + i * 64)
+            agreements += h1 == h2
+        # Expected agreements ≈ 2000/1024 ≈ 2; allow generous slack.
+        assert agreements < 30

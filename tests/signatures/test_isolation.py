@@ -1,0 +1,74 @@
+"""Tests for conflict-domain signature isolation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.params import SignatureConfig
+from repro.signatures.addresssig import SignaturePair
+from repro.signatures.isolation import ConflictDomainRegistry, GLOBAL_DOMAIN
+
+
+def make_sig():
+    return SignaturePair(SignatureConfig(bits=512))
+
+
+class TestIsolationEnabled:
+    def test_same_domain_checked(self):
+        registry = ConflictDomainRegistry(isolation_enabled=True)
+        sig = make_sig()
+        registry.register(1, domain_id=7, signature=sig)
+        found = dict(registry.signatures_to_check(7))
+        assert found == {1: sig}
+
+    def test_other_domain_not_checked(self):
+        """The optimisation: cross-process traffic skips the signatures."""
+        registry = ConflictDomainRegistry(isolation_enabled=True)
+        registry.register(1, domain_id=7, signature=make_sig())
+        assert dict(registry.signatures_to_check(8)) == {}
+
+    def test_exclusion_of_requester(self):
+        registry = ConflictDomainRegistry(isolation_enabled=True)
+        registry.register(1, 7, make_sig())
+        registry.register(2, 7, make_sig())
+        found = dict(registry.signatures_to_check(7, exclude_tx=1))
+        assert set(found) == {2}
+
+
+class TestIsolationDisabled:
+    def test_all_domains_merge(self):
+        registry = ConflictDomainRegistry(isolation_enabled=False)
+        registry.register(1, domain_id=7, signature=make_sig())
+        registry.register(2, domain_id=8, signature=make_sig())
+        found = dict(registry.signatures_to_check(9))
+        assert set(found) == {1, 2}
+
+    def test_effective_domain_is_global(self):
+        registry = ConflictDomainRegistry(isolation_enabled=False)
+        assert registry.effective_domain(42) == GLOBAL_DOMAIN
+
+
+class TestLifecycle:
+    def test_unregister(self):
+        registry = ConflictDomainRegistry(True)
+        registry.register(1, 7, make_sig())
+        registry.unregister(1)
+        assert dict(registry.signatures_to_check(7)) == {}
+        assert len(registry) == 0
+
+    def test_unregister_unknown_is_noop(self):
+        ConflictDomainRegistry(True).unregister(99)
+
+    def test_active_tx_ids(self):
+        registry = ConflictDomainRegistry(True)
+        registry.register(1, 7, make_sig())
+        registry.register(2, 8, make_sig())
+        assert registry.active_tx_ids() == {1, 2}
+
+    def test_domains_listing(self):
+        registry = ConflictDomainRegistry(True)
+        registry.register(1, 7, make_sig())
+        registry.register(2, 8, make_sig())
+        assert registry.domains() == [7, 8]
+        registry.unregister(1)
+        assert registry.domains() == [8]

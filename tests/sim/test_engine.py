@@ -1,0 +1,260 @@
+"""Tests for the discrete-event engine: ordering, blocking, determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine, SimThread, ThreadState, run_threads
+
+
+def make_thread(thread_id, body_factory, name=None):
+    return SimThread(thread_id, name or f"t{thread_id}", body_factory)
+
+
+class TestBasicExecution:
+    def test_single_thread_runs_to_completion(self):
+        log = []
+
+        def body(thread):
+            for i in range(3):
+                log.append(i)
+                thread.advance(10)
+                yield
+
+        engine = Engine()
+        engine.add_thread(make_thread(0, body))
+        engine.run()
+        assert log == [0, 1, 2]
+        assert engine.all_done()
+
+    def test_final_time_is_max_clock(self):
+        def body(thread):
+            thread.advance(100)
+            yield
+            thread.advance(50)
+            yield
+
+        engine = Engine()
+        engine.add_thread(make_thread(0, body))
+        assert engine.run() == 150
+
+    def test_empty_engine(self):
+        engine = Engine()
+        assert engine.run() == 0.0
+        assert engine.all_done()
+
+
+class TestMinClockOrdering:
+    def test_smallest_clock_runs_first(self):
+        order = []
+
+        def slow(thread):
+            for i in range(3):
+                order.append(("slow", i))
+                thread.advance(100)
+                yield
+
+        def fast(thread):
+            for i in range(3):
+                order.append(("fast", i))
+                thread.advance(10)
+                yield
+
+        engine = Engine()
+        engine.add_thread(make_thread(0, slow, "slow"))
+        engine.add_thread(make_thread(1, fast, "fast"))
+        engine.run()
+        # fast at t=0,10,20 all precede slow's second step at t=100
+        assert order.index(("fast", 2)) < order.index(("slow", 1))
+
+    def test_deterministic_interleaving(self):
+        def make_log_run():
+            order = []
+
+            def body_a(thread):
+                for i in range(5):
+                    order.append("a")
+                    thread.advance(7)
+                    yield
+
+            def body_b(thread):
+                for i in range(5):
+                    order.append("b")
+                    thread.advance(11)
+                    yield
+
+            engine = Engine()
+            engine.add_thread(make_thread(0, body_a))
+            engine.add_thread(make_thread(1, body_b))
+            engine.run()
+            return order
+
+        assert make_log_run() == make_log_run()
+
+    def test_fifo_tiebreak_at_equal_clock(self):
+        order = []
+
+        def make_body(tag):
+            def body(thread):
+                order.append(tag)
+                thread.advance(10)
+                yield
+
+            return body
+
+        engine = Engine()
+        for index, tag in enumerate("abc"):
+            engine.add_thread(make_thread(index, make_body(tag)))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+
+class TestExternalClockAdvance:
+    def test_externally_advanced_thread_is_resorted_not_lost(self):
+        """A queued thread whose clock is pushed forward must still run."""
+        order = []
+        threads = {}
+
+        def victim(thread):
+            order.append("victim-1")
+            thread.advance(10)
+            yield
+            order.append("victim-2")
+
+        def aggressor(thread):
+            thread.advance(1)
+            # Charge the victim 1000 ns while it sits in the queue, the way
+            # an abort charges rollback latency to the victim's clock.
+            threads["victim"].advance(1000)
+            order.append("aggressor")
+            yield
+
+        engine = Engine()
+        victim_thread = make_thread(0, victim, "victim")
+        threads["victim"] = victim_thread
+        engine.add_thread(victim_thread)
+        engine.add_thread(make_thread(1, aggressor, "aggressor"))
+        engine.run()
+        assert "victim-2" in order
+        assert victim_thread.clock_ns >= 1010
+
+    def test_negative_advance_rejected(self):
+        thread = make_thread(0, lambda t: iter(()))
+        with pytest.raises(SimulationError):
+            thread.advance(-1)
+
+    def test_advance_to_only_moves_forward(self):
+        thread = make_thread(0, lambda t: iter(()))
+        thread.advance(100)
+        thread.advance_to(50)
+        assert thread.clock_ns == 100
+        thread.advance_to(150)
+        assert thread.clock_ns == 150
+
+
+class TestBlocking:
+    def test_block_and_wake(self):
+        order = []
+        handles = {}
+
+        def blocker(thread):
+            order.append("block-start")
+            handles["engine"].block(thread)
+            yield
+            order.append("block-resumed")
+
+        def waker(thread):
+            thread.advance(500)
+            order.append("waking")
+            handles["engine"].wake(handles["blocked"], at_ns=500)
+            yield
+
+        engine = Engine()
+        handles["engine"] = engine
+        blocked_thread = make_thread(0, blocker)
+        handles["blocked"] = blocked_thread
+        engine.add_thread(blocked_thread)
+        engine.add_thread(make_thread(1, waker))
+        engine.run()
+        assert order == ["block-start", "waking", "block-resumed"]
+        assert blocked_thread.clock_ns >= 500
+
+    def test_deadlock_detection(self):
+        def body(thread):
+            engine.block(thread)
+            yield
+
+        engine = Engine()
+        engine.add_thread(make_thread(0, body))
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_wake_of_done_thread_is_noop(self):
+        def body(thread):
+            yield
+
+        engine = Engine()
+        thread = make_thread(0, body)
+        engine.add_thread(thread)
+        engine.run()
+        assert thread.state is ThreadState.DONE
+        engine.wake(thread)  # must not raise or revive
+        assert thread.state is ThreadState.DONE
+
+
+class TestRunLimits:
+    def test_until_ns_horizon(self):
+        def body(thread):
+            while True:
+                thread.advance(10)
+                yield
+
+        engine = Engine()
+        engine.add_thread(make_thread(0, body))
+        engine.run(until_ns=100)
+        assert engine.now() <= 120  # one step of slack
+
+    def test_max_steps(self):
+        def body(thread):
+            while True:
+                thread.advance(1)
+                yield
+
+        engine = Engine()
+        engine.add_thread(make_thread(0, body))
+        engine.run(max_steps=5)
+        assert engine.steps_executed == 5
+
+    def test_run_can_resume_after_horizon(self):
+        ticks = []
+
+        def body(thread):
+            for i in range(10):
+                ticks.append(i)
+                thread.advance(10)
+                yield
+
+        engine = Engine()
+        engine.add_thread(make_thread(0, body))
+        engine.run(until_ns=30)
+        first = len(ticks)
+        engine.run()
+        assert first < 10
+        assert len(ticks) == 10
+
+
+class TestRunThreadsHelper:
+    def test_run_threads(self):
+        seen = []
+
+        def make(tag):
+            def body(thread):
+                seen.append(tag)
+                yield
+
+            return body
+
+        engine = run_threads([make("x"), make("y")])
+        assert engine.all_done()
+        assert sorted(seen) == ["x", "y"]

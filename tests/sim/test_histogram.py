@@ -1,0 +1,92 @@
+"""Tests for the log2 histogram and its registry integration."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.stats import Histogram, StatsRegistry
+
+
+class TestHistogram:
+    def test_basic_stats(self):
+        histogram = Histogram()
+        for value in (1.0, 2.0, 3.0, 100.0):
+            histogram.record(value)
+        assert histogram.count == 4
+        assert histogram.mean == pytest.approx(26.5)
+        assert histogram.max == 100.0
+
+    def test_bucketing(self):
+        histogram = Histogram()
+        histogram.record(0.5)   # bucket 0
+        histogram.record(1.0)   # bucket 0
+        histogram.record(2.0)   # bucket 1
+        histogram.record(5.0)   # bucket 2
+        buckets = dict(histogram.nonzero_buckets())
+        assert buckets[0] == 2
+        assert buckets[1] == 1
+        assert buckets[2] == 1
+
+    def test_percentile_bounds_sample(self):
+        histogram = Histogram()
+        for i in range(100):
+            histogram.record(float(i + 1))
+        p50 = histogram.percentile(0.5)
+        assert 32 <= p50 <= 64
+        assert histogram.percentile(1.0) >= 100
+
+    def test_percentile_of_empty(self):
+        assert Histogram().percentile(0.5) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Histogram().record(-1.0)
+        with pytest.raises(ValueError):
+            Histogram().percentile(0.0)
+
+    @given(values=st.lists(st.floats(min_value=0, max_value=1e12),
+                           min_size=1, max_size=200))
+    def test_count_and_mean_consistent(self, values):
+        histogram = Histogram()
+        for value in values:
+            histogram.record(value)
+        assert histogram.count == len(values)
+        assert histogram.mean == pytest.approx(sum(values) / len(values))
+        assert histogram.max == max(values)
+
+    def test_huge_value_clamps_to_last_bucket(self):
+        histogram = Histogram(buckets=4)
+        histogram.record(1e18)
+        assert histogram.nonzero_buckets() == [(3, 1)]
+
+
+class TestRegistryIntegration:
+    def test_lazily_created_and_cached(self):
+        stats = StatsRegistry()
+        assert stats.histogram("lat") is stats.histogram("lat")
+
+    def test_listing(self):
+        stats = StatsRegistry()
+        stats.histogram("a").record(1)
+        assert "a" in stats.histograms()
+
+    def test_tx_latency_recorded_by_htm(self):
+        from repro import HTMConfig, MachineConfig, System
+        from repro.mem.address import MemoryKind
+
+        system = System(MachineConfig.scaled(1 / 64, cores=2), HTMConfig())
+        proc = system.process("p")
+        addr = system.heap.alloc_words(1, MemoryKind.NVM)
+
+        def body(api):
+            for _ in range(5):
+                yield from api.run_transaction(
+                    lambda tx: tx.write_word(addr, 1)
+                )
+
+        proc.thread(body)
+        system.run()
+        histogram = system.stats.histogram("tx.latency_ns")
+        assert histogram.count == 5
+        assert histogram.mean > 0

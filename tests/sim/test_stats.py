@@ -1,0 +1,81 @@
+"""Tests for the statistics registry."""
+
+from __future__ import annotations
+
+from repro.sim.stats import StatsRegistry, decompose, ratio
+
+
+class TestCounters:
+    def test_incr_and_read(self):
+        stats = StatsRegistry()
+        stats.incr("tx.commits")
+        stats.incr("tx.commits", 4)
+        assert stats.counter("tx.commits") == 5
+
+    def test_missing_counter_is_zero(self):
+        assert StatsRegistry().counter("nope") == 0
+
+    def test_prefix_query(self):
+        stats = StatsRegistry()
+        stats.incr("tx.aborts.capacity", 2)
+        stats.incr("tx.aborts.false_positive", 3)
+        stats.incr("tx.commits", 1)
+        grouped = stats.counters_with_prefix("tx.aborts.")
+        assert grouped == {
+            "tx.aborts.capacity": 2,
+            "tx.aborts.false_positive": 3,
+        }
+
+    def test_snapshot_is_a_copy(self):
+        stats = StatsRegistry()
+        stats.incr("x")
+        snap = stats.snapshot()
+        stats.incr("x")
+        assert snap["x"] == 1
+
+
+class TestSamples:
+    def test_record_and_mean(self):
+        stats = StatsRegistry()
+        for v in (1.0, 2.0, 3.0):
+            stats.record("latency", v)
+        assert stats.mean("latency") == 2.0
+        assert stats.samples("latency") == [1.0, 2.0, 3.0]
+
+    def test_mean_of_empty_is_zero(self):
+        assert StatsRegistry().mean("nothing") == 0.0
+
+    def test_samples_returns_copy(self):
+        stats = StatsRegistry()
+        stats.record("s", 1.0)
+        stats.samples("s").append(99.0)
+        assert stats.samples("s") == [1.0]
+
+
+class TestMerge:
+    def test_merge_counters_and_samples(self):
+        a = StatsRegistry()
+        b = StatsRegistry()
+        a.incr("n", 1)
+        b.incr("n", 2)
+        b.incr("m", 5)
+        a.record("s", 1.0)
+        b.record("s", 3.0)
+        a.merge(b)
+        assert a.counter("n") == 3
+        assert a.counter("m") == 5
+        assert a.mean("s") == 2.0
+
+
+class TestHelpers:
+    def test_ratio(self):
+        assert ratio(1, 2) == 0.5
+        assert ratio(0, 0) == 0.0
+        assert ratio(5, 0) == 0.0
+
+    def test_decompose(self):
+        parts = decompose({"a": 1, "b": 3}, 4)
+        assert parts == {"a": 0.25, "b": 0.75}
+
+    def test_decompose_zero_total(self):
+        assert decompose({"a": 1}, 0) == {"a": 0.0}

@@ -1,0 +1,47 @@
+"""Tests for the trace recorder."""
+
+from __future__ import annotations
+
+from repro.sim.trace import TraceRecorder
+
+
+class TestTraceRecorder:
+    def test_disabled_by_default(self):
+        recorder = TraceRecorder()
+        recorder.emit(1.0, "commit", 0)
+        assert len(recorder) == 0
+
+    def test_enabled_records(self):
+        recorder = TraceRecorder(enabled=True)
+        recorder.emit(1.0, "commit", 0, tx=7)
+        recorder.emit(2.0, "abort", 1, tx=8)
+        assert len(recorder) == 2
+        assert recorder.events[0].detail == {"tx": 7}
+
+    def test_by_category(self):
+        recorder = TraceRecorder(enabled=True)
+        recorder.emit(1.0, "commit", 0)
+        recorder.emit(2.0, "abort", 0)
+        recorder.emit(3.0, "commit", 1)
+        commits = recorder.by_category("commit")
+        assert [e.time_ns for e in commits] == [1.0, 3.0]
+
+    def test_capacity_drops_and_counts(self):
+        recorder = TraceRecorder(enabled=True, capacity=2)
+        for i in range(5):
+            recorder.emit(float(i), "x", 0)
+        assert len(recorder) == 2
+        assert recorder.dropped == 3
+
+    def test_clear(self):
+        recorder = TraceRecorder(enabled=True, capacity=1)
+        recorder.emit(1.0, "x", 0)
+        recorder.emit(2.0, "x", 0)
+        recorder.clear()
+        assert len(recorder) == 0
+        assert recorder.dropped == 0
+
+    def test_iteration(self):
+        recorder = TraceRecorder(enabled=True)
+        recorder.emit(1.0, "a", 0)
+        assert [e.category for e in recorder] == ["a"]

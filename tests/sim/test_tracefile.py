@@ -1,0 +1,154 @@
+"""Tests for trace capture, serialisation, and replay."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro import HTMConfig, MachineConfig, System
+from repro.errors import ReproError
+from repro.mem.address import MemoryKind
+from repro.sim.tracefile import (
+    MemoryTrace,
+    TraceCapture,
+    TracedOp,
+    TracedTx,
+)
+from repro.workloads import WORKLOADS, WorkloadParams
+from repro.workloads.trace_replay import TraceReplayWorkload
+
+
+def build_trace():
+    trace = MemoryTrace()
+    t0 = trace.thread(0)
+    t0.txs.append(
+        TracedTx([
+            TracedOp(False, MemoryKind.DRAM, 0),
+            TracedOp(True, MemoryKind.NVM, 128),
+        ])
+    )
+    t1 = trace.thread(1)
+    t1.txs.append(TracedTx([TracedOp(True, MemoryKind.DRAM, 64)]))
+    return trace
+
+
+class TestFormatRoundTrip:
+    def test_dump_and_load(self):
+        trace = build_trace()
+        text = trace.dumps()
+        restored = MemoryTrace.loads(text)
+        assert restored.total_txs() == 2
+        assert restored.total_ops() == 3
+        op = restored.threads[0].txs[0].ops[1]
+        assert op.is_write and op.kind is MemoryKind.NVM and op.offset == 128
+
+    def test_arena_sizing(self):
+        trace = build_trace()
+        assert trace.arena_bytes(MemoryKind.NVM) == 136
+        assert trace.arena_bytes(MemoryKind.DRAM) == 72
+
+    def test_bad_header_rejected(self):
+        with pytest.raises(ReproError):
+            MemoryTrace.load(io.StringIO("not a trace\n"))
+
+    def test_op_outside_tx_rejected(self):
+        text = "# uhtm-trace v1\nTHREAD 0\nR d 0\n"
+        with pytest.raises(ReproError):
+            MemoryTrace.loads(text)
+
+    def test_bad_record_rejected(self):
+        text = "# uhtm-trace v1\nTHREAD 0\nTX\nXYZZY\n"
+        with pytest.raises(ReproError):
+            MemoryTrace.loads(text)
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = (
+            "# uhtm-trace v1\n\n# a comment\nTHREAD 0\nTX\nR d 0\nEND\n"
+        )
+        assert MemoryTrace.loads(text).total_ops() == 1
+
+
+class TestCaptureSemantics:
+    def test_only_commits_recorded(self):
+        capture = TraceCapture(dram_base=1000, nvm_base=100_000)
+        capture.begin(1, thread_id=0)
+        capture.op(1, True, 1064)
+        capture.abort(1)
+        capture.begin(2, thread_id=0)
+        capture.op(2, False, 100_128)
+        capture.commit(2)
+        trace = capture.trace
+        assert trace.total_txs() == 1
+        op = trace.threads[0].txs[0].ops[0]
+        assert op.kind is MemoryKind.NVM and op.offset == 128
+
+    def test_address_normalisation(self):
+        capture = TraceCapture(dram_base=1000, nvm_base=100_000)
+        capture.begin(1, 3)
+        capture.op(1, True, 1000)
+        capture.commit(1)
+        op = capture.trace.thread(3).txs[0].ops[0]
+        assert op.kind is MemoryKind.DRAM and op.offset == 0
+
+
+class TestEndToEndCaptureReplay:
+    def capture_run(self):
+        system = System(
+            MachineConfig.scaled(1 / 64, cores=4),
+            HTMConfig(design="uhtm"),
+            seed=11,
+            capture_trace=True,
+        )
+        proc = system.process("source")
+        params = WorkloadParams(
+            threads=4, txs_per_thread=3, value_bytes=16 << 10,
+            keys=64, initial_fill=16,
+        )
+        workload = WORKLOADS["hashmap"](system, proc, params)
+        workload.spawn()
+        system.run()
+        return system
+
+    def test_capture_produces_trace(self):
+        system = self.capture_run()
+        trace = system.captured_trace()
+        assert trace is not None
+        assert trace.total_txs() == system.stats.counter("tx.commits")
+        assert trace.total_ops() > 0
+
+    def test_capture_disabled_returns_none(self):
+        system = System(MachineConfig.scaled(1 / 64, cores=2), HTMConfig())
+        assert system.captured_trace() is None
+
+    @pytest.mark.parametrize("design", ["uhtm", "llc_bounded", "ideal"])
+    def test_replay_under_any_design(self, design):
+        trace = self.capture_run().captured_trace()
+        replay_system = System(
+            MachineConfig.scaled(1 / 64, cores=4), HTMConfig(design=design)
+        )
+        proc = replay_system.process("replay")
+        workload = TraceReplayWorkload(
+            replay_system, proc,
+            WorkloadParams(threads=len(trace.threads)), trace,
+        )
+        workload.spawn()
+        replay_system.run()
+        assert workload.verify()
+        assert (
+            replay_system.stats.counter("ops.committed") == trace.total_txs()
+        )
+
+    def test_replay_after_serialisation_round_trip(self):
+        trace = self.capture_run().captured_trace()
+        restored = MemoryTrace.loads(trace.dumps())
+        replay_system = System(
+            MachineConfig.scaled(1 / 64, cores=4), HTMConfig()
+        )
+        proc = replay_system.process("replay")
+        workload = TraceReplayWorkload(
+            replay_system, proc, WorkloadParams(), restored
+        )
+        workload.spawn()
+        replay_system.run()
+        assert workload.verify()

@@ -1,0 +1,31 @@
+"""Tests for the CLI export flags."""
+
+from __future__ import annotations
+
+import json
+
+from repro.__main__ import main
+
+
+class TestCliExport:
+    def test_json_export(self, tmp_path, capsys):
+        out = tmp_path / "r.json"
+        assert main(["table1", "--json", str(out)]) == 0
+        payload = json.loads(out.read_text())
+        assert payload[0]["figure"] == "Table I"
+        assert any(row[0] == "UHTM" for row in payload[0]["rows"])
+
+    def test_markdown_export(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        assert main(["table2", "--markdown", str(out)]) == 0
+        text = out.read_text()
+        assert "### Table II" in text
+        assert "Requester-Wins" in text
+
+    def test_both_exports(self, tmp_path, capsys):
+        json_out = tmp_path / "r.json"
+        md_out = tmp_path / "r.md"
+        assert main(
+            ["table4", "--json", str(json_out), "--markdown", str(md_out)]
+        ) == 0
+        assert json_out.exists() and md_out.exists()

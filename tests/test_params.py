@@ -1,0 +1,214 @@
+"""Configuration tests: Table III defaults, scaling, and validation."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.params import (
+    CacheGeometry,
+    DramLogPolicy,
+    HTMConfig,
+    HTMDesign,
+    LatencyConfig,
+    LINE_SIZE,
+    MachineConfig,
+    MemoryConfig,
+    SignatureConfig,
+    WORD_SIZE,
+    WORDS_PER_LINE,
+)
+
+
+class TestTableIIIDefaults:
+    """The default machine is the paper's Table III configuration."""
+
+    def test_cores(self):
+        assert MachineConfig().cores == 16
+
+    def test_clock(self):
+        assert MachineConfig().clock_ghz == 2.0
+
+    def test_l1_geometry(self):
+        l1 = MachineConfig().l1
+        assert l1.size_bytes == 32 * 1024
+        assert l1.ways == 8
+
+    def test_llc_geometry(self):
+        llc = MachineConfig().llc
+        assert llc.size_bytes == 16 * 1024 * 1024
+        assert llc.ways == 16
+
+    def test_l1_latency(self):
+        assert MachineConfig().latency.l1_ns == 1.5
+
+    def test_llc_latency(self):
+        assert MachineConfig().latency.llc_ns == 15.0
+
+    def test_dram_latency(self):
+        assert MachineConfig().latency.dram_ns == 82.0
+
+    def test_nvm_latencies(self):
+        latency = MachineConfig().latency
+        assert latency.nvm_read_ns == 175.0
+        assert latency.nvm_write_ns == 94.0
+
+    def test_nvm_write_faster_than_read(self):
+        """The ADR write-queue asymmetry the paper calls out."""
+        latency = MachineConfig().latency
+        assert latency.nvm_write_ns < latency.nvm_read_ns
+
+    def test_line_and_word_sizes(self):
+        assert LINE_SIZE == 64
+        assert WORD_SIZE == 8
+        assert WORDS_PER_LINE == 8
+
+
+class TestCacheGeometry:
+    def test_num_lines(self):
+        geometry = CacheGeometry(size_bytes=32 * 1024, ways=8)
+        assert geometry.num_lines == 512
+
+    def test_num_sets(self):
+        geometry = CacheGeometry(size_bytes=32 * 1024, ways=8)
+        assert geometry.num_sets == 64
+
+    def test_rejects_nondivisible_size(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(size_bytes=1000, ways=8)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            CacheGeometry(size_bytes=0, ways=8)
+        with pytest.raises(ConfigError):
+            CacheGeometry(size_bytes=1024, ways=0)
+
+
+class TestScaling:
+    def test_scale_preserves_associativity(self):
+        machine = MachineConfig.scaled(1 / 16)
+        assert machine.l1.ways == 8
+        assert machine.llc.ways == 16
+
+    def test_scale_shrinks_sets(self):
+        base = MachineConfig()
+        machine = MachineConfig.scaled(1 / 16)
+        assert machine.l1.num_sets == base.l1.num_sets // 16
+        assert machine.llc.num_sets == base.llc.num_sets // 16
+
+    def test_scale_one_is_paper_scale(self):
+        machine = MachineConfig.scaled(1.0)
+        assert machine.l1.size_bytes == 32 * 1024
+        assert machine.llc.size_bytes == 16 * 1024 * 1024
+
+    def test_scale_records_factor(self):
+        assert MachineConfig.scaled(1 / 4).scale == 0.25
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ConfigError):
+            MachineConfig.scaled(0)
+        with pytest.raises(ConfigError):
+            MachineConfig.scaled(2.0)
+
+    def test_scaled_cores_override(self):
+        assert MachineConfig.scaled(1 / 16, cores=4).cores == 4
+
+    def test_extreme_scale_keeps_at_least_one_set(self):
+        machine = MachineConfig.scaled(1 / 4096)
+        assert machine.l1.num_sets >= 1
+        assert machine.llc.num_sets >= 1
+
+
+class TestSignatureConfig:
+    def test_effective_bits_scale(self):
+        config = SignatureConfig(bits=1024)
+        assert config.effective_bits(1.0) == 1024
+        assert config.effective_bits(1 / 16) == 64
+
+    def test_effective_bits_floor(self):
+        config = SignatureConfig(bits=512)
+        assert config.effective_bits(1 / 4096) >= 8
+
+    def test_labels(self):
+        assert SignatureConfig(bits=512).label == "512"
+        assert SignatureConfig(bits=1024).label == "1k"
+        assert SignatureConfig(bits=4096).label == "4k"
+
+    def test_rejects_tiny_filter(self):
+        with pytest.raises(ConfigError):
+            SignatureConfig(bits=4)
+
+    def test_rejects_zero_hashes(self):
+        with pytest.raises(ConfigError):
+            SignatureConfig(hash_functions=0)
+
+
+class TestHTMConfig:
+    def test_default_design_is_uhtm(self):
+        assert HTMConfig().design == HTMDesign.UHTM
+
+    def test_rejects_unknown_design(self):
+        with pytest.raises(ConfigError):
+            HTMConfig(design="magic")
+
+    def test_rejects_unknown_log_policy(self):
+        with pytest.raises(ConfigError):
+            HTMConfig(dram_log_policy="write-ahead")
+
+    def test_rejects_negative_retries(self):
+        with pytest.raises(ConfigError):
+            HTMConfig(max_retries=-1)
+
+    def test_backoff_bounds(self):
+        with pytest.raises(ConfigError):
+            HTMConfig(backoff_ns=100.0, backoff_max_ns=50.0)
+
+    def test_labels_match_paper_figures(self):
+        assert HTMConfig(design=HTMDesign.LLC_BOUNDED).label == "LLC-Bounded"
+        assert HTMConfig(design=HTMDesign.IDEAL).label == "Ideal"
+        assert (
+            HTMConfig(design=HTMDesign.UHTM, isolation=False,
+                      signature=SignatureConfig(bits=512)).label
+            == "512_sig"
+        )
+        assert (
+            HTMConfig(design=HTMDesign.UHTM, isolation=True,
+                      signature=SignatureConfig(bits=4096)).label
+            == "4k_opt"
+        )
+        assert (
+            HTMConfig(design=HTMDesign.SIGNATURE_ONLY,
+                      signature=SignatureConfig(bits=1024)).label
+            == "SigOnly-1k"
+        )
+
+    def test_policies_enumerated(self):
+        assert set(DramLogPolicy.ALL) == {"undo", "redo"}
+        assert len(HTMDesign.ALL) == 4
+
+
+class TestMemoryConfig:
+    def test_defaults_positive(self):
+        config = MemoryConfig()
+        assert config.dram_bytes > 0
+        assert config.nvm_bytes > 0
+        assert config.dram_log_bytes > 0
+        assert config.nvm_log_bytes > 0
+
+    def test_rejects_zero_sizes(self):
+        with pytest.raises(ConfigError):
+            MemoryConfig(dram_bytes=0)
+
+    def test_configs_are_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            MachineConfig().cores = 4
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            LatencyConfig().l1_ns = 1.0
+
+
+class TestLatencyValidation:
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ConfigError):
+            LatencyConfig(dram_ns=-1.0)

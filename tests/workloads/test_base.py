@@ -1,0 +1,138 @@
+"""Tests for the workload base machinery: params, key streams, payloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HTMConfig, MachineConfig, System
+from repro.errors import ConfigError
+from repro.mem.address import MemoryKind
+from repro.params import LINE_SIZE
+from repro.runtime.txapi import RawContext
+from repro.workloads.base import (
+    PayloadPool,
+    Workload,
+    WorkloadParams,
+    read_payload,
+    write_payload,
+)
+
+
+class TestWorkloadParams:
+    def test_defaults_valid(self):
+        WorkloadParams()
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WorkloadParams(threads=0)
+        with pytest.raises(ConfigError):
+            WorkloadParams(txs_per_thread=0)
+        with pytest.raises(ConfigError):
+            WorkloadParams(value_bytes=4)
+        with pytest.raises(ConfigError):
+            WorkloadParams(ops_per_tx=0)
+        with pytest.raises(ConfigError):
+            WorkloadParams(update_ratio=1.5)
+        with pytest.raises(ConfigError):
+            WorkloadParams(keys=10, initial_fill=20)
+
+    def test_with_override(self):
+        params = WorkloadParams().with_(threads=8)
+        assert params.threads == 8
+        assert params.keys == WorkloadParams().keys
+
+    def test_scaled_value_bytes(self):
+        params = WorkloadParams(value_bytes=100 << 10)
+        assert params.scaled_value_bytes(1.0) == 100 << 10
+        scaled = params.scaled_value_bytes(1 / 16)
+        assert scaled % LINE_SIZE == 0
+        assert scaled == 6400 - 6400 % 64
+
+    def test_scaled_value_floor_is_one_line(self):
+        params = WorkloadParams(value_bytes=64)
+        assert params.scaled_value_bytes(1 / 4096) == LINE_SIZE
+
+
+class DummyWorkload(Workload):
+    name = "dummy"
+
+    def thread_bodies(self):
+        return []
+
+
+def make_workload(params=None, cores=4):
+    system = System(MachineConfig.scaled(1 / 64, cores=cores), HTMConfig())
+    proc = system.process("w")
+    return DummyWorkload(system, proc, params or WorkloadParams())
+
+
+class TestKeyStream:
+    def test_update_keys_are_sharded_per_thread(self):
+        params = WorkloadParams(
+            threads=4, keys=1024, initial_fill=512, update_ratio=1.0
+        )
+        workload = make_workload(params)
+        seen = {}
+        for thread in range(4):
+            stream = workload.key_stream(thread)
+            seen[thread] = {next(stream) for _ in range(200)}
+        for a in range(4):
+            for b in range(a + 1, 4):
+                assert not (seen[a] & seen[b]), f"shards {a},{b} overlap"
+
+    def test_fresh_keys_are_sharded_per_thread(self):
+        params = WorkloadParams(
+            threads=4, keys=1024, initial_fill=256, update_ratio=0.0
+        )
+        workload = make_workload(params)
+        seen = {}
+        for thread in range(4):
+            stream = workload.key_stream(thread)
+            seen[thread] = {next(stream) for _ in range(50)}
+        for a in range(4):
+            for b in range(a + 1, 4):
+                assert not (seen[a] & seen[b])
+
+    def test_keys_stay_in_range(self):
+        params = WorkloadParams(threads=3, keys=100, initial_fill=40)
+        workload = make_workload(params)
+        stream = workload.key_stream(2)
+        for _ in range(500):
+            key = next(stream)
+            assert 0 <= key < 100
+
+    def test_deterministic_per_seed(self):
+        params = WorkloadParams(threads=2, keys=64, initial_fill=32)
+        first = make_workload(params)
+        second = make_workload(params)
+        s1 = first.key_stream(0)
+        s2 = second.key_stream(0)
+        assert [next(s1) for _ in range(50)] == [next(s2) for _ in range(50)]
+
+
+class TestPayloadHelpers:
+    def test_payload_pool_reuses_blocks_per_key(self):
+        system = System(MachineConfig.scaled(1 / 64, cores=2), HTMConfig())
+        pool = PayloadPool(system, keys=8, nbytes=128, kind=MemoryKind.DRAM)
+        assert pool.block_for(3) == pool.block_for(3)
+        assert pool.block_for(3) == pool.block_for(11)  # modulo wrap
+        assert pool.block_for(3) != pool.block_for(4)
+
+    def test_write_then_read_payload(self):
+        system = System(MachineConfig.scaled(1 / 64, cores=2), HTMConfig())
+        raw = RawContext(system.controller)
+        addr = system.heap.alloc(5 * LINE_SIZE, MemoryKind.NVM)
+        list(write_payload(raw, addr, 5 * LINE_SIZE, tag=7))
+        gen = read_payload(raw, addr, 5 * LINE_SIZE)
+        try:
+            while True:
+                next(gen)
+        except StopIteration as stop:
+            assert stop.value == 7
+
+    def test_write_payload_yields_between_chunks(self):
+        system = System(MachineConfig.scaled(1 / 64, cores=2), HTMConfig())
+        raw = RawContext(system.controller)
+        addr = system.heap.alloc(40 * LINE_SIZE, MemoryKind.DRAM)
+        yields = sum(1 for _ in write_payload(raw, addr, 40 * LINE_SIZE, 1))
+        assert yields == 3  # ceil(40 / 16 lines per chunk)

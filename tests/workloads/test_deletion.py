@@ -1,0 +1,182 @@
+"""Deletion tests for every structure that supports it (model-based)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import HTMConfig, MachineConfig, System
+from repro.mem.address import MemoryKind
+from repro.runtime.txapi import RawContext
+from repro.workloads.btree import TxBTree
+from repro.workloads.hashmap import TxHashMap
+from repro.workloads.rbtree import TxRBTree
+from repro.workloads.skiplist import TxSkipList
+
+
+def make_env():
+    system = System(MachineConfig.scaled(1 / 64, cores=2), HTMConfig())
+    return system.heap, RawContext(system.controller)
+
+
+def fuzz(structure_factory, steps, key_space, seed, check_every=250):
+    heap, ctx = make_env()
+    structure = structure_factory(heap, ctx)
+    model = {}
+    rng = random.Random(seed)
+    for step in range(steps):
+        op = rng.random()
+        key = rng.randrange(key_space)
+        if op < 0.45:
+            value = rng.randrange(10_000)
+            assert structure.insert(ctx, key, value) == (key not in model)
+            model[key] = value
+        elif op < 0.9:
+            assert structure.delete(ctx, key) == (key in model)
+            model.pop(key, None)
+        else:
+            assert structure.get(ctx, key) == model.get(key)
+        if step % check_every == 0:
+            assert sorted(structure.keys(ctx)) == sorted(model)
+            assert structure.check_integrity(ctx)
+    assert sorted(structure.keys(ctx)) == sorted(model)
+    assert structure.check_integrity(ctx)
+
+
+class TestBTreeDeletion:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_fuzz_small_space_heavy_merges(self, seed):
+        fuzz(
+            lambda heap, ctx: TxBTree.create(heap, ctx, MemoryKind.DRAM),
+            steps=1500, key_space=40, seed=seed,
+        )
+
+    def test_delete_missing_returns_false(self):
+        heap, ctx = make_env()
+        tree = TxBTree.create(heap, ctx, MemoryKind.DRAM)
+        assert not tree.delete(ctx, 5)
+        tree.insert(ctx, 5, 1)
+        assert tree.delete(ctx, 5)
+        assert not tree.delete(ctx, 5)
+
+    def test_delete_everything_then_reuse(self):
+        heap, ctx = make_env()
+        tree = TxBTree.create(heap, ctx, MemoryKind.DRAM)
+        for k in range(100):
+            tree.insert(ctx, k, k)
+        for k in range(100):
+            assert tree.delete(ctx, k)
+        assert tree.keys(ctx) == []
+        for k in range(50):
+            tree.insert(ctx, k, k * 2)
+        assert tree.keys(ctx) == list(range(50))
+        assert tree.check_integrity(ctx)
+
+    def test_root_shrinks_on_drain(self):
+        heap, ctx = make_env()
+        tree = TxBTree.create(heap, ctx, MemoryKind.DRAM)
+        for k in range(200):
+            tree.insert(ctx, k, k)
+        for k in range(199):
+            tree.delete(ctx, k)
+        assert tree.keys(ctx) == [199]
+        assert tree.check_integrity(ctx)
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        keys=st.lists(st.integers(min_value=0, max_value=200),
+                      min_size=1, max_size=80),
+        doomed=st.lists(st.integers(min_value=0, max_value=200),
+                        max_size=40),
+    )
+    def test_hypothesis_insert_then_delete(self, keys, doomed):
+        heap, ctx = make_env()
+        tree = TxBTree.create(heap, ctx, MemoryKind.DRAM)
+        model = {}
+        for key in keys:
+            tree.insert(ctx, key, key)
+            model[key] = key
+        for key in doomed:
+            assert tree.delete(ctx, key) == (key in model)
+            model.pop(key, None)
+        assert tree.keys(ctx) == sorted(model)
+        assert tree.check_integrity(ctx)
+
+
+class TestRBTreeDeletion:
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_fuzz(self, seed):
+        fuzz(
+            lambda heap, ctx: TxRBTree.create(heap, ctx, MemoryKind.DRAM),
+            steps=1500, key_space=50, seed=seed,
+        )
+
+    def test_delete_root_repeatedly(self):
+        heap, ctx = make_env()
+        tree = TxRBTree.create(heap, ctx, MemoryKind.DRAM)
+        for k in range(31):
+            tree.insert(ctx, k, k)
+        while tree.keys(ctx):
+            root = tree._root(ctx)
+            root_key = tree._get(ctx, root, 0)
+            assert tree.delete(ctx, root_key)
+            assert tree.check_integrity(ctx)
+
+    def test_delete_missing(self):
+        heap, ctx = make_env()
+        tree = TxRBTree.create(heap, ctx, MemoryKind.DRAM)
+        assert not tree.delete(ctx, 1)
+
+    def test_ascending_then_descending_drain(self):
+        heap, ctx = make_env()
+        tree = TxRBTree.create(heap, ctx, MemoryKind.DRAM)
+        for k in range(64):
+            tree.insert(ctx, k, k)
+        for k in reversed(range(64)):
+            assert tree.delete(ctx, k)
+            assert tree.check_integrity(ctx)
+        assert tree.keys(ctx) == []
+
+
+class TestSkipListDeletion:
+    @pytest.mark.parametrize("seed", [1, 2])
+    def test_fuzz(self, seed):
+        fuzz(
+            lambda heap, ctx: TxSkipList.create(
+                heap, ctx, MemoryKind.NVM, seed=seed
+            ),
+            steps=1500, key_space=50, seed=seed,
+        )
+
+    def test_delete_unlinks_all_levels(self):
+        heap, ctx = make_env()
+        slist = TxSkipList.create(heap, ctx, MemoryKind.NVM, seed=4)
+        for k in range(64):
+            slist.insert(ctx, k, k)
+        for k in range(0, 64, 2):
+            assert slist.delete(ctx, k)
+        assert slist.keys(ctx) == list(range(1, 64, 2))
+        assert slist.check_integrity(ctx)
+
+    def test_delete_missing(self):
+        heap, ctx = make_env()
+        slist = TxSkipList.create(heap, ctx, MemoryKind.NVM)
+        slist.insert(ctx, 2, 2)
+        assert not slist.delete(ctx, 1)
+        assert not slist.delete(ctx, 3)
+        assert slist.delete(ctx, 2)
+
+
+class TestHashMapDeletionMore:
+    def test_delete_head_middle_tail_of_chain(self):
+        heap, ctx = make_env()
+        table = TxHashMap.create(heap, ctx, MemoryKind.NVM, nbuckets=1)
+        for k in range(5):
+            table.insert(ctx, k, k)
+        assert table.delete(ctx, 4)  # head (insert-at-head order)
+        assert table.delete(ctx, 2)  # middle
+        assert table.delete(ctx, 0)  # tail
+        assert sorted(table.keys(ctx)) == [1, 3]
+        assert table.check_integrity(ctx)

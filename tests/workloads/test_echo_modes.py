@@ -1,0 +1,89 @@
+"""Tests for Echo's horizon (steady-state) mode and scheduling details."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HTMConfig, MachineConfig, System
+from repro.workloads import EchoWorkload, WorkloadParams
+
+
+def run_echo(horizon_ns=0.0, long_tx_ratio=0.0, seed=3, **kwargs):
+    system = System(
+        MachineConfig.scaled(1 / 64, cores=4), HTMConfig(), seed=seed
+    )
+    proc = system.process("echo")
+    params = WorkloadParams(
+        threads=3, txs_per_thread=6, value_bytes=8 << 10,
+        keys=256, initial_fill=128,
+    )
+    workload = EchoWorkload(
+        system, proc, params,
+        long_tx_ratio=long_tx_ratio,
+        long_scan_bytes=1 << 18,
+        hot_keys=16,
+        horizon_ns=horizon_ns,
+        **kwargs,
+    )
+    workload.spawn()
+    system.run()
+    return system, workload
+
+
+class TestFixedWorkMode:
+    def test_all_batches_processed(self):
+        system, workload = run_echo()
+        assert not workload.queue
+        assert workload.verify()
+        # 2 clients x 6 batches each (threads=3 -> 1 master + 2 clients).
+        assert system.stats.counter("ops.committed") > 0
+
+    def test_deterministic(self):
+        a, _ = run_echo(seed=9)
+        b, _ = run_echo(seed=9)
+        assert a.elapsed_ns == b.elapsed_ns
+
+
+class TestHorizonMode:
+    def test_run_ends_near_horizon(self):
+        horizon = 2e5  # 0.2 ms
+        system, workload = run_echo(horizon_ns=horizon)
+        assert workload.verify()
+        # Threads stop issuing at the horizon; the tail is bounded by one
+        # transaction's latency.
+        assert system.elapsed_ns < horizon * 3
+
+    def test_leftover_queue_is_acceptable(self):
+        system, workload = run_echo(horizon_ns=2e5)
+        assert workload.verify()  # integrity only, queue may be non-empty
+
+    def test_closed_loop_queue_bounded(self):
+        system, workload = run_echo(horizon_ns=5e5, queue_cap=2)
+        assert len(workload.queue) <= 2 + 2  # cap plus in-flight slack
+
+    def test_longer_horizon_more_ops(self):
+        short, _ = run_echo(horizon_ns=1e5)
+        long_run, _ = run_echo(horizon_ns=5e5)
+        assert (
+            long_run.stats.counter("ops.committed")
+            > short.stats.counter("ops.committed")
+        )
+
+
+class TestLongTxScheduling:
+    def test_ratio_zero_means_none(self):
+        _, workload = run_echo(long_tx_ratio=0.0)
+        assert workload.long_txs_executed == 0
+
+    def test_fixed_work_slots_materialise_small_ratios(self):
+        _, workload = run_echo(long_tx_ratio=0.01)
+        assert workload.long_txs_executed >= 1
+
+    def test_horizon_mode_schedules_by_stride(self):
+        _, workload = run_echo(horizon_ns=1.5e6, long_tx_ratio=0.2)
+        assert workload.long_txs_executed >= 1
+
+    def test_scan_counts_roughly_track_ratio(self):
+        _, low = run_echo(long_tx_ratio=0.05)
+        _, high = run_echo(long_tx_ratio=0.5)
+        assert high.long_txs_executed > low.long_txs_executed

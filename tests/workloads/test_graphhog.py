@@ -1,0 +1,90 @@
+"""Tests for the graph-walk co-runner."""
+
+from __future__ import annotations
+
+from repro import HTMConfig, MachineConfig, System
+from repro.workloads import GraphHogWorkload, WorkloadParams
+
+
+def make_system():
+    return System(MachineConfig.scaled(1 / 256, cores=2), HTMConfig())
+
+
+class TestGraphHog:
+    def test_setup_builds_valid_graph(self):
+        system = make_system()
+        proc = system.process("g")
+        hog = GraphHogWorkload(
+            system, proc, WorkloadParams(threads=1, value_bytes=64,
+                                         initial_fill=0),
+            llc_multiple=1.0, max_hops=10,
+        )
+        hog.setup()
+        # Every edge slot points to a valid node index.
+        for node in range(0, hog.node_count, max(1, hog.node_count // 32)):
+            for slot in range(4):
+                target = hog.raw.read_word(hog.base + node * 64 + slot * 8)
+                assert 0 <= target < hog.node_count
+
+    def test_walk_terminates_at_max_hops(self):
+        system = make_system()
+        proc = system.process("g")
+        hog = GraphHogWorkload(
+            system, proc, WorkloadParams(threads=1, value_bytes=64,
+                                         initial_fill=0),
+            llc_multiple=1.0, max_hops=200,
+        )
+        hog.spawn()
+        system.run()
+        assert system.engine.all_done()
+        assert hog.hops_completed >= 190
+
+    def test_stop_when_honoured(self):
+        system = make_system()
+        proc = system.process("g")
+        stop = {"flag": False}
+        hog = GraphHogWorkload(
+            system, proc, WorkloadParams(threads=1, value_bytes=64,
+                                         initial_fill=0),
+            llc_multiple=1.0, stop_when=lambda: stop["flag"],
+            max_hops=10_000_000,
+        )
+        hog.spawn()
+        system.run(max_steps=20)
+        stop["flag"] = True
+        system.run()
+        assert system.engine.all_done()
+
+    def test_random_access_spreads_over_llc(self):
+        system = make_system()
+        proc = system.process("g")
+        hog = GraphHogWorkload(
+            system, proc, WorkloadParams(threads=1, value_bytes=64,
+                                         initial_fill=0),
+            llc_multiple=2.0, max_hops=3000,
+        )
+        hog.spawn()
+        system.run()
+        occupancy = system.hierarchy.llc.resident_count()
+        assert occupancy > system.machine.llc.num_lines * 0.5
+
+    def test_usable_as_experiment_corunner(self):
+        from repro.harness.config import ExperimentSpec, consolidated
+        from repro.harness.runner import run_experiment
+
+        spec = ExperimentSpec(
+            name="g",
+            htm=HTMConfig(),
+            benchmarks=consolidated(
+                "hashmap", 2,
+                WorkloadParams(threads=2, txs_per_thread=2,
+                               value_bytes=16 << 10, keys=64,
+                               initial_fill=16),
+            ),
+            scale=1 / 16,
+            cores=4,
+            membound_instances=1,
+            corunner="graphhog",
+        )
+        result = run_experiment(spec)
+        assert result.committed_ops > 0

@@ -1,0 +1,103 @@
+"""White-box tests of the hybrid KV stores' internal protocols."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HTMConfig, MachineConfig, System
+from repro.mem.address import MemoryKind
+from repro.workloads import (
+    DualKVWorkload,
+    HybridIndexWorkload,
+    WorkloadParams,
+)
+
+
+def build(workload_cls, seed=3, **param_overrides):
+    system = System(
+        MachineConfig.scaled(1 / 64, cores=4), HTMConfig(), seed=seed
+    )
+    proc = system.process("kv")
+    fields = dict(
+        threads=4, txs_per_thread=4, value_bytes=16 << 10,
+        keys=128, initial_fill=32,
+    )
+    fields.update(param_overrides)
+    workload = workload_cls(system, proc, WorkloadParams(**fields))
+    return system, workload
+
+
+class TestDualKV:
+    def test_thread_split_has_both_roles(self):
+        system, workload = build(DualKVWorkload)
+        workload.setup()
+        bodies = workload.thread_bodies()
+        assert len(bodies) == 4
+        assert workload._foreground_total == 2
+
+    def test_crl_fully_drained(self):
+        system, workload = build(DualKVWorkload)
+        workload.spawn()
+        system.run()
+        assert not workload.crl
+        assert workload.verify()
+
+    def test_nvm_map_mirrors_dram_map(self):
+        system, workload = build(DualKVWorkload)
+        workload.spawn()
+        system.run()
+        dram_keys = sorted(workload.dram_map.keys(workload.raw))
+        nvm_keys = sorted(workload.nvm_map.keys(workload.raw))
+        assert dram_keys == nvm_keys
+
+    def test_foreground_transactions_are_single_op(self):
+        """Each foreground user request is its own (small) transaction."""
+        system, workload = build(DualKVWorkload, ops_per_tx=4)
+        workload.spawn()
+        system.run()
+        # 2 fg threads x 4 batches x 4 ops as single-op txs, plus bg
+        # replay batches: fg contributes 32 committed single-op txs.
+        assert system.stats.counter("ops.committed") >= 32 + 8
+
+    def test_pools_are_separate_media(self):
+        system, workload = build(DualKVWorkload)
+        workload.setup()
+        space = system.controller.address_space
+        assert space.is_dram(workload.dram_pool.block_for(0))
+        assert space.is_nvm(workload.nvm_pool.block_for(0))
+
+
+class TestHybridIndex:
+    def test_indexes_live_in_different_media(self):
+        system, workload = build(HybridIndexWorkload)
+        workload.setup()
+        space = system.controller.address_space
+        assert space.is_dram(workload.btree_index.base)
+        assert space.is_nvm(workload.hash_index.base)
+        assert space.is_nvm(workload.pool.block_for(0))
+
+    def test_scan_uses_dram_btree_and_returns_records(self):
+        system, workload = build(HybridIndexWorkload)
+        workload.setup()
+        pairs = workload.btree_index.scan(workload.raw, 5, 12)
+        assert [k for k, _ in pairs] == list(range(5, 13))
+        for key, record in pairs:
+            assert record == workload.pool.block_for(key)
+
+    def test_cross_index_agreement_after_run(self):
+        system, workload = build(HybridIndexWorkload)
+        workload.spawn()
+        system.run()
+        assert workload.verify()
+
+    def test_abort_never_splits_the_indexes(self):
+        """Force conflicts; the two indexes must never disagree."""
+        system, workload = build(
+            HybridIndexWorkload, keys=16, initial_fill=8, update_ratio=0.0
+        )
+        workload.spawn()
+        system.run()
+        assert workload.verify()
+        hash_keys = sorted(workload.hash_index.keys(workload.raw))
+        btree_keys = workload.btree_index.keys(workload.raw)
+        assert hash_keys == btree_keys

@@ -1,0 +1,194 @@
+"""Correctness tests for the transactional data structures (raw context)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import HTMConfig, MachineConfig, System
+from repro.mem.address import MemoryKind
+from repro.runtime.txapi import RawContext
+from repro.workloads.btree import TxBTree
+from repro.workloads.hashmap import TxHashMap
+from repro.workloads.rbtree import TxRBTree
+from repro.workloads.skiplist import TxSkipList
+
+
+@pytest.fixture
+def env():
+    system = System(MachineConfig.scaled(1 / 64, cores=2), HTMConfig())
+    return system.heap, RawContext(system.controller)
+
+
+@pytest.mark.parametrize("kind", [MemoryKind.DRAM, MemoryKind.NVM])
+class TestHashMap:
+    def test_insert_get(self, env, kind):
+        heap, ctx = env
+        table = TxHashMap.create(heap, ctx, kind, nbuckets=16)
+        assert table.insert(ctx, 1, 100)
+        assert table.get(ctx, 1) == 100
+        assert table.get(ctx, 2) is None
+
+    def test_update_existing(self, env, kind):
+        heap, ctx = env
+        table = TxHashMap.create(heap, ctx, kind, nbuckets=16)
+        table.insert(ctx, 1, 100)
+        assert not table.insert(ctx, 1, 200)
+        assert table.get(ctx, 1) == 200
+        assert table.size(ctx) == 1
+
+    def test_delete(self, env, kind):
+        heap, ctx = env
+        table = TxHashMap.create(heap, ctx, kind, nbuckets=4)
+        for k in range(20):
+            table.insert(ctx, k, k * 10)
+        assert table.delete(ctx, 7)
+        assert not table.delete(ctx, 7)
+        assert table.get(ctx, 7) is None
+        assert table.size(ctx) == 19
+        assert table.check_integrity(ctx)
+
+    def test_collision_chains(self, env, kind):
+        heap, ctx = env
+        table = TxHashMap.create(heap, ctx, kind, nbuckets=2)
+        for k in range(50):
+            table.insert(ctx, k, k)
+        for k in range(50):
+            assert table.get(ctx, k) == k
+        assert table.check_integrity(ctx)
+
+    def test_against_dict_model(self, env, kind):
+        heap, ctx = env
+        table = TxHashMap.create(heap, ctx, kind, nbuckets=8)
+        model = {}
+        rng = random.Random(1)
+        for _ in range(300):
+            op = rng.randrange(3)
+            key = rng.randrange(40)
+            if op == 0:
+                table.insert(ctx, key, key * 3)
+                model[key] = key * 3
+            elif op == 1:
+                assert table.delete(ctx, key) == (key in model)
+                model.pop(key, None)
+            else:
+                assert table.get(ctx, key) == model.get(key)
+        assert sorted(table.keys(ctx)) == sorted(model)
+        assert table.check_integrity(ctx)
+
+
+@pytest.mark.parametrize("kind", [MemoryKind.DRAM, MemoryKind.NVM])
+class TestBTree:
+    def test_sequential_inserts(self, env, kind):
+        heap, ctx = env
+        tree = TxBTree.create(heap, ctx, kind)
+        for k in range(100):
+            assert tree.insert(ctx, k, k + 1000)
+        for k in range(100):
+            assert tree.get(ctx, k) == k + 1000
+        assert tree.keys(ctx) == list(range(100))
+        assert tree.check_integrity(ctx)
+
+    def test_random_inserts_and_updates(self, env, kind):
+        heap, ctx = env
+        tree = TxBTree.create(heap, ctx, kind)
+        model = {}
+        rng = random.Random(7)
+        for _ in range(400):
+            key = rng.randrange(150)
+            value = rng.randrange(10_000)
+            was_new = tree.insert(ctx, key, value)
+            assert was_new == (key not in model)
+            model[key] = value
+        for key, value in model.items():
+            assert tree.get(ctx, key) == value
+        assert tree.keys(ctx) == sorted(model)
+        assert tree.check_integrity(ctx)
+
+    def test_scan_range(self, env, kind):
+        heap, ctx = env
+        tree = TxBTree.create(heap, ctx, kind)
+        for k in range(0, 100, 2):
+            tree.insert(ctx, k, k)
+        pairs = tree.scan(ctx, 10, 20)
+        assert pairs == [(10, 10), (12, 12), (14, 14), (16, 16),
+                         (18, 18), (20, 20)]
+
+    def test_get_missing(self, env, kind):
+        heap, ctx = env
+        tree = TxBTree.create(heap, ctx, kind)
+        tree.insert(ctx, 5, 5)
+        assert tree.get(ctx, 4) is None
+        assert tree.get(ctx, 6) is None
+
+
+@pytest.mark.parametrize("kind", [MemoryKind.DRAM, MemoryKind.NVM])
+class TestRBTree:
+    def test_sequential_inserts_stay_balanced(self, env, kind):
+        heap, ctx = env
+        tree = TxRBTree.create(heap, ctx, kind)
+        for k in range(200):
+            assert tree.insert(ctx, k, k)
+        assert tree.keys(ctx) == list(range(200))
+        assert tree.check_integrity(ctx)
+
+    def test_random_against_model(self, env, kind):
+        heap, ctx = env
+        tree = TxRBTree.create(heap, ctx, kind)
+        model = {}
+        rng = random.Random(3)
+        for _ in range(400):
+            key = rng.randrange(120)
+            value = rng.randrange(10_000)
+            was_new = tree.insert(ctx, key, value)
+            assert was_new == (key not in model)
+            model[key] = value
+        for key, value in model.items():
+            assert tree.get(ctx, key) == value
+        assert tree.keys(ctx) == sorted(model)
+        assert tree.check_integrity(ctx)
+
+    def test_reverse_order_inserts(self, env, kind):
+        heap, ctx = env
+        tree = TxRBTree.create(heap, ctx, kind)
+        for k in reversed(range(100)):
+            tree.insert(ctx, k, k)
+        assert tree.keys(ctx) == list(range(100))
+        assert tree.check_integrity(ctx)
+
+
+@pytest.mark.parametrize("kind", [MemoryKind.DRAM, MemoryKind.NVM])
+class TestSkipList:
+    def test_insert_get(self, env, kind):
+        heap, ctx = env
+        slist = TxSkipList.create(heap, ctx, kind, seed=5)
+        for k in range(100):
+            assert slist.insert(ctx, k * 2, k)
+        for k in range(100):
+            assert slist.get(ctx, k * 2) == k
+            assert slist.get(ctx, k * 2 + 1) is None
+        assert slist.check_integrity(ctx)
+
+    def test_update(self, env, kind):
+        heap, ctx = env
+        slist = TxSkipList.create(heap, ctx, kind, seed=5)
+        slist.insert(ctx, 1, 10)
+        assert not slist.insert(ctx, 1, 20)
+        assert slist.get(ctx, 1) == 20
+
+    def test_random_against_model(self, env, kind):
+        heap, ctx = env
+        slist = TxSkipList.create(heap, ctx, kind, seed=9)
+        model = {}
+        rng = random.Random(11)
+        for _ in range(300):
+            key = rng.randrange(100)
+            value = rng.randrange(10_000)
+            was_new = slist.insert(ctx, key, value)
+            assert was_new == (key not in model)
+            model[key] = value
+        assert slist.keys(ctx) == sorted(model)
+        for key, value in model.items():
+            assert slist.get(ctx, key) == value
+        assert slist.check_integrity(ctx)

@@ -1,0 +1,146 @@
+"""End-to-end workload runs under each HTM design, with verification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HTMConfig, MachineConfig, System
+from repro.mem.address import MemoryKind
+from repro.workloads import WORKLOADS, WorkloadParams
+
+ALL_BENCHMARKS = (
+    "hashmap",
+    "btree",
+    "rbtree",
+    "skiplist",
+    "hybrid_index",
+    "dual_kv",
+    "echo",
+)
+
+
+def run_workload(name, design="uhtm", params=None, seed=2020, **workload_kwargs):
+    system = System(
+        MachineConfig.scaled(1 / 64, cores=4), HTMConfig(design=design), seed=seed
+    )
+    proc = system.process(name)
+    params = params or WorkloadParams(
+        threads=4, txs_per_thread=4, value_bytes=100 << 10, keys=64,
+        initial_fill=16,
+    )
+    workload = WORKLOADS[name](system, proc, params, **workload_kwargs)
+    workload.spawn()
+    system.run()
+    return system, workload
+
+
+@pytest.mark.parametrize("name", ALL_BENCHMARKS)
+class TestAllWorkloadsAllDesignsLite:
+    def test_uhtm_runs_and_verifies(self, name):
+        system, workload = run_workload(name, "uhtm")
+        assert workload.verify()
+        assert system.stats.counter("ops.committed") > 0
+
+    def test_llc_bounded_runs_and_verifies(self, name):
+        system, workload = run_workload(name, "llc_bounded")
+        assert workload.verify()
+        assert system.stats.counter("ops.committed") > 0
+
+    def test_ideal_runs_and_verifies(self, name):
+        system, workload = run_workload(name, "ideal")
+        assert workload.verify()
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["hashmap", "hybrid_index", "echo"])
+    def test_same_seed_same_counters(self, name):
+        first, _ = run_workload(name, seed=99)
+        second, _ = run_workload(name, seed=99)
+        assert first.stats.snapshot() == second.stats.snapshot()
+        assert first.elapsed_ns == second.elapsed_ns
+
+    def test_different_seed_differs_somewhere(self):
+        first, _ = run_workload("hashmap", seed=1)
+        second, _ = run_workload("hashmap", seed=2)
+        assert first.elapsed_ns != second.elapsed_ns
+
+
+class TestHybridConsistency:
+    def test_indexes_agree_after_concurrency(self):
+        params = WorkloadParams(
+            threads=4, txs_per_thread=6, value_bytes=50 << 10,
+            keys=128, initial_fill=32,
+        )
+        system, workload = run_workload("hybrid_index", params=params)
+        assert workload.verify()  # includes cross-index agreement
+
+    def test_dual_store_catches_up(self):
+        system, workload = run_workload("dual_kv")
+        assert not workload.crl
+        assert workload.verify()
+
+
+class TestEchoSpecifics:
+    def test_long_tx_scheduling_materialises(self):
+        params = WorkloadParams(
+            threads=3, txs_per_thread=10, value_bytes=8 << 10,
+            keys=512, initial_fill=256,
+        )
+        system, workload = run_workload(
+            "echo", params=params, long_tx_ratio=0.05,
+            long_scan_bytes=1 << 20, hot_keys=32,
+        )
+        assert workload.long_txs_executed >= 1
+        assert workload.verify()
+
+    def test_scan_keys_disjoint_from_hot_chains(self):
+        params = WorkloadParams(
+            threads=2, txs_per_thread=2, value_bytes=8 << 10,
+            keys=512, initial_fill=256,
+        )
+        system, workload = run_workload(
+            "echo", params=params, long_tx_ratio=0.5,
+            long_scan_bytes=1 << 16, hot_keys=32,
+        )
+        nbuckets = max(128, params.initial_fill)
+        from repro.workloads.hashmap import TxHashMap
+
+        hot_buckets = {TxHashMap._hash(k) % nbuckets for k in range(32)}
+        for key in workload._scan_keys:
+            assert TxHashMap._hash(key) % nbuckets not in hot_buckets
+
+
+class TestMemBound:
+    def test_membound_stops_on_signal(self):
+        system = System(MachineConfig.scaled(1 / 64, cores=4), HTMConfig())
+        proc = system.process("hog")
+        stop = {"flag": False}
+        hog = WORKLOADS["membound"](
+            system,
+            proc,
+            WorkloadParams(threads=1, value_bytes=64, initial_fill=0),
+            llc_multiple=1.0,
+            stop_when=lambda: stop["flag"],
+            max_sweeps=1_000_000,
+        )
+        hog.spawn()
+        system.run(max_steps=50)
+        stop["flag"] = True
+        system.run()
+        assert system.engine.all_done()
+
+    def test_membound_fills_llc(self):
+        system = System(MachineConfig.scaled(1 / 256, cores=2), HTMConfig())
+        proc = system.process("hog")
+        hog = WORKLOADS["membound"](
+            system,
+            proc,
+            WorkloadParams(threads=1, value_bytes=64, initial_fill=0),
+            llc_multiple=2.0,
+            max_sweeps=3,
+        )
+        hog.spawn()
+        system.run()
+        assert hog.sweeps_completed >= 1
+        occupancy = system.hierarchy.llc.resident_count()
+        assert occupancy > system.machine.llc.num_lines * 0.9
