@@ -6,6 +6,7 @@ Usage::
     python -m repro fig6
     python -m repro fig9 --full
     python -m repro all --seed 7
+    python -m repro faults --workload hashmap --crashes 50 --seed 1
 """
 
 from __future__ import annotations
@@ -39,13 +40,20 @@ def _run_one(name: str, quick: bool, scale: float, seed: int) -> list:
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "faults":
+        from .faults.cli import main as faults_main
+
+        return faults_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables and figures.",
     )
     parser.add_argument(
         "figure",
-        help="one of: " + ", ".join(sorted(ALL_FIGURES)) + ", all, list",
+        help="one of: " + ", ".join(sorted(ALL_FIGURES)) + ", all, list"
+        " (or the 'faults' subcommand: python -m repro faults --help)",
     )
     parser.add_argument(
         "--full",

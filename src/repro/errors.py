@@ -40,6 +40,21 @@ class RecoveryError(ReproError):
     """Post-crash recovery found a malformed or inconsistent log."""
 
 
+class PowerFailure(ReproError):
+    """A simulated power failure cut the machine mid-operation.
+
+    Raised by an armed :class:`repro.faults.FaultInjector` at its crash
+    point; it unwinds the entire simulation (through workload generators and
+    the engine run loop) back to the fault-campaign driver, which then wipes
+    volatile state and runs recovery.  Like :class:`TransactionAborted` it is
+    control flow, not a failure of the library.
+    """
+
+    def __init__(self, description: str) -> None:
+        super().__init__(f"power failure: {description}")
+        self.description = description
+
+
 class AbortReason(enum.Enum):
     """Why a transaction was aborted.
 

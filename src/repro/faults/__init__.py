@@ -1,0 +1,80 @@
+"""Fault-injection campaigns with a crash-consistency oracle.
+
+The robustness layer behind the paper's central durability claim (Section
+IV-C): that recovery restores a consistent hybrid DRAM/NVM state from a
+power failure at *any* point by replaying only committed NVM redo entries.
+Instead of hand-picked crash sites, this subsystem enumerates or samples
+crash points over the machine's architectural events, verifies every
+recovery against a pure-Python shadow of committed durable state, and
+shrinks any failure to the smallest reproducing fault plan.
+
+Pieces:
+
+* :mod:`~repro.faults.plan` — where to crash (serialisable fault plans)
+* :mod:`~repro.faults.injector` — the event counter that cuts the power
+* :mod:`~repro.faults.oracle` — the committed-prefix consistency oracle
+* :mod:`~repro.faults.campaign` — seeded sweeps over workloads
+* :mod:`~repro.faults.minimize` — delta-debugging shrinker for failures
+* :mod:`~repro.faults.cli` — ``python -m repro faults ...``
+
+Quick start::
+
+    from repro.faults import CampaignConfig, run_campaign
+
+    result = run_campaign(CampaignConfig(workload="hashmap", crashes=50))
+    assert result.ok, result.to_figure().pretty()
+"""
+
+from .campaign import (
+    CampaignConfig,
+    CampaignResult,
+    EventCounts,
+    PlanOutcome,
+    build_system,
+    execute_plan,
+    probe_events,
+    run_campaign,
+    sample_plans,
+)
+from .injector import FaultInjector
+from .minimize import MinimizationResult, minimize_plan
+from .oracle import CrashOracle, OracleVerdict
+from .plan import (
+    CrashPoint,
+    FaultPlan,
+    TriggerKind,
+    after_commit_mark,
+    after_nvm_append,
+    at_step,
+    at_time,
+    before_commit_mark,
+    during_recovery,
+    mid_commit,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "CrashOracle",
+    "CrashPoint",
+    "EventCounts",
+    "FaultInjector",
+    "FaultPlan",
+    "MinimizationResult",
+    "OracleVerdict",
+    "PlanOutcome",
+    "TriggerKind",
+    "after_commit_mark",
+    "after_nvm_append",
+    "at_step",
+    "at_time",
+    "before_commit_mark",
+    "build_system",
+    "during_recovery",
+    "execute_plan",
+    "mid_commit",
+    "minimize_plan",
+    "probe_events",
+    "run_campaign",
+    "sample_plans",
+]

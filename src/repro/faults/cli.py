@@ -1,0 +1,108 @@
+"""``python -m repro faults ...`` — run a fault-injection campaign.
+
+Examples::
+
+    python -m repro faults --workload hashmap --crashes 50 --seed 1
+    python -m repro faults --workload dual_kv --crashes 20 --json out.json
+    python -m repro faults --workload hashmap --inject-bug skip_commit_mark
+
+Exit status is 0 when every recovery verified, 1 when the oracle caught an
+inconsistency (the minimized reproducing plan is printed alongside).
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from typing import List, Optional
+
+from ..errors import ConfigError
+from ..harness.export import to_json, to_markdown
+from .campaign import CampaignConfig, run_campaign
+
+#: Workloads a campaign can sweep: the suite's persistent/hybrid stores plus
+#: the other transactional structures.  The bandwidth co-runners (membound,
+#: graphhog) are deliberately absent — they barely transact and make
+#: per-plan reruns pathologically slow.
+CAMPAIGN_WORKLOADS = (
+    "hashmap", "btree", "hybrid_index", "dual_kv", "rbtree", "skiplist", "echo"
+)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro faults",
+        description="Sweep seeded crash points and verify every recovery "
+        "against the crash-consistency oracle.",
+    )
+    parser.add_argument(
+        "--workload",
+        default="hashmap",
+        choices=sorted(CAMPAIGN_WORKLOADS),
+        help="workload to run under injection (default: hashmap)",
+    )
+    parser.add_argument(
+        "--crashes", type=int, default=50,
+        help="crash points to test, including the final power cut (default 50)",
+    )
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--design", default="uhtm",
+        choices=("llc_bounded", "signature_only", "uhtm", "ideal"),
+    )
+    parser.add_argument("--threads", type=int, default=2)
+    parser.add_argument("--txs", type=int, default=3, dest="txs_per_thread")
+    parser.add_argument(
+        "--no-minimize", action="store_false", dest="minimize",
+        help="skip shrinking the first failing plan",
+    )
+    parser.add_argument(
+        "--inject-bug",
+        choices=("skip_commit_mark",),
+        help="seed a deliberate durability bug (oracle self-validation)",
+    )
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the campaign table as JSON")
+    parser.add_argument("--markdown", metavar="PATH",
+                        help="also write the campaign table as Markdown")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        config = CampaignConfig(
+            workload=args.workload,
+            crashes=args.crashes,
+            seed=args.seed,
+            design=args.design,
+            threads=args.threads,
+            txs_per_thread=args.txs_per_thread,
+            inject_bug=args.inject_bug,
+            minimize_failures=args.minimize,
+        )
+    except ConfigError as error:
+        parser.error(str(error))
+    started = time.time()
+    result = run_campaign(config)
+    figure = result.to_figure()
+    print(figure.pretty())
+    metrics = result.metrics()
+    print()
+    print(
+        f"{metrics.recoveries_verified}/{metrics.crash_points_tested} "
+        f"recoveries verified "
+        f"({metrics.verification_rate:.0%}) in {time.time() - started:.1f}s"
+    )
+    if not result.ok:
+        print("CRASH-CONSISTENCY FAILURE — see minimized plan above")
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(to_json([figure]))
+        print(f"wrote {args.json}")
+    if args.markdown:
+        with open(args.markdown, "w", encoding="utf-8") as handle:
+            handle.write(to_markdown([figure]))
+        print(f"wrote {args.markdown}")
+    return 0 if result.ok else 1

@@ -1,0 +1,103 @@
+"""Shrink a failing fault plan to the smallest reproducing one.
+
+Campaign runs are deterministic (fresh machine, fixed seed), so "does this
+plan still fail?" is a pure predicate and shrinking is ordinary
+delta-debugging:
+
+1. **Drop steps.**  Try removing each step (stacked recovery crashes first);
+   keep any removal after which the oracle still flags an inconsistency.
+2. **Shrink ordinals.**  For each surviving step, try 1, half, and
+   predecessor ordinals until no smaller one reproduces.
+
+The result is the one-liner for a regression test: the least machinery that
+still breaks recovery.  Every candidate evaluation is a full run; the
+``budget`` caps them so a pathological plan cannot stall a campaign.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .plan import CrashPoint, FaultPlan, TriggerKind
+
+
+@dataclass
+class MinimizationResult:
+    """The shrunk plan plus how much work the search did."""
+
+    plan: FaultPlan
+    runs: int
+    #: True when the input plan failed the oracle at all (a plan that does
+    #: not reproduce is returned unchanged with this flag cleared).
+    reproduced: bool = True
+
+
+def minimize_plan(
+    config, plan: FaultPlan, budget: int = 64
+) -> MinimizationResult:
+    """Return the smallest plan (steps, then ordinals) that still fails."""
+    from .campaign import execute_plan  # deferred: campaign imports this module
+
+    runs = 0
+
+    def fails(candidate: FaultPlan) -> bool:
+        nonlocal runs
+        runs += 1
+        return not execute_plan(config, candidate).ok
+
+    if not fails(plan):
+        return MinimizationResult(plan=plan, runs=runs, reproduced=False)
+
+    # Phase 1: drop steps, later (stacked recovery) steps first.
+    current = plan
+    changed = True
+    while changed and runs < budget:
+        changed = False
+        for index in reversed(range(len(current.steps))):
+            candidate = FaultPlan(
+                current.steps[:index] + current.steps[index + 1:]
+            )
+            if fails(candidate):
+                current = candidate
+                changed = True
+                break
+            if runs >= budget:
+                break
+
+    # Phase 2: shrink each step's ordinal (sim-time points shrink at_ns).
+    # Candidates are tried smallest-first, so a bug that reproduces at the
+    # floor (ordinal 1) costs a single extra run.
+    steps = list(current.steps)
+    for index in range(len(steps)):
+        improved = True
+        while improved and runs < budget:
+            improved = False
+            for candidate_step in _shrink_candidates(steps[index]):
+                candidate = FaultPlan(
+                    tuple(steps[:index])
+                    + (candidate_step,)
+                    + tuple(steps[index + 1:])
+                )
+                if fails(candidate):
+                    steps[index] = candidate_step
+                    improved = True
+                    break
+                if runs >= budget:
+                    break
+    return MinimizationResult(plan=FaultPlan(tuple(steps)), runs=runs)
+
+
+def _shrink_candidates(step: CrashPoint):
+    """Strictly smaller variants of one step, smallest first."""
+    if step.kind is TriggerKind.SIM_TIME:
+        seen = set()
+        for at_ns in (0.0, step.at_ns / 2):
+            if at_ns < step.at_ns and at_ns not in seen:
+                seen.add(at_ns)
+                yield CrashPoint(step.kind, at_ns=at_ns)
+        return
+    seen = set()
+    for ordinal in (1, step.ordinal // 2, step.ordinal - 1):
+        if 1 <= ordinal < step.ordinal and ordinal not in seen:
+            seen.add(ordinal)
+            yield CrashPoint(step.kind, ordinal=ordinal)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, TYPE_CHECKING
+from typing import Dict, Optional, TYPE_CHECKING
 
 from ..sim.stats import ratio
 
@@ -74,6 +74,35 @@ class RunResult:
         if squares == 0:
             return 1.0
         return (total * total) / (len(values) * squares)
+
+
+@dataclass
+class CampaignMetrics:
+    """Summary of one fault-injection campaign (see :mod:`repro.faults`).
+
+    Produced by :meth:`repro.faults.campaign.CampaignResult.metrics` and
+    consumed by the same report/export path as :class:`RunResult`-derived
+    figures; kept here so dashboards aggregate simulation and robustness
+    metrics from one module.
+    """
+
+    workload: str
+    crash_points_tested: int
+    recoveries_verified: int
+    failures: int
+    replayed_lines: int
+    discarded_records: int
+    #: Steps in the minimized reproducing plan (None when nothing failed).
+    minimized_plan_steps: Optional[int] = None
+
+    @property
+    def verification_rate(self) -> float:
+        """Verified recoveries over crash points tested."""
+        return ratio(self.recoveries_verified, self.crash_points_tested)
+
+    @property
+    def ok(self) -> bool:
+        return self.failures == 0
 
 
 def collect_metrics(system: "System", label: str, verified: bool) -> RunResult:

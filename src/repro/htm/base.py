@@ -506,6 +506,13 @@ class HTMSystem:
                 )
             nvm_ns = self.controller.commit_nvm(tx.tx_id, nvm_lines)
 
+        # Fault hook: the window between the (durable) NVM commit protocol
+        # and the volatile DRAM publish — a crash here must still recover
+        # the transaction's persistent writes.
+        injector = self.controller.fault_injector
+        if injector is not None:
+            injector.on_mid_commit(tx.tx_id)
+
         dram_ns = 0.0
         if tx.dram_overflowed_lines:
             if self.config.dram_log_policy == DramLogPolicy.UNDO:

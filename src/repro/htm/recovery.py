@@ -10,6 +10,13 @@ DRAM backing store, the DRAM log, and the DRAM cache — then replays the NVM
 log.  Durability tests build data structures transactionally, crash at
 arbitrary points, recover, and verify that exactly the committed state is
 visible.
+
+Recovery is verified to be *idempotent* on every invocation: after the
+replay, a second replay pass must be a no-op (nothing left to replay, NVM
+contents unchanged).  A violation raises :class:`~repro.errors.RecoveryError`
+— it would mean the log survived reclamation or replay mutated the log, both
+of which would make multi-crash recovery (a failure during recovery itself)
+unsound.
 """
 
 from __future__ import annotations
@@ -17,7 +24,21 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..cache.hierarchy import CacheHierarchy
+from ..errors import RecoveryError
 from ..mem.controller import MemoryController
+from ..mem.log import RecordKind
+
+
+@dataclass
+class CrashReport:
+    """What a power failure destroyed (captured before the wipe)."""
+
+    #: Globally visible DRAM words lost.
+    lost_dram_words: int
+    #: DRAM log records lost (undo/redo records for volatile data).
+    lost_dram_log_records: int
+    #: DRAM-cache lines lost (committed-but-undrained or uncommitted).
+    lost_dram_cache_lines: int
 
 
 @dataclass
@@ -26,6 +47,14 @@ class RecoveryReport:
 
     replayed_lines: int
     surviving_nvm_words: int
+    #: Data records discarded because their transaction never committed
+    #: (in-flight at the crash, or aborted with deferred log deletion).
+    discarded_records: int = 0
+    #: Commit/abort-marked transactions whose records were reclaimed.
+    reclaimed_txs: int = 0
+    #: The post-replay idempotence audit passed (always True when the
+    #: report is returned; a failure raises instead).
+    idempotent: bool = True
 
 
 class CrashController:
@@ -36,7 +65,7 @@ class CrashController:
         self._hierarchy = hierarchy
         self.crashes = 0
 
-    def crash(self) -> None:
+    def crash(self) -> CrashReport:
         """Power failure: all volatile state is lost instantly.
 
         Pending writes in the controller's write-pending queue are durable
@@ -44,13 +73,47 @@ class CrashController:
         the NVM log or stored to the NVM backing store survives.
         """
         self.crashes += 1
+        report = CrashReport(
+            lost_dram_words=self._controller.dram.word_count(),
+            lost_dram_log_records=len(self._controller.dram_log),
+            lost_dram_cache_lines=len(self._controller.dram_cache),
+        )
         self._hierarchy.wipe()
         self._controller.crash()
+        return report
 
     def recover(self) -> RecoveryReport:
-        """Replay committed NVM redo records into the NVM backing store."""
+        """Replay committed NVM redo records into the NVM backing store.
+
+        Besides the replay itself this (1) discards the records of
+        transactions that never committed — their owners died with the
+        machine — and (2) audits that a second replay pass would be a
+        no-op, so a crash *during* recovery is always survivable by simply
+        recovering again.
+        """
+        log = self._controller.nvm_log
+        marked = set(log.committed_tx_ids()) | set(log.aborted_tx_ids())
         replayed = self._controller.recover()
+        discarded = self._controller.discard_uncommitted_nvm_records()
+        self._audit_idempotence()
         return RecoveryReport(
             replayed_lines=replayed,
             surviving_nvm_words=self._controller.nvm.word_count(),
+            discarded_records=discarded,
+            reclaimed_txs=len(marked),
         )
+
+    def _audit_idempotence(self) -> None:
+        """A second recovery pass must change nothing."""
+        leftover = [
+            r for r in self._controller.nvm_log if r.kind is RecordKind.REDO
+        ]
+        if leftover:
+            raise RecoveryError(
+                f"recovery left {len(leftover)} redo records in the NVM log"
+            )
+        before = self._controller.nvm.clone_contents()
+        if self._controller.recover() != 0:
+            raise RecoveryError("second recovery pass replayed records")
+        if self._controller.nvm.clone_contents() != before:
+            raise RecoveryError("second recovery pass mutated NVM contents")

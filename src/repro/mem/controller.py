@@ -9,7 +9,7 @@ deletion) return zero and are accounted in counters instead.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from ..params import LatencyConfig, MemoryConfig
 from .address import AddressSpace, MemoryKind, line_of
@@ -44,6 +44,29 @@ class MemoryController:
         self.background_nvm_writes = 0
         #: DRAM writes performed by asynchronous undo logging.
         self.background_dram_writes = 0
+        #: Fault-injection hook points (see :mod:`repro.faults`).  ``None``
+        #: means no campaign is running and every hook is a no-op.
+        self.fault_injector = None
+        #: Invoked at the architectural NVM commit point — right after the
+        #: durable commit mark lands (or would have landed, under an
+        #: injected durability bug) — with ``(tx_id, lines)``.  The crash
+        #: oracle shadows committed state through this.
+        self.on_nvm_commit: Optional[
+            Callable[[int, Dict[int, Dict[int, int]]], None]
+        ] = None
+        #: Invoked with the address of every non-transactional NVM store;
+        #: such writes carry no durability guarantee, so the oracle excludes
+        #: them from verification.
+        self.on_nontx_nvm_store: Optional[Callable[[int], None]] = None
+        # A committed transaction's new values live only in the (volatile)
+        # DRAM cache plus its redo records until the lines drain to NVM in
+        # place.  Compaction reclaims committed transactions' records, so it
+        # must drain the cache first or a crash after compaction would lose
+        # the commit.
+        self.nvm_log.pre_compact = self._drain_before_nvm_reclaim
+
+    def _drain_before_nvm_reclaim(self) -> None:
+        self.background_nvm_writes += self.dram_cache.drain_all()
 
     # -- data-path helpers ---------------------------------------------------
 
@@ -90,6 +113,8 @@ class MemoryController:
         until it drained.
         """
         if self.address_space.is_nvm(addr):
+            if self.on_nontx_nvm_store is not None:
+                self.on_nontx_nvm_store(addr)
             entry = self.dram_cache.lookup(line_of(addr))
             if entry is not None:
                 entry.words[addr] = value
@@ -215,7 +240,20 @@ class MemoryController:
         updates happen later via background drains.
         """
         elapsed = self.latency.nvm_write_ns  # durable commit mark
-        self.nvm_log.append_mark(RecordKind.COMMIT, tx_id)
+        injector = self.fault_injector
+        write_mark = True
+        if injector is not None:
+            # May crash (the window between the redo records and the mark),
+            # or veto the mark entirely (the seeded durability bug).
+            write_mark = injector.before_commit_mark(tx_id)
+        if write_mark:
+            self.nvm_log.append_mark(RecordKind.COMMIT, tx_id)
+        if self.on_nvm_commit is not None:
+            # Architectural commit point: the transaction is now (supposed
+            # to be) durable, whatever happens to the volatile machine.
+            self.on_nvm_commit(tx_id, lines)
+        if injector is not None:
+            injector.after_commit_mark(tx_id)
         for line_addr, words in lines.items():
             drained = self.dram_cache.fill(line_addr, words, tx_id, committed=True)
             self.background_nvm_writes += drained
@@ -258,13 +296,35 @@ class MemoryController:
         committed = set(self.nvm_log.committed_tx_ids())
         aborted = set(self.nvm_log.aborted_tx_ids())
         replayed = 0
-        for record in self.nvm_log:
+        for record in list(self.nvm_log):
             if record.kind is not RecordKind.REDO:
                 continue
             if record.tx_id in committed and record.tx_id not in aborted:
                 for word_addr, value in record.words:
                     self.nvm.store(word_addr, value)
                 replayed += 1
+                if self.fault_injector is not None:
+                    # A power failure can strike recovery itself; replay is
+                    # idempotent, so a later attempt simply starts over.
+                    self.fault_injector.on_recovery_replay(replayed)
         for tx_id in committed | aborted:
             self.nvm_log.reclaim(tx_id)
         return replayed
+
+    def discard_uncommitted_nvm_records(self) -> int:
+        """Drop NVM redo records whose transaction never committed.
+
+        Post-crash, an in-flight transaction can never complete — its owner
+        thread died with the machine — so recovery disregards its records.
+        Returns how many data records were discarded.  Kept separate from
+        :meth:`recover` because only a post-crash recovery may assume that
+        every unmarked transaction is dead.
+        """
+        committed = set(self.nvm_log.committed_tx_ids())
+        discarded = 0
+        for tx_id in self.nvm_log.data_tx_ids():
+            if tx_id in committed:
+                continue
+            discarded += len(self.nvm_log.records_of(tx_id))
+            self.nvm_log.reclaim(tx_id)
+        return discarded

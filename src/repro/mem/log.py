@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..errors import LogOverflowError
 from ..params import LINE_SIZE
@@ -80,6 +80,15 @@ class HardwareLog:
         #: rollback does not scan the whole log (the overflow list plays
         #: this role in hardware).
         self._by_tx: Dict[int, List[int]] = {}
+        #: Observers notified after every append (fault injectors and crash
+        #: oracles watch the NVM log through this).
+        self._observers: List[Callable[[LogRecord], None]] = []
+        #: Invoked before capacity-pressure compaction reclaims completed
+        #: transactions.  The controller wires the NVM log's hook to drain
+        #: the DRAM cache first: a committed transaction's only durable copy
+        #: may be its redo records until its lines drain to NVM in place, so
+        #: reclaiming those records before the drain would break recovery.
+        self.pre_compact: Optional[Callable[[], None]] = None
 
     @property
     def name(self) -> str:
@@ -110,10 +119,7 @@ class HardwareLog:
     ) -> LogRecord:
         if kind not in (RecordKind.UNDO, RecordKind.REDO):
             raise ValueError(f"append_data takes UNDO/REDO, got {kind}")
-        record = self._append(kind, tx_id, line_addr, tuple(sorted(words.items())))
-        positions = self._by_tx.setdefault(tx_id, [])
-        positions.append(len(self._records) - 1)
-        return record
+        return self._append(kind, tx_id, line_addr, tuple(sorted(words.items())))
 
     def append_mark(self, kind: RecordKind, tx_id: int) -> LogRecord:
         if kind not in (RecordKind.COMMIT, RecordKind.ABORT):
@@ -132,6 +138,8 @@ class HardwareLog:
         if self._cursor_bytes + record.size_bytes > self._capacity_bytes:
             # Reclaim completed transactions' records first; if live data
             # alone still exceeds the area, trap the OS for more space.
+            if self.pre_compact is not None:
+                self.pre_compact()
             self._compact()
             while self._cursor_bytes + record.size_bytes > self._capacity_bytes:
                 if not self._allow_expansion:
@@ -143,7 +151,22 @@ class HardwareLog:
                 self.expansions += 1
         self._records.append(record)
         self._cursor_bytes += record.size_bytes
+        if kind in (RecordKind.UNDO, RecordKind.REDO):
+            # Index before notifying observers: an observer may model a
+            # power failure by raising, and the record is already durable.
+            self._by_tx.setdefault(tx_id, []).append(len(self._records) - 1)
+        for observer in self._observers:
+            observer(record)
         return record
+
+    def add_observer(self, observer: Callable[[LogRecord], None]) -> None:
+        """Call ``observer`` with every record after it is appended.
+
+        Observers may raise :class:`~repro.errors.PowerFailure` to model a
+        crash immediately after the append — the record is already durable
+        (for the NVM log) when they run.
+        """
+        self._observers.append(observer)
 
     # -- queries -----------------------------------------------------------
 
@@ -158,6 +181,10 @@ class HardwareLog:
 
     def aborted_tx_ids(self) -> List[int]:
         return [r.tx_id for r in self._records if r.kind is RecordKind.ABORT]
+
+    def data_tx_ids(self) -> List[int]:
+        """Transactions that still have live data records in the area."""
+        return list(self._by_tx)
 
     # -- reclamation -------------------------------------------------------
 

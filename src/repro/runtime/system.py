@@ -24,7 +24,7 @@ from typing import List, Optional
 from ..cache.hierarchy import CacheHierarchy
 from ..htm.designs import build_htm
 from ..htm.fallback import FallbackLockTable
-from ..htm.recovery import CrashController, RecoveryReport
+from ..htm.recovery import CrashController, CrashReport, RecoveryReport
 from ..mem.controller import MemoryController
 from ..params import HTMConfig, MachineConfig
 from ..sim.engine import Engine
@@ -111,11 +111,23 @@ class System:
 
     # -- failure injection ---------------------------------------------------------
 
-    def crash(self) -> None:
-        self.crash_controller.crash()
+    def crash(self) -> CrashReport:
+        return self.crash_controller.crash()
 
     def recover(self) -> RecoveryReport:
         return self.crash_controller.recover()
+
+    def install_fault_injector(self, injector) -> None:
+        """Arm every fault hook point with ``injector`` (see :mod:`repro.faults`).
+
+        The injector observes NVM log appends, commit-mark writes, recovery
+        replay, and engine steps; when its armed crash point fires it raises
+        :class:`~repro.errors.PowerFailure`, which unwinds out of
+        :meth:`run` (or :meth:`recover`) back to the campaign driver.
+        """
+        self.controller.fault_injector = injector
+        self.engine.fault_injector = injector
+        self.controller.nvm_log.add_observer(injector.observe_nvm_log)
 
     # -- reporting -------------------------------------------------------------------
 

@@ -78,6 +78,11 @@ class Engine:
         self._heap: List = []
         self._push_count = 0
         self._steps = 0
+        #: Fault-injection hook (see :mod:`repro.faults`): consulted before
+        #: every thread step for step-count and simulated-time crash points.
+        #: A raised :class:`~repro.errors.PowerFailure` propagates out of
+        #: :meth:`run`; the dead machine is never resumed.
+        self.fault_injector = None
 
     @property
     def threads(self) -> List[SimThread]:
@@ -162,6 +167,8 @@ class Engine:
 
     def _step(self, thread: SimThread) -> None:
         self._steps += 1
+        if self.fault_injector is not None:
+            self.fault_injector.on_engine_step(thread.clock_ns)
         body = thread._ensure_body()
         try:
             next(body)

@@ -1,0 +1,151 @@
+"""Tests for campaign sweeps, the minimizer, and the faults CLI."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import (
+    CampaignConfig,
+    FaultPlan,
+    TriggerKind,
+    minimize_plan,
+    probe_events,
+    run_campaign,
+    sample_plans,
+)
+from repro.faults.cli import main as faults_main
+
+
+class TestCampaignConfig:
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ConfigError):
+            CampaignConfig(workload="nope")
+
+    def test_unknown_bug_rejected(self):
+        with pytest.raises(ConfigError):
+            CampaignConfig(inject_bug="off_by_one")
+
+    def test_crashes_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            CampaignConfig(crashes=0)
+
+
+class TestSampling:
+    def test_sampling_is_deterministic_per_seed(self):
+        counts, _ = probe_events(CampaignConfig(crashes=1, seed=4))
+        first = sample_plans(random.Random(4), counts, 20)
+        second = sample_plans(random.Random(4), counts, 20)
+        assert first == second
+
+    def test_samples_cover_multiple_kinds(self):
+        counts, _ = probe_events(CampaignConfig(crashes=1, seed=4))
+        plans = sample_plans(random.Random(4), counts, 40)
+        kinds = {p.steps[0].kind for p in plans}
+        assert len(kinds) >= 3
+        assert any(len(p) > 1 for p in plans), "no stacked recovery crash"
+
+
+class TestCampaign:
+    def test_sound_machine_campaign_fully_verifies(self):
+        result = run_campaign(CampaignConfig(workload="hashmap", crashes=12, seed=2))
+        assert result.ok
+        assert result.crash_points_tested == 12
+        assert result.recoveries_verified == 12
+        assert result.minimized is None
+        metrics = result.metrics()
+        assert metrics.ok and metrics.verification_rate == 1.0
+        assert metrics.minimized_plan_steps is None
+
+    def test_campaign_figure_exports(self):
+        result = run_campaign(CampaignConfig(workload="dual_kv", crashes=6, seed=3))
+        figure = result.to_figure()
+        text = figure.pretty()
+        assert "Fault campaign" in text
+        assert "recoveries" in " ".join(figure.notes)
+
+    def test_buggy_machine_is_caught_and_minimized(self):
+        """The acceptance regression: a machine that skips durable commit
+        marks must be flagged by the oracle and shrunk to a <= 3-step
+        reproducing plan."""
+        result = run_campaign(
+            CampaignConfig(
+                workload="hashmap",
+                crashes=8,
+                seed=1,
+                inject_bug="skip_commit_mark",
+            )
+        )
+        assert not result.ok
+        assert result.failures
+        assert result.minimized is not None
+        assert len(result.minimized) <= 3
+        # The minimized plan must still reproduce on a fresh machine.
+        shrunk = minimize_plan(
+            CampaignConfig(
+                workload="hashmap", crashes=1, seed=1, inject_bug="skip_commit_mark"
+            ),
+            result.minimized,
+        )
+        assert shrunk.reproduced
+
+    def test_minimizer_reports_non_reproducing_plans(self):
+        config = CampaignConfig(workload="hashmap", crashes=1, seed=2)
+        result = minimize_plan(config, FaultPlan())
+        assert not result.reproduced
+        assert result.plan == FaultPlan()
+
+
+class TestFaultsCli:
+    def test_clean_campaign_exits_zero(self, capsys):
+        code = faults_main(
+            ["--workload", "hashmap", "--crashes", "8", "--seed", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "8/8 recoveries verified" in out
+
+    def test_buggy_campaign_exits_nonzero_and_prints_reproducer(self, capsys):
+        code = faults_main(
+            [
+                "--workload", "hashmap", "--crashes", "6", "--seed", "1",
+                "--inject-bug", "skip_commit_mark",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "CRASH-CONSISTENCY FAILURE" in out
+        assert "minimized reproducer" in out
+
+    def test_json_export(self, tmp_path, capsys):
+        path = tmp_path / "campaign.json"
+        code = faults_main(
+            ["--workload", "dual_kv", "--crashes", "4", "--json", str(path)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        payload = json.loads(path.read_text())
+        assert payload  # one figure entry with rows
+
+    def test_main_module_delegates_faults_subcommand(self, capsys):
+        from repro.__main__ import main
+
+        code = main(["faults", "--workload", "hashmap", "--crashes", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "recoveries verified" in out
+
+
+class TestTriggerCoverage:
+    def test_probe_counts_every_hook(self):
+        counts, _ = probe_events(CampaignConfig(workload="hashmap", seed=1))
+        assert counts.nvm_log_appends > 0
+        assert counts.commit_marks > 0
+        assert counts.mid_commits > 0
+        assert counts.engine_steps > 0
+        assert counts.recovery_replays > 0
+        assert counts.end_ns > 0
+        assert counts.of(TriggerKind.NVM_LOG_APPEND) == counts.nvm_log_appends

@@ -1,0 +1,125 @@
+"""Tests for the crash-consistency oracle and the recovery audit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    CampaignConfig,
+    FaultPlan,
+    after_commit_mark,
+    after_nvm_append,
+    build_system,
+    execute_plan,
+)
+from repro.mem.address import line_of
+from repro.mem.address import MemoryKind, Region
+from repro.mem.log import HardwareLog, RecordKind
+
+CONFIG = CampaignConfig(workload="hashmap", crashes=1, seed=11)
+BUGGY = CampaignConfig(
+    workload="hashmap", crashes=1, seed=11, inject_bug="skip_commit_mark"
+)
+
+
+class TestOracleOnSoundMachine:
+    def test_clean_run_verifies(self):
+        system, _workload, oracle = build_system(CONFIG)
+        system.run()
+        system.crash()
+        system.recover()
+        verdict = oracle.verify()
+        assert verdict.ok, verdict.describe()
+        assert verdict.committed_txs > 0
+        assert verdict.words_checked > 0
+
+    def test_crash_in_torn_commit_window_verifies(self):
+        outcome = execute_plan(CONFIG, after_nvm_append(1))
+        assert outcome.ok, outcome.verdict.describe()
+        # The in-flight transaction's record must have been discarded.
+        assert outcome.report.discarded_records >= 1
+
+    def test_crash_after_commit_mark_keeps_the_commit(self):
+        outcome = execute_plan(CONFIG, after_commit_mark(1))
+        assert outcome.ok, outcome.verdict.describe()
+        assert outcome.verdict.committed_txs >= 1
+        assert outcome.report.replayed_lines >= 1
+
+
+class TestOracleCatchesDurabilityBugs:
+    def test_suppressed_commit_mark_is_flagged_as_lost_commit(self):
+        """Oracle self-validation: with durable commit marks dropped, every
+        architecturally committed transaction is lost at the crash, and the
+        oracle must say so."""
+        outcome = execute_plan(BUGGY, FaultPlan())
+        assert not outcome.ok
+        assert any("lost/torn" in f for f in outcome.verdict.failures)
+
+    def test_bug_is_architectural_not_log_derived(self):
+        """The oracle's expectations come from the commit point, not the
+        (corrupted) log, so committed_txs still counts the lost commits."""
+        outcome = execute_plan(BUGGY, FaultPlan())
+        assert outcome.verdict.committed_txs > 0
+        assert outcome.report.replayed_lines == 0  # nothing marked committed
+
+
+class TestRecoveryReport:
+    def test_report_fields(self):
+        system, _workload, _oracle = build_system(CONFIG)
+        system.run()
+        crash = system.crash()
+        report = system.recover()
+        assert crash.lost_dram_words >= 0
+        assert report.replayed_lines >= 0
+        assert report.surviving_nvm_words > 0
+        assert report.idempotent is True
+
+    def test_double_recovery_is_idempotent(self):
+        system, _workload, _oracle = build_system(CONFIG)
+        system.run()
+        system.crash()
+        first = system.recover()
+        again = system.recover()
+        assert again.replayed_lines == 0
+        assert again.discarded_records == 0
+        assert again.surviving_nvm_words == first.surviving_nvm_words
+
+    def test_uncommitted_records_are_discarded_and_counted(self):
+        outcome = execute_plan(CONFIG, after_nvm_append(2))
+        assert outcome.report.discarded_records >= 1
+        # And a repeat recovery has nothing left to discard:
+        system, _workload, _oracle = build_system(CONFIG)
+        system.run()
+        system.crash()
+        system.recover()
+        assert system.controller.discard_uncommitted_nvm_records() == 0
+
+
+class TestCompactionDurabilityOrder:
+    """Log compaction must drain the DRAM cache before reclaiming committed
+    transactions' redo records — until the drain, those records can be the
+    only durable copy of a committed line."""
+
+    def test_pre_compact_hook_runs_before_reclaim(self):
+        # A log that fits two data records: the third append must compact.
+        size = 3 * (16 + 64) - 8
+        log = HardwareLog(Region(MemoryKind.NVM, 0x1000, size), "nvm")
+        drained = []
+        log.pre_compact = lambda: drained.append(len(log))
+        log.append_data(RecordKind.REDO, 1, 0x40, {0x40: 1})
+        log.append_mark(RecordKind.COMMIT, 1)
+        log.append_data(RecordKind.REDO, 2, 0x80, {0x80: 2})
+        log.append_data(RecordKind.REDO, 2, 0xC0, {0xC0: 3})  # triggers
+        assert drained, "compaction ran without the pre-compact drain"
+
+    def test_controller_wires_drain_before_nvm_reclaim(self):
+        system, _workload, _oracle = build_system(CONFIG)
+        controller = system.controller
+        assert controller.nvm_log.pre_compact is not None
+        word = system.heap.alloc_words(1, MemoryKind.NVM)
+        controller.dram_cache.fill(line_of(word), {word: 5}, 1, committed=True)
+        before = controller.background_nvm_writes
+        controller.nvm_log.pre_compact()
+        assert controller.background_nvm_writes > before
+        assert len(controller.dram_cache) == 0
+        assert controller.nvm.load(word) == 5

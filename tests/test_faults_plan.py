@@ -1,0 +1,166 @@
+"""Tests for fault plans and the event-counting injector."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError, PowerFailure
+from repro.faults import (
+    CrashPoint,
+    FaultInjector,
+    FaultPlan,
+    TriggerKind,
+    after_commit_mark,
+    after_nvm_append,
+    at_step,
+    at_time,
+    before_commit_mark,
+    during_recovery,
+    mid_commit,
+)
+from repro.mem.address import MemoryKind, Region
+from repro.mem.log import HardwareLog, RecordKind
+
+
+class TestCrashPoint:
+    def test_ordinal_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            CrashPoint(TriggerKind.NVM_LOG_APPEND, ordinal=0)
+
+    def test_sim_time_ignores_ordinal_but_needs_nonnegative_time(self):
+        CrashPoint(TriggerKind.SIM_TIME, at_ns=0.0)  # fine
+        with pytest.raises(ConfigError):
+            CrashPoint(TriggerKind.SIM_TIME, at_ns=-1.0)
+
+    def test_describe(self):
+        assert "nvm_log_append #3" in CrashPoint(
+            TriggerKind.NVM_LOG_APPEND, 3
+        ).describe()
+        assert "t=50ns" in CrashPoint(TriggerKind.SIM_TIME, at_ns=50.0).describe()
+
+    def test_dict_round_trip(self):
+        for point in (
+            CrashPoint(TriggerKind.COMMIT_MARK, 7),
+            CrashPoint(TriggerKind.SIM_TIME, at_ns=123.5),
+            CrashPoint(TriggerKind.RECOVERY_REPLAY, 2),
+        ):
+            assert CrashPoint.from_dict(point.to_dict()) == point
+
+    def test_value_semantics(self):
+        a = CrashPoint(TriggerKind.MID_COMMIT, 2)
+        b = CrashPoint(TriggerKind.MID_COMMIT, 2)
+        assert a == b and hash(a) == hash(b)
+
+
+class TestFaultPlan:
+    def test_empty_plan_is_run_to_completion(self):
+        plan = FaultPlan()
+        assert len(plan) == 0
+        assert plan.run_step is None
+        assert plan.recovery_steps == ()
+        assert "run to completion" in plan.describe()
+
+    def test_only_first_step_may_be_run_phase(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(
+                (
+                    CrashPoint(TriggerKind.NVM_LOG_APPEND, 1),
+                    CrashPoint(TriggerKind.COMMIT_MARK, 1),
+                )
+            )
+
+    def test_stacked_recovery_steps_are_legal(self):
+        plan = FaultPlan(
+            (
+                CrashPoint(TriggerKind.NVM_LOG_APPEND, 4),
+                CrashPoint(TriggerKind.RECOVERY_REPLAY, 1),
+                CrashPoint(TriggerKind.RECOVERY_REPLAY, 3),
+            )
+        )
+        assert plan.run_step == CrashPoint(TriggerKind.NVM_LOG_APPEND, 4)
+        assert len(plan.recovery_steps) == 2
+
+    def test_recovery_only_plan_has_no_run_step(self):
+        plan = during_recovery(2)
+        assert plan.run_step is None
+        assert plan.recovery_steps == (CrashPoint(TriggerKind.RECOVERY_REPLAY, 2),)
+
+    def test_json_round_trip(self):
+        plan = during_recovery(2, after=after_nvm_append(9))
+        payload = json.loads(json.dumps(plan.to_dict()))
+        assert FaultPlan.from_dict(payload) == plan
+
+    def test_constructors(self):
+        assert after_nvm_append(3).steps[0].kind is TriggerKind.NVM_LOG_APPEND
+        assert before_commit_mark(1).steps[0].kind is TriggerKind.PRE_COMMIT_MARK
+        assert after_commit_mark(1).steps[0].kind is TriggerKind.COMMIT_MARK
+        assert mid_commit(2).steps[0].kind is TriggerKind.MID_COMMIT
+        assert at_step(5).steps[0].kind is TriggerKind.ENGINE_STEP
+        assert at_time(9.0).steps[0].at_ns == 9.0
+
+
+class TestFaultInjector:
+    def test_unarmed_injector_only_counts(self):
+        injector = FaultInjector()
+        injector.on_engine_step(10.0)
+        injector.on_mid_commit(1)
+        injector.after_commit_mark(1)
+        assert injector.counts[TriggerKind.ENGINE_STEP] == 1
+        assert injector.counts[TriggerKind.MID_COMMIT] == 1
+        assert injector.counts[TriggerKind.COMMIT_MARK] == 1
+        assert injector.fired == []
+
+    def test_armed_point_fires_on_exact_ordinal(self):
+        injector = FaultInjector()
+        point = CrashPoint(TriggerKind.MID_COMMIT, 3)
+        injector.arm(point)
+        injector.on_mid_commit(1)
+        injector.on_mid_commit(2)
+        with pytest.raises(PowerFailure):
+            injector.on_mid_commit(3)
+        assert injector.fired == [point]
+        assert injector.armed is None  # one-shot
+
+    def test_fired_point_does_not_refire(self):
+        injector = FaultInjector()
+        injector.arm(CrashPoint(TriggerKind.MID_COMMIT, 1))
+        with pytest.raises(PowerFailure):
+            injector.on_mid_commit(1)
+        injector.on_mid_commit(1)  # counts, but no longer armed
+
+    def test_sim_time_fires_on_clock_not_count(self):
+        injector = FaultInjector()
+        injector.arm(CrashPoint(TriggerKind.SIM_TIME, at_ns=100.0))
+        injector.on_engine_step(50.0)
+        injector.on_engine_step(99.9)
+        with pytest.raises(PowerFailure):
+            injector.on_engine_step(100.0)
+
+    def test_log_observer_counts_only_redo_records(self):
+        log = HardwareLog(Region(MemoryKind.NVM, 0x1000, 1 << 16), "nvm")
+        injector = FaultInjector()
+        log.add_observer(injector.observe_nvm_log)
+        log.append_data(RecordKind.REDO, 1, 0x40, {0x40: 1})
+        log.append_mark(RecordKind.COMMIT, 1)
+        assert injector.counts[TriggerKind.NVM_LOG_APPEND] == 1
+
+    def test_crash_during_append_leaves_record_indexed(self):
+        """A PowerFailure from the observer models ADR: the record is
+        already durable, so the log's tx index must already cover it."""
+        log = HardwareLog(Region(MemoryKind.NVM, 0x1000, 1 << 16), "nvm")
+        injector = FaultInjector()
+        log.add_observer(injector.observe_nvm_log)
+        injector.arm(CrashPoint(TriggerKind.NVM_LOG_APPEND, 1))
+        with pytest.raises(PowerFailure):
+            log.append_data(RecordKind.REDO, 7, 0x40, {0x40: 1})
+        assert log.data_tx_ids() == [7]
+        assert len(log.records_of(7)) == 1
+
+    def test_before_commit_mark_vetoes_under_seeded_bug(self):
+        assert FaultInjector().before_commit_mark(1) is True
+        assert (
+            FaultInjector(suppress_commit_marks=True).before_commit_mark(1)
+            is False
+        )
