@@ -13,11 +13,11 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 
 from .harness.export import to_json, to_markdown
 from .harness.figures import ALL_FIGURES
 from .harness.config import DEFAULT_SCALE
+from .harness.timer import Stopwatch
 
 #: Figures that accept (quick, scale, seed); tables take no arguments.
 _STATIC = {"table1", "table2", "table4"}
@@ -25,7 +25,7 @@ _STATIC = {"table1", "table2", "table4"}
 
 def _run_one(name: str, quick: bool, scale: float, seed: int) -> list:
     driver = ALL_FIGURES[name]
-    started = time.time()
+    stopwatch = Stopwatch()
     if name in _STATIC:
         results = driver()
     else:
@@ -35,7 +35,7 @@ def _run_one(name: str, quick: bool, scale: float, seed: int) -> list:
     for result in results:
         print(result.pretty())
         print()
-    print(f"[{name}] regenerated in {time.time() - started:.1f}s wall clock")
+    print(f"[{name}] regenerated in {stopwatch} wall clock")
     return list(results)
 
 
@@ -46,6 +46,10 @@ def main(argv=None) -> int:
         from .faults.cli import main as faults_main
 
         return faults_main(argv[1:])
+    if argv and argv[0] == "lint":
+        from .analyze.cli import main as lint_main
+
+        return lint_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables and figures.",

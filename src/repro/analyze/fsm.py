@@ -1,0 +1,310 @@
+"""FSM004 — coherence-FSM completeness.
+
+The staged conflict detection of the paper rides on a MESI protocol whose
+transition functions live in ``cache/coherence.py`` and whose transactional
+dispatch lives in ``cache/directory.py``.  Python has no exhaustiveness
+checking, so adding a state (say MOESI's OWNED) or a request type compiles
+fine and then misbehaves mid-simulation.  This checker closes that hole by
+*statically evaluating* the transition table over the full product space —
+no simulation, just the pure functions:
+
+* every ``(CoherenceRequest, other_copies)`` pair must map to a valid
+  requester state, and every ``(CoherenceRequest, MesiState)`` pair to a
+  valid holder state — a raise or a non-member return is an unhandled pair;
+* every state must be reachable from INVALID through the induced graph;
+* every transition must preserve the SWMR invariant (checked over all
+  3-core state vectors when the module exports ``check_swmr``);
+* the directory's ``check_access`` decision table is compared against the
+  paper's three conflict cases (waw / raw / war, §IV-D) over all
+  owner × sharer × requester × access-kind combinations.
+
+The checker executes the module body in an isolated namespace, so the
+coherence and directory modules must stay import-light (standard library
+only) — a relative import there turns into an FSM004 "could not evaluate"
+finding, which is intentional: transition tables should not pull in the
+machine they govern.
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+import sys
+import types
+from typing import Any, Dict, Iterable, List, Optional
+
+from .core import Checker, Finding, Project, SourceFile, register
+
+#: Conflict kinds §IV-D defines; anything else in a DirectoryConflict is a
+#: dispatch bug.
+VALID_CONFLICT_KINDS = frozenset({"raw", "waw", "war"})
+
+#: Cap per sub-check so a broken table does not flood the report.
+_MAX_FINDINGS_PER_CHECK = 8
+
+
+def _defined_names(tree: ast.Module) -> Dict[str, ast.AST]:
+    names: Dict[str, ast.AST] = {}
+    for node in tree.body:
+        if isinstance(node, (ast.ClassDef, ast.FunctionDef)):
+            names[node.name] = node
+    return names
+
+
+def _evaluate_module(source: SourceFile) -> Dict[str, Any]:
+    # A real module registered in sys.modules, because dataclass/enum
+    # machinery resolves ``sys.modules[cls.__module__]`` during class
+    # creation; a bare dict namespace breaks them.
+    name = f"_repro_fsm_eval_{source.path.stem}"
+    module = types.ModuleType(name)
+    module.__file__ = str(source.path)
+    code = compile(source.text, str(source.path), "exec")
+    sys.modules[name] = module
+    try:
+        exec(code, module.__dict__)  # noqa: S102 - our own transition table
+    finally:
+        sys.modules.pop(name, None)
+    return module.__dict__
+
+
+@register
+class FsmCompletenessChecker(Checker):
+    rule = "FSM004"
+    description = (
+        "the MesiState x CoherenceRequest transition table must be total, "
+        "reachable, SWMR-preserving; directory dispatch must match §IV-D"
+    )
+
+    def check(self, source: SourceFile, project: Project) -> Iterable[Finding]:
+        defined = _defined_names(source.tree)
+        has_transitions = {
+            "MesiState",
+            "CoherenceRequest",
+            "next_state_for_requester",
+            "next_state_for_holder",
+        } <= set(defined)
+        has_directory = "Directory" in defined and any(
+            isinstance(node, ast.FunctionDef) and node.name == "check_access"
+            for node in ast.walk(defined["Directory"])
+        )
+        if not has_transitions and not has_directory:
+            return []
+        try:
+            namespace = _evaluate_module(source)
+        except Exception as error:  # pragma: no cover - exercised via fixtures
+            return [
+                self.finding(
+                    source,
+                    source.tree,
+                    "could not evaluate the module for FSM analysis "
+                    f"({type(error).__name__}: {error}); keep transition "
+                    "modules import-light",
+                )
+            ]
+        findings: List[Finding] = []
+        if has_transitions:
+            findings.extend(self._check_transitions(source, defined, namespace))
+        if has_directory:
+            findings.extend(self._check_directory(source, defined, namespace))
+        return findings
+
+    # -- transition totality, reachability, SWMR ----------------------------
+
+    def _check_transitions(
+        self,
+        source: SourceFile,
+        defined: Dict[str, ast.AST],
+        namespace: Dict[str, Any],
+    ) -> Iterable[Finding]:
+        states = list(namespace["MesiState"])
+        requests = list(namespace["CoherenceRequest"])
+        requester_fn = namespace["next_state_for_requester"]
+        holder_fn = namespace["next_state_for_holder"]
+        member = lambda value: value in set(states)  # noqa: E731
+        findings: List[Finding] = []
+
+        def report(node_name: str, message: str) -> None:
+            if len(findings) < _MAX_FINDINGS_PER_CHECK:
+                findings.append(self.finding(source, defined[node_name], message))
+
+        for request, other_copies in itertools.product(requests, (False, True)):
+            try:
+                result = requester_fn(request, other_copies)
+            except Exception as error:
+                report(
+                    "next_state_for_requester",
+                    f"unhandled pair ({request!r}, other_copies={other_copies}): "
+                    f"{type(error).__name__}: {error}",
+                )
+                continue
+            if not member(result):
+                report(
+                    "next_state_for_requester",
+                    f"({request!r}, other_copies={other_copies}) returned "
+                    f"{result!r}, not a MesiState member",
+                )
+        holder_next: Dict[Any, Dict[Any, Any]] = {}
+        for request, state in itertools.product(requests, states):
+            try:
+                result = holder_fn(request, state)
+            except Exception as error:
+                report(
+                    "next_state_for_holder",
+                    f"unhandled pair ({state!r}, {request!r}): "
+                    f"{type(error).__name__}: {error}",
+                )
+                continue
+            if not member(result):
+                report(
+                    "next_state_for_holder",
+                    f"({state!r}, {request!r}) returned {result!r}, "
+                    "not a MesiState member",
+                )
+            else:
+                holder_next.setdefault(request, {})[state] = result
+        if findings:
+            return findings  # reachability over a partial table is noise
+
+        invalid = self._invalid_state(states)
+        reachable = {invalid}
+        frontier = [invalid]
+        while frontier:
+            state = frontier.pop()
+            successors = [
+                requester_fn(request, other)
+                for request, other in itertools.product(requests, (False, True))
+            ] + [holder_next[request][state] for request in requests]
+            for nxt in successors:
+                if nxt not in reachable:
+                    reachable.add(nxt)
+                    frontier.append(nxt)
+        for state in states:
+            if state not in reachable:
+                report(
+                    "MesiState",
+                    f"state {state!r} is unreachable from {invalid!r} under "
+                    "the declared transitions",
+                )
+
+        check_swmr = namespace.get("check_swmr")
+        if callable(check_swmr):
+            findings.extend(
+                self._check_swmr_preservation(
+                    source, defined, states, requests, requester_fn,
+                    holder_fn, check_swmr, invalid,
+                )
+            )
+        return findings
+
+    @staticmethod
+    def _invalid_state(states: List[Any]) -> Any:
+        for state in states:
+            if state.name == "INVALID":
+                return state
+        return states[0]
+
+    def _check_swmr_preservation(
+        self,
+        source: SourceFile,
+        defined: Dict[str, ast.AST],
+        states: List[Any],
+        requests: List[Any],
+        requester_fn,
+        holder_fn,
+        check_swmr,
+        invalid,
+    ) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        for vector in itertools.product(states, repeat=3):
+            if not check_swmr(vector):
+                continue
+            for core, request in itertools.product(range(3), requests):
+                others = [s for i, s in enumerate(vector) if i != core]
+                other_copies = any(s is not invalid for s in others)
+                after = [requester_fn(request, other_copies)] + [
+                    holder_fn(request, s) for s in others
+                ]
+                if not check_swmr(after):
+                    findings.append(
+                        self.finding(
+                            source,
+                            defined["next_state_for_requester"],
+                            f"transition breaks SWMR: cores {vector!r}, "
+                            f"core {core} issues {request!r} -> {after!r}",
+                        )
+                    )
+                    if len(findings) >= _MAX_FINDINGS_PER_CHECK:
+                        return findings
+        return findings
+
+    # -- directory dispatch ---------------------------------------------------
+
+    def _check_directory(
+        self,
+        source: SourceFile,
+        defined: Dict[str, ast.AST],
+        namespace: Dict[str, Any],
+    ) -> Iterable[Finding]:
+        directory_cls = namespace["Directory"]
+        findings: List[Finding] = []
+        line = 0x40
+        owner_choices = (None, 1)
+        sharer_choices = ((), (2,), (1,), (1, 2))
+        requester_choices = (None, 1, 3)
+        for owner, sharers, requester, is_write in itertools.product(
+            owner_choices, sharer_choices, requester_choices, (False, True)
+        ):
+            try:
+                directory = directory_cls()
+                if owner is not None:
+                    directory.record_access(line, owner, True)
+                for sharer in sharers:
+                    directory.record_access(line, sharer, False)
+                conflict = directory.check_access(line, requester, is_write)
+            except Exception as error:
+                findings.append(
+                    self.finding(
+                        source,
+                        defined["Directory"],
+                        f"check_access raised on owner={owner} "
+                        f"sharers={sharers} requester={requester} "
+                        f"is_write={is_write}: {type(error).__name__}: {error}",
+                    )
+                )
+                if len(findings) >= _MAX_FINDINGS_PER_CHECK:
+                    return findings
+                continue
+            expected = self._expected_victims(owner, sharers, requester, is_write)
+            got = set(conflict.victims) if conflict is not None else set()
+            problem: Optional[str] = None
+            if got != expected:
+                problem = f"victims {sorted(got)}, expected {sorted(expected)}"
+            elif conflict is not None and conflict.kind not in VALID_CONFLICT_KINDS:
+                problem = (
+                    f"kind {conflict.kind!r} not in "
+                    f"{sorted(VALID_CONFLICT_KINDS)}"
+                )
+            if problem is not None:
+                findings.append(
+                    self.finding(
+                        source,
+                        defined["Directory"],
+                        "dispatch gap at owner="
+                        f"{owner} sharers={sharers} requester={requester} "
+                        f"is_write={is_write}: {problem}",
+                    )
+                )
+                if len(findings) >= _MAX_FINDINGS_PER_CHECK:
+                    return findings
+        return findings
+
+    @staticmethod
+    def _expected_victims(owner, sharers, requester, is_write) -> set:
+        """§IV-D: GetM vs owner is waw, GetM vs sharers is raw, GetS vs
+        owner is war; a transaction never conflicts with itself."""
+        victims = set()
+        if owner is not None and owner != requester:
+            victims.add(owner)
+        if is_write:
+            victims.update(s for s in sharers if s != requester)
+        return victims

@@ -1,0 +1,116 @@
+"""LAY002 — protocol layering.
+
+Two sub-checks, both derived from the DAG declared in
+:mod:`repro.analyze.layers`:
+
+* **import edges** — a package may import only the packages below it in the
+  declared DAG.  A new ``from ..harness import ...`` inside ``htm/`` is an
+  architecture change and must be made in ``layers.py``, in review, not by
+  accident.
+* **internals bypass** — ``htm/`` and ``workloads/`` must not read or write
+  the controller's internals (``.dram``, ``.nvm``, ``.dram_log``,
+  ``.nvm_log``, ``.dram_cache``, ``.backend``).  All off-chip data movement
+  crosses a ``mem.controller`` / ``cache.hierarchy`` entry point, which is
+  what lets the fault injector and the crash oracle observe every durable
+  transition (PAPER.md §IV-B).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional
+
+from .core import Checker, Finding, Project, SourceFile, register
+from .layers import (
+    CONTROLLER_NAMES,
+    INTERNALS_RESTRICTED_PACKAGES,
+    LAYER_DAG,
+    MEM_INTERNAL_ATTRS,
+    UNLAYERED_MODULES,
+)
+
+
+def _imported_package(node: ast.AST) -> Optional[str]:
+    """The repro package a ``from``-import pulls from, if any."""
+    if isinstance(node, ast.ImportFrom):
+        if node.module is None:
+            return None
+        parts = node.module.split(".")
+        if node.level > 0:
+            # ``from ..cache.hierarchy import ...`` inside a package module.
+            return parts[0] if parts else None
+        if parts[0] == "repro" and len(parts) > 1:
+            return parts[1]
+        return None
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            parts = alias.name.split(".")
+            if parts[0] == "repro" and len(parts) > 1:
+                return parts[1]
+    return None
+
+
+def _receiver_terminal(node: ast.AST) -> Optional[str]:
+    """The last name segment of an attribute receiver expression."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+@register
+class LayeringChecker(Checker):
+    rule = "LAY002"
+    description = (
+        "imports must follow the declared layer DAG; htm/ and workloads/ "
+        "must not touch controller internals directly"
+    )
+
+    def check(self, source: SourceFile, project: Project) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        package = source.package
+        in_repro = "repro" in source.path.parts
+        if in_repro and package in LAYER_DAG:
+            findings.extend(self._check_imports(source, package))
+        if (
+            package in INTERNALS_RESTRICTED_PACKAGES
+            or (not in_repro and package is None)
+        ):
+            findings.extend(self._check_internals(source))
+        return findings
+
+    def _check_imports(self, source: SourceFile, package: str) -> Iterable[Finding]:
+        allowed = LAYER_DAG[package] | UNLAYERED_MODULES | {package}
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            target = _imported_package(node)
+            if target is None or target in allowed:
+                continue
+            if target not in LAYER_DAG and target not in UNLAYERED_MODULES:
+                continue  # not a layered repro package (e.g. a sibling module)
+            yield self.finding(
+                source,
+                node,
+                f"package {package!r} may not import from {target!r} "
+                f"(allowed: {', '.join(sorted(allowed))}); the layer DAG "
+                "lives in repro/analyze/layers.py",
+            )
+
+    def _check_internals(self, source: SourceFile) -> Iterable[Finding]:
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if node.attr not in MEM_INTERNAL_ATTRS:
+                continue
+            receiver = _receiver_terminal(node.value)
+            if receiver not in CONTROLLER_NAMES:
+                continue
+            yield self.finding(
+                source,
+                node,
+                f"direct access to controller internal '.{node.attr}' "
+                "bypasses the mem.controller entry points; add or use a "
+                "controller method instead",
+            )

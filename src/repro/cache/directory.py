@@ -140,7 +140,7 @@ class Directory:
             return None
         if entry.tx_owner is not None:
             self._discard_line_of(entry.tx_owner, line_addr)
-        for tx_id in entry.tx_sharers:
+        for tx_id in sorted(entry.tx_sharers):
             self._discard_line_of(tx_id, line_addr)
         return entry
 

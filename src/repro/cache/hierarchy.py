@@ -250,7 +250,7 @@ class CacheHierarchy:
         all cache blocks modified by the aborting transaction."
         """
         invalidated = 0
-        for line_addr in lines:
+        for line_addr in sorted(lines):
             holders = self._l1_holders.pop(line_addr, None)
             if holders:
                 for core_id in holders:
@@ -263,7 +263,7 @@ class CacheHierarchy:
 
     def clear_tx_markers(self, tx_id: int, lines: Set[int]) -> None:
         """Commit path: make lines visible by clearing speculative markers."""
-        for line_addr in lines:
+        for line_addr in sorted(lines):
             for core_id in self._l1_holders.get(line_addr, ()):
                 meta = self.l1s[core_id].peek(line_addr)
                 if meta is not None:

@@ -17,11 +17,14 @@ test.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, TYPE_CHECKING
 
 from ..errors import ConfigError, PowerFailure
+from ..sim.rng import RngStreams
+
+if TYPE_CHECKING:  # pragma: no cover
+    import random
 from ..harness.metrics import CampaignMetrics
 from ..harness.report import FigureResult
 from ..htm.recovery import RecoveryReport
@@ -320,7 +323,7 @@ def probe_events(config: CampaignConfig) -> Tuple[EventCounts, PlanOutcome]:
 
 
 def sample_plans(
-    rng: random.Random, counts: EventCounts, crashes: int
+    rng: "random.Random", counts: EventCounts, crashes: int
 ) -> List[FaultPlan]:
     """Seeded crash points spread over the measured event space.
 
@@ -359,7 +362,7 @@ def run_campaign(config: CampaignConfig) -> CampaignResult:
     from .minimize import minimize_plan  # deferred: minimize imports campaign
 
     counts, probe_outcome = probe_events(config)
-    rng = random.Random(config.seed)
+    rng = RngStreams(config.seed).stream("faults.plan_sampling")
     plans = sample_plans(rng, counts, config.crashes - 1)
     outcomes = [probe_outcome]  # the uninjected final power cut counts too
     for plan in plans:

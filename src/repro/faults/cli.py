@@ -13,11 +13,11 @@ inconsistency (the minimized reproducing plan is printed alongside).
 from __future__ import annotations
 
 import argparse
-import time
 from typing import List, Optional
 
 from ..errors import ConfigError
 from ..harness.export import to_json, to_markdown
+from ..harness.timer import Stopwatch
 from .campaign import CampaignConfig, run_campaign
 
 #: Workloads a campaign can sweep: the suite's persistent/hybrid stores plus
@@ -84,7 +84,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     except ConfigError as error:
         parser.error(str(error))
-    started = time.time()
+    stopwatch = Stopwatch()
     result = run_campaign(config)
     figure = result.to_figure()
     print(figure.pretty())
@@ -93,7 +93,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(
         f"{metrics.recoveries_verified}/{metrics.crash_points_tested} "
         f"recoveries verified "
-        f"({metrics.verification_rate:.0%}) in {time.time() - started:.1f}s"
+        f"({metrics.verification_rate:.0%}) in {stopwatch}"
     )
     if not result.ok:
         print("CRASH-CONSISTENCY FAILURE — see minimized plan above")

@@ -1,0 +1,28 @@
+"""The one sanctioned wall-clock read.
+
+Simulation results must never depend on real time — DET001 bans clock reads
+everywhere else — but the CLIs still want a "regenerated in 12.3s" progress
+line.  They get it from this stopwatch, which is monotonic
+(``time.perf_counter``) and only ever feeds human-facing output.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Stopwatch:
+    """Measure elapsed wall time for progress reporting only."""
+
+    def __init__(self) -> None:
+        self._started = time.perf_counter()
+
+    def restart(self) -> None:
+        self._started = time.perf_counter()
+
+    @property
+    def elapsed_s(self) -> float:
+        return time.perf_counter() - self._started
+
+    def __str__(self) -> str:
+        return f"{self.elapsed_s:.1f}s"

@@ -35,7 +35,6 @@ from ..errors import (
 )
 from ..mem.address import line_of, word_of
 from ..mem.controller import MemoryController
-from ..mem.log import RecordKind
 from ..params import DramLogPolicy, HTMConfig, MachineConfig
 from ..sim.engine import SimThread
 from ..sim.stats import StatsRegistry
@@ -312,7 +311,7 @@ class HTMSystem:
         if self.USES_DIRECTORY:
             conflict = self.hierarchy.directory.check_access(line_addr, None, is_write)
             if conflict is not None:
-                for victim_id in conflict.victims:
+                for victim_id in sorted(conflict.victims):
                     self._abort_tx_id(victim_id, AbortReason.NON_TX_CONFLICT)
         llc_miss = self.hierarchy.would_miss_llc(core_id, line_addr)
         if self._offchip_trigger(llc_miss):
@@ -348,7 +347,7 @@ class HTMSystem:
         )
         if conflict is None:
             return
-        victims = [v for v in conflict.victims if self.tss.is_active(v)]
+        victims = [v for v in sorted(conflict.victims) if self.tss.is_active(v)]
         if not victims:
             return
         self.stats.incr("conflicts.onchip")
@@ -356,7 +355,7 @@ class HTMSystem:
         if resolution.requester_aborts:
             self._abort(tx, AbortReason.CONFLICT_COHERENCE)
             raise TransactionAborted(AbortReason.CONFLICT_COHERENCE, tx.tx_id)
-        for victim_id in resolution.victims_to_abort:
+        for victim_id in sorted(resolution.victims_to_abort):
             self._abort_tx_id(victim_id, AbortReason.CONFLICT_COHERENCE)
 
     def _offchip_conflict_check(
@@ -404,7 +403,7 @@ class HTMSystem:
             )
             self._abort(requester, reason)
             raise TransactionAborted(reason, requester.tx_id)
-        for victim_id in resolution.victims_to_abort:
+        for victim_id in sorted(resolution.victims_to_abort):
             reason = (
                 AbortReason.CONFLICT_TRUE
                 if truly[victim_id]
@@ -449,7 +448,7 @@ class HTMSystem:
                 writers.add(entry.tx_owner)
             readers.update(entry.tx_sharers)
         involved = writers | readers
-        for tx_id in involved:
+        for tx_id in sorted(involved):
             tx = self._active.get(tx_id)
             if tx is None or not self.tss.is_active(tx_id):
                 continue
@@ -500,11 +499,7 @@ class HTMSystem:
 
         nvm_ns = 0.0
         if nvm_lines:
-            for line_addr, words in nvm_lines.items():
-                self.controller.nvm_log.append_data(
-                    RecordKind.REDO, tx.tx_id, line_addr, words
-                )
-            nvm_ns = self.controller.commit_nvm(tx.tx_id, nvm_lines)
+            nvm_ns = self.controller.commit_nvm_transaction(tx.tx_id, nvm_lines)
 
         # Fault hook: the window between the (durable) NVM commit protocol
         # and the volatile DRAM publish — a crash here must still recover
@@ -520,11 +515,8 @@ class HTMSystem:
             else:
                 dram_ns = self.controller.commit_redo_dram(tx.tx_id)
 
-        # Publish volatile data: buffered DRAM words become globally visible
-        # (in hardware this is just a coherence-state flip; the store below
-        # moves the values to their architectural home in our model).
-        for word_addr, value in dram_words.items():
-            self.controller.dram.store(word_addr, value)
+        # Publish volatile data: buffered DRAM words become globally visible.
+        self.controller.publish_dram_words(dram_words)
 
         # DRAM and NVM protocols run in parallel (Section IV-B).
         return walk_ns + max(nvm_ns, dram_ns)

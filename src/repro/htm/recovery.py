@@ -26,7 +26,6 @@ from dataclasses import dataclass
 from ..cache.hierarchy import CacheHierarchy
 from ..errors import RecoveryError
 from ..mem.controller import MemoryController
-from ..mem.log import RecordKind
 
 
 @dataclass
@@ -73,10 +72,13 @@ class CrashController:
         the NVM log or stored to the NVM backing store survives.
         """
         self.crashes += 1
+        dram_words, dram_log_records, dram_cache_lines = (
+            self._controller.volatile_loss_counts()
+        )
         report = CrashReport(
-            lost_dram_words=self._controller.dram.word_count(),
-            lost_dram_log_records=len(self._controller.dram_log),
-            lost_dram_cache_lines=len(self._controller.dram_cache),
+            lost_dram_words=dram_words,
+            lost_dram_log_records=dram_log_records,
+            lost_dram_cache_lines=dram_cache_lines,
         )
         self._hierarchy.wipe()
         self._controller.crash()
@@ -91,29 +93,26 @@ class CrashController:
         no-op, so a crash *during* recovery is always survivable by simply
         recovering again.
         """
-        log = self._controller.nvm_log
-        marked = set(log.committed_tx_ids()) | set(log.aborted_tx_ids())
+        marked = self._controller.marked_nvm_tx_ids()
         replayed = self._controller.recover()
         discarded = self._controller.discard_uncommitted_nvm_records()
         self._audit_idempotence()
         return RecoveryReport(
             replayed_lines=replayed,
-            surviving_nvm_words=self._controller.nvm.word_count(),
+            surviving_nvm_words=self._controller.nvm_word_count(),
             discarded_records=discarded,
             reclaimed_txs=len(marked),
         )
 
     def _audit_idempotence(self) -> None:
         """A second recovery pass must change nothing."""
-        leftover = [
-            r for r in self._controller.nvm_log if r.kind is RecordKind.REDO
-        ]
+        leftover = self._controller.nvm_redo_record_count()
         if leftover:
             raise RecoveryError(
-                f"recovery left {len(leftover)} redo records in the NVM log"
+                f"recovery left {leftover} redo records in the NVM log"
             )
-        before = self._controller.nvm.clone_contents()
+        before = self._controller.nvm_snapshot()
         if self._controller.recover() != 0:
             raise RecoveryError("second recovery pass replayed records")
-        if self._controller.nvm.clone_contents() != before:
+        if self._controller.nvm_snapshot() != before:
             raise RecoveryError("second recovery pass mutated NVM contents")

@@ -9,7 +9,7 @@ deletion) return zero and are accounted in counters instead.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from ..params import LatencyConfig, MemoryConfig
 from .address import AddressSpace, MemoryKind, line_of
@@ -230,6 +230,25 @@ class MemoryController:
         self.nvm_log.append_data(RecordKind.REDO, tx_id, line_addr, new_words)
         return self.latency.nvm_write_ns
 
+    def commit_nvm_transaction(
+        self, tx_id: int, lines: Dict[int, Dict[int, int]]
+    ) -> float:
+        """Commit-path entry point: stream the write-set's remaining redo
+        records into the NVM log, then run the commit protocol.
+
+        The controller owns the log areas (Section IV-B), so the HTM hands
+        over the buffered lines rather than appending records itself.
+        """
+        for line_addr, words in lines.items():
+            self.nvm_log.append_data(RecordKind.REDO, tx_id, line_addr, words)
+        return self.commit_nvm(tx_id, lines)
+
+    def publish_dram_words(self, words: Dict[int, int]) -> None:
+        """Commit-path publish: buffered volatile words become globally
+        visible (in hardware a coherence-state flip; here an in-place store)."""
+        for word_addr, value in words.items():
+            self.dram.store(word_addr, value)
+
     def commit_nvm(
         self, tx_id: int, lines: Dict[int, Dict[int, int]]
     ) -> float:
@@ -281,6 +300,33 @@ class MemoryController:
 
     # -- crash & recovery ------------------------------------------------------
 
+    def volatile_loss_counts(self) -> Tuple[int, int, int]:
+        """What a power failure would destroy right now: globally visible
+        DRAM words, DRAM log records, and DRAM-cache lines."""
+        return (
+            self.dram.word_count(),
+            len(self.dram_log),
+            len(self.dram_cache),
+        )
+
+    def marked_nvm_tx_ids(self) -> Set[int]:
+        """Transactions with a durable commit or abort mark in the NVM log."""
+        return set(self.nvm_log.committed_tx_ids()) | set(
+            self.nvm_log.aborted_tx_ids()
+        )
+
+    def nvm_word_count(self) -> int:
+        """Words currently stored in the NVM backing store."""
+        return self.nvm.word_count()
+
+    def nvm_snapshot(self) -> Dict[int, int]:
+        """A copy of the NVM backing store's contents (recovery audits)."""
+        return self.nvm.clone_contents()
+
+    def nvm_redo_record_count(self) -> int:
+        """Redo data records still sitting in the NVM log."""
+        return sum(1 for record in self.nvm_log if record.kind is RecordKind.REDO)
+
     def crash(self) -> None:
         """Power failure: volatile state is lost; NVM and its log survive."""
         self.dram.wipe()
@@ -307,7 +353,7 @@ class MemoryController:
                     # A power failure can strike recovery itself; replay is
                     # idempotent, so a later attempt simply starts over.
                     self.fault_injector.on_recovery_replay(replayed)
-        for tx_id in committed | aborted:
+        for tx_id in sorted(committed | aborted):
             self.nvm_log.reclaim(tx_id)
         return replayed
 

@@ -213,7 +213,7 @@ class HardwareLog:
 
     def _compact(self) -> None:
         """Reclaim every transaction that has a commit or abort mark."""
-        for tx_id in set(self.committed_tx_ids()) | set(self.aborted_tx_ids()):
+        for tx_id in sorted(set(self.committed_tx_ids()) | set(self.aborted_tx_ids())):
             self.reclaim(tx_id)
         # Drop the marks themselves for transactions with no live data.
         live = set(self._by_tx)

@@ -18,7 +18,6 @@ from typing import Dict
 from ..errors import ReproError
 from ..htm.base import HTMSystem, TxHandle
 from ..mem.address import line_of
-from ..mem.log import RecordKind
 from ..params import LINE_SIZE
 from ..sim.engine import SimThread
 
@@ -207,11 +206,7 @@ class SlowPathContext(MemoryContext):
         self._finalized = True
         if not self._nvm_buffer:
             return
-        for line_addr, words in self._nvm_buffer.items():
-            self._controller.nvm_log.append_data(
-                RecordKind.REDO, self.tx_id, line_addr, words
-            )
         self._thread.advance(
-            self._controller.commit_nvm(self.tx_id, self._nvm_buffer)
+            self._controller.commit_nvm_transaction(self.tx_id, self._nvm_buffer)
         )
         self._nvm_buffer.clear()

@@ -13,8 +13,9 @@ Two implementations of the same interface:
 
 from __future__ import annotations
 
-import random
 from typing import List, Sequence
+
+from ..sim.rng import RngStreams
 
 _MASK64 = (1 << 64) - 1
 
@@ -41,7 +42,7 @@ class H3HashFamily(HashFamily):
 
     def __init__(self, functions: int, buckets: int, seed: int = 0x5EED) -> None:
         super().__init__(functions, buckets)
-        rng = random.Random(seed)
+        rng = RngStreams(seed).stream("signatures.h3_masks")
         self._masks: List[List[int]] = [
             [rng.getrandbits(32) for _ in range(self.INPUT_BITS)]
             for _ in range(functions)
@@ -67,7 +68,7 @@ class MultiplicativeHashFamily(HashFamily):
 
     def __init__(self, functions: int, buckets: int, seed: int = 0x5EED) -> None:
         super().__init__(functions, buckets)
-        rng = random.Random(seed)
+        rng = RngStreams(seed).stream("signatures.multipliers")
         self._multipliers = [
             (rng.getrandbits(64) | 1) & _MASK64 for _ in range(functions)
         ]

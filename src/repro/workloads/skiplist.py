@@ -8,11 +8,11 @@ false-positives while SkipList traverse the list").
 
 from __future__ import annotations
 
-import random
 from typing import Callable, Generator, List, Optional, TYPE_CHECKING
 
 from ..mem.address import MemoryKind
 from ..runtime.txapi import MemoryContext
+from ..sim.rng import RngStreams
 from .base import PayloadPool, Workload, WorkloadParams, write_payload
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -40,7 +40,7 @@ class TxSkipList:
         self.heap = heap
         self.base = base  # address of the head tower
         self.kind = kind
-        self._levels = random.Random(seed)
+        self._levels = RngStreams(seed).stream("skiplist.levels")
 
     @classmethod
     def create(

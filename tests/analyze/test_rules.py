@@ -1,0 +1,85 @@
+"""Per-rule behaviour over the good/bad fixture pairs."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analyze import run_analysis
+
+FIXTURES = Path(__file__).parent.parent / "analyze_fixtures"
+
+
+def findings_for(name: str, rule: str):
+    report = run_analysis([FIXTURES / name], rules=[rule])
+    return report.findings
+
+
+class TestDet001:
+    def test_bad_fixture_flags_every_class(self):
+        messages = [f.message for f in findings_for("det001_bad.py", "DET001")]
+        assert any("'import random'" in m for m in messages)
+        assert any("'from time import time'" in m for m in messages)
+        assert any("time() reads the wall clock" in m for m in messages)
+        assert any("datetime.now()" in m for m in messages)
+        assert any("(active)" in m for m in messages)
+        assert any("(table.keys())" in m for m in messages)
+        assert any("({3, 1, 2})" in m for m in messages)
+
+    def test_good_fixture_is_clean(self):
+        assert findings_for("det001_good.py", "DET001") == []
+
+
+class TestLay002:
+    def test_internals_bypass_flagged(self):
+        messages = [f.message for f in findings_for("lay002_bad.py", "LAY002")]
+        assert any("'.dram'" in m for m in messages)
+        assert any("'.nvm_log'" in m for m in messages)
+
+    def test_entry_points_are_clean(self):
+        assert findings_for("lay002_good.py", "LAY002") == []
+
+    def test_upward_import_flagged(self):
+        messages = [
+            f.message for f in findings_for("repro/htm/import_bad.py", "LAY002")
+        ]
+        assert any(
+            "'htm' may not import from 'faults'" in m for m in messages
+        )
+
+    def test_downward_import_is_clean(self):
+        assert findings_for("repro/htm/import_good.py", "LAY002") == []
+
+
+class TestHook003:
+    def test_unguarded_invocations_flagged(self):
+        findings = findings_for("hook003_bad.py", "HOOK003")
+        roots = {f.message.split("'")[1] for f in findings}
+        assert roots == {"self.fault_injector", "self.pre_compact", "injector"}
+
+    def test_guarded_shapes_are_clean(self):
+        assert findings_for("hook003_good.py", "HOOK003") == []
+
+
+class TestFsm004:
+    def test_total_reachable_swmr_table_is_clean(self):
+        assert findings_for("fsm004_good.py", "FSM004") == []
+
+    def test_unhandled_pair_reported(self):
+        messages = [f.message for f in findings_for("fsm004_bad.py", "FSM004")]
+        assert messages
+        assert all("unhandled pair" in m for m in messages)
+        assert any("EXCLUSIVE" in m for m in messages)
+
+    def test_unreachable_state_reported(self):
+        messages = [
+            f.message for f in findings_for("fsm004_unreachable.py", "FSM004")
+        ]
+        assert any("unreachable" in m and "EXCLUSIVE" in m for m in messages)
+
+    def test_silent_directory_dispatch_reported(self):
+        messages = [
+            f.message
+            for f in findings_for("fsm004_bad_directory.py", "FSM004")
+        ]
+        assert messages
+        assert all("dispatch gap" in m for m in messages)

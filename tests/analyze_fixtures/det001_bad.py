@@ -1,0 +1,24 @@
+"""BAD fixture: one of every DET001 violation class."""
+
+import random
+from datetime import datetime
+from time import time
+
+
+def draw():
+    return random.random()
+
+
+def stamp():
+    return time(), datetime.now()
+
+
+def iterate(active: set, table: dict):
+    out = []
+    for tx_id in active:
+        out.append(tx_id)
+    for key in table.keys():
+        out.append(key)
+    for item in {3, 1, 2}:
+        out.append(item)
+    return out

@@ -1,0 +1,14 @@
+"""GOOD fixture: the determinism-clean spellings of the same patterns."""
+
+from typing import Dict, Set
+
+
+def iterate(active: Set[int], table: Dict[int, int]):
+    out = []
+    for tx_id in sorted(active):
+        out.append(tx_id)
+    for key, value in table.items():
+        out.append(key + value)
+    total = sum(x for x in active)
+    hottest = max(active)
+    return out, total, hottest

@@ -1,0 +1,22 @@
+"""BAD fixture: a directory whose dispatch never reports conflicts."""
+
+
+class _Entry:
+    def __init__(self):
+        self.owner = None
+        self.sharers = []
+
+
+class Directory:
+    def __init__(self):
+        self._entries = {}
+
+    def record_access(self, line_addr, tx_id, is_write):
+        entry = self._entries.setdefault(line_addr, _Entry())
+        if is_write:
+            entry.owner = tx_id
+        elif tx_id not in entry.sharers:
+            entry.sharers.append(tx_id)
+
+    def check_access(self, line_addr, tx_id, is_write):
+        return None

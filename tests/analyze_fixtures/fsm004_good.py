@@ -1,0 +1,34 @@
+"""GOOD fixture: a tiny but total, reachable, SWMR-preserving protocol."""
+
+import enum
+
+
+class MesiState(enum.Enum):
+    INVALID = 0
+    SHARED = 1
+    MODIFIED = 2
+
+
+class CoherenceRequest(enum.Enum):
+    GET_S = "GetS"
+    GET_M = "GetM"
+
+
+def next_state_for_requester(request, other_copies):
+    if request is CoherenceRequest.GET_S:
+        return MesiState.SHARED
+    return MesiState.MODIFIED
+
+
+def next_state_for_holder(request, current):
+    if current is MesiState.INVALID:
+        return MesiState.INVALID
+    if request is CoherenceRequest.GET_M:
+        return MesiState.INVALID
+    return MesiState.SHARED
+
+
+def check_swmr(states):
+    writers = sum(1 for s in states if s is MesiState.MODIFIED)
+    readers = sum(1 for s in states if s is MesiState.SHARED)
+    return writers <= 1 and (writers == 0 or readers == 0)

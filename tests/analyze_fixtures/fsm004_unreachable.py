@@ -1,0 +1,29 @@
+"""BAD fixture: a total table with a state no transition ever produces."""
+
+import enum
+
+
+class MesiState(enum.Enum):
+    INVALID = 0
+    SHARED = 1
+    EXCLUSIVE = 2
+    MODIFIED = 3
+
+
+class CoherenceRequest(enum.Enum):
+    GET_S = "GetS"
+    GET_M = "GetM"
+
+
+def next_state_for_requester(request, other_copies):
+    if request is CoherenceRequest.GET_S:
+        return MesiState.SHARED
+    return MesiState.MODIFIED
+
+
+def next_state_for_holder(request, current):
+    if current is MesiState.INVALID:
+        return MesiState.INVALID
+    if request is CoherenceRequest.GET_M:
+        return MesiState.INVALID
+    return MesiState.SHARED

@@ -1,0 +1,17 @@
+"""BAD fixture: optional hooks invoked without a None guard."""
+
+
+class Machine:
+    def __init__(self):
+        self.fault_injector = None
+        self.pre_compact = None
+
+    def step(self):
+        self.fault_injector.on_step(1)
+
+    def compact(self):
+        self.pre_compact()
+
+    def aliased(self, controller):
+        injector = controller.fault_injector
+        injector.observe(2)

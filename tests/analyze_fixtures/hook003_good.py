@@ -1,0 +1,25 @@
+"""GOOD fixture: every sanctioned guard shape."""
+
+
+class Machine:
+    def __init__(self):
+        self.fault_injector = None
+        self.pre_compact = None
+
+    def step(self):
+        if self.fault_injector is not None:
+            self.fault_injector.on_step(1)
+
+    def compact(self):
+        if self.pre_compact is not None and self.ready:
+            self.pre_compact()
+
+    def aliased(self, controller):
+        injector = controller.fault_injector
+        if injector is None:
+            return
+        injector.observe(2)
+
+    def asserted(self):
+        assert self.fault_injector is not None
+        self.fault_injector.on_step(3)

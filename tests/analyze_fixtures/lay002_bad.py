@@ -1,0 +1,13 @@
+"""BAD fixture: reaching into the controller's internals."""
+
+
+class CommitPath:
+    def __init__(self, controller):
+        self.controller = controller
+
+    def publish(self, words):
+        for addr, value in words.items():
+            self.controller.dram.store(addr, value)
+
+    def append(self, tx_id, line_addr, words):
+        self.controller.nvm_log.append_data("redo", tx_id, line_addr, words)

@@ -1,0 +1,12 @@
+"""GOOD fixture: all off-chip movement through controller entry points."""
+
+
+class CommitPath:
+    def __init__(self, controller):
+        self.controller = controller
+
+    def publish(self, words):
+        self.controller.publish_dram_words(words)
+
+    def commit(self, tx_id, lines):
+        return self.controller.commit_nvm_transaction(tx_id, lines)

@@ -1,0 +1,7 @@
+"""BAD fixture: htm/ importing upward from faults/ (DAG violation)."""
+
+from repro.faults.plan import FaultPlan
+
+
+def build():
+    return FaultPlan(())

@@ -1,0 +1,8 @@
+"""GOOD fixture: htm/ importing downward, as the DAG allows."""
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.mem.controller import MemoryController
+
+
+def wire(controller: MemoryController, hierarchy: CacheHierarchy):
+    return controller, hierarchy

@@ -1,0 +1,8 @@
+"""Fixture: violations silenced by line and a second one left visible."""
+
+import random  # repro: allow[DET001]
+import secrets
+
+
+def draw():
+    return random.random()  # uses the sanctioned-by-review exception above

@@ -1,0 +1,9 @@
+"""Fixture: a whole-file suppression."""
+# repro: allow-file[DET001]
+
+import random
+import secrets
+
+
+def draw():
+    return random.random(), secrets.token_bytes(4)

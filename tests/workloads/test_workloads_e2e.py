@@ -52,7 +52,7 @@ class TestAllWorkloadsAllDesignsLite:
 
 
 class TestDeterminism:
-    @pytest.mark.parametrize("name", ["hashmap", "hybrid_index", "echo"])
+    @pytest.mark.parametrize("name", ["hashmap", "hybrid_index", "echo", "skiplist"])
     def test_same_seed_same_counters(self, name):
         first, _ = run_workload(name, seed=99)
         second, _ = run_workload(name, seed=99)
