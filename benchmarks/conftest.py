@@ -2,10 +2,17 @@
 
 Each benchmark regenerates one table or figure of the paper.  By default the
 *quick* matrix runs (reduced sweeps, suitable for CI); set ``REPRO_FULL=1``
-to run the paper's full matrix.
+to run the paper's full matrix.  ``REPRO_JOBS=N`` fans each figure's grid
+out over N worker processes — results are bit-identical for any value (see
+``docs/HARNESS.md``), so the timing changes but the tables and the shape
+assertions do not.
 
 The printed tables are the deliverable; the timing measured by
 pytest-benchmark is the harness cost of regenerating the figure.
+
+``-m smoke`` selects the tiny one-point-per-figure tier instead: it proves
+every figure's grid still builds and simulates end-to-end in seconds,
+without paying for a full matrix.
 """
 
 from __future__ import annotations
@@ -20,6 +27,12 @@ def quick() -> bool:
     return os.environ.get("REPRO_FULL", "") != "1"
 
 
+@pytest.fixture(scope="session")
+def jobs() -> int:
+    """Worker processes per figure grid (``REPRO_JOBS``, default serial)."""
+    return int(os.environ.get("REPRO_JOBS", "1"))
+
+
 @pytest.fixture
 def show():
     """Print a FigureResult under the benchmark output."""
@@ -29,3 +42,18 @@ def show():
         print(result.pretty())
 
     return _show
+
+
+@pytest.fixture(scope="session")
+def smoke_point():
+    """Run the first grid point of a figure at 1/64 scale — the smoke
+    tier's seconds-cheap proof that the figure's spec construction,
+    workloads, and metrics pipeline still run end-to-end."""
+    from repro.harness.parallel import run_grid
+
+    def _run(grid):
+        points = grid(quick=True, scale=1 / 64, seed=2020)[:1]
+        (result,) = run_grid(points)
+        return result
+
+    return _run

@@ -7,12 +7,14 @@ by 7.5% at low overflow rates and more as overflows grow.
 
 from __future__ import annotations
 
-from repro.harness.figures import fig10
+import pytest
+
+from repro.harness.figures import fig10, fig10_grid
 
 
-def test_fig10(benchmark, quick, show):
+def test_fig10(benchmark, quick, jobs, show):
     result = benchmark.pedantic(
-        lambda: fig10(quick=quick), rounds=1, iterations=1
+        lambda: fig10(quick=quick, jobs=jobs), rounds=1, iterations=1
     )
     show(result)
     advantages = result.column("undo_advantage")
@@ -20,3 +22,11 @@ def test_fig10(benchmark, quick, show):
     assert all(adv > 0 for adv in advantages)
     # And the advantage is material (paper: 7.5% .. 44.7%).
     assert max(advantages) > 0.03
+
+
+@pytest.mark.smoke
+def test_fig10_smoke(smoke_point):
+    """One tiny Fig. 10 point must still build and simulate end-to-end."""
+    result = smoke_point(fig10_grid)
+    assert result.committed_ops > 0
+    assert result.verified

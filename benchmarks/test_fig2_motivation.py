@@ -6,15 +6,25 @@ unbounded HTM once consolidated transactions outgrow the on-chip caches.
 
 from __future__ import annotations
 
-from repro.harness.figures import fig2
+import pytest
+
+from repro.harness.figures import fig2, fig2_grid
 
 
-def test_fig2(benchmark, quick, show):
+def test_fig2(benchmark, quick, jobs, show):
     result = benchmark.pedantic(
-        lambda: fig2(quick=quick), rounds=1, iterations=1
+        lambda: fig2(quick=quick, jobs=jobs), rounds=1, iterations=1
     )
     show(result)
     speedups = result.column("ideal_speedup")
     # Shape: Ideal wins on every benchmark, substantially on at least one.
     assert all(s >= 1.0 for s in speedups)
     assert max(speedups) >= 1.5
+
+
+@pytest.mark.smoke
+def test_fig2_smoke(smoke_point):
+    """One tiny Fig. 2 point must still build and simulate end-to-end."""
+    result = smoke_point(fig2_grid)
+    assert result.committed_ops > 0
+    assert result.verified

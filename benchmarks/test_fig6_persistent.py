@@ -6,12 +6,14 @@ recovers most of the Ideal design's advantage; isolation (_opt) >= _sig.
 
 from __future__ import annotations
 
-from repro.harness.figures import fig6
+import pytest
+
+from repro.harness.figures import fig6, fig6_grid
 
 
-def test_fig6(benchmark, quick, show):
+def test_fig6(benchmark, quick, jobs, show):
     result = benchmark.pedantic(
-        lambda: fig6(quick=quick), rounds=1, iterations=1
+        lambda: fig6(quick=quick, jobs=jobs), rounds=1, iterations=1
     )
     show(result)
     sig_only_col = next(c for c in result.columns if c.startswith("SigOnly"))
@@ -24,3 +26,11 @@ def test_fig6(benchmark, quick, show):
     assert sum(uhtm_opt) / len(uhtm_opt) > 1.2
     # Signature-only never approaches the unbounded designs.
     assert sum(sig_only) / len(sig_only) < sum(uhtm_opt) / len(uhtm_opt)
+
+
+@pytest.mark.smoke
+def test_fig6_smoke(smoke_point):
+    """One tiny Fig. 6 point must still build and simulate end-to-end."""
+    result = smoke_point(fig6_grid)
+    assert result.committed_ops > 0
+    assert result.verified

@@ -9,12 +9,14 @@ from __future__ import annotations
 
 from collections import defaultdict
 
-from repro.harness.figures import fig7
+import pytest
+
+from repro.harness.figures import fig7, fig7_grid
 
 
-def test_fig7(benchmark, quick, show):
+def test_fig7(benchmark, quick, jobs, show):
     result = benchmark.pedantic(
-        lambda: fig7(quick=quick), rounds=1, iterations=1
+        lambda: fig7(quick=quick, jobs=jobs), rounds=1, iterations=1
     )
     show(result)
     by_config = defaultdict(dict)
@@ -49,3 +51,11 @@ def _sig_bits(label: str) -> int:
     if label.endswith("k"):
         return int(label[:-1]) * 1024
     return int(label)
+
+
+@pytest.mark.smoke
+def test_fig7_smoke(smoke_point):
+    """One tiny Fig. 7 point must still build and simulate end-to-end."""
+    result = smoke_point(fig7_grid)
+    assert result.begins > 0
+    assert result.verified

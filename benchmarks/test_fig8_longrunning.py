@@ -9,12 +9,14 @@ shows the same ordering at a smaller magnitude (see EXPERIMENTS.md).
 
 from __future__ import annotations
 
-from repro.harness.figures import fig8
+import pytest
+
+from repro.harness.figures import fig8, fig8_grid
 
 
-def test_fig8(benchmark, quick, show):
+def test_fig8(benchmark, quick, jobs, show):
     result = benchmark.pedantic(
-        lambda: fig8(quick=quick), rounds=1, iterations=1
+        lambda: fig8(quick=quick, jobs=jobs), rounds=1, iterations=1
     )
     show(result)
     rows = result.rows
@@ -26,3 +28,11 @@ def test_fig8(benchmark, quick, show):
     # Degradation of the bounded design grows with the long-tx share.
     bounded_series = [row[1] for row in rows]
     assert bounded_series[-1] < bounded_series[0]
+
+
+@pytest.mark.smoke
+def test_fig8_smoke(smoke_point):
+    """One tiny Fig. 8 point must still build and simulate end-to-end."""
+    result = smoke_point(fig8_grid)
+    assert result.committed_ops > 0
+    assert result.verified

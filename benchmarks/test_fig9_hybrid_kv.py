@@ -7,12 +7,14 @@ Hybrid-Index, whose DRAM+NVM transactions overflow more.
 
 from __future__ import annotations
 
-from repro.harness.figures import fig9
+import pytest
+
+from repro.harness.figures import fig9, fig9_grid
 
 
-def test_fig9(benchmark, quick, show):
+def test_fig9(benchmark, quick, jobs, show):
     fig9a, fig9b = benchmark.pedantic(
-        lambda: fig9(quick=quick), rounds=1, iterations=1
+        lambda: fig9(quick=quick, jobs=jobs), rounds=1, iterations=1
     )
     show(fig9a)
     show(fig9b)
@@ -30,3 +32,11 @@ def test_fig9(benchmark, quick, show):
         next(c for c in fig9a.columns if c.endswith("_opt"))
     )
     assert last_row[opt_index] > 1.0
+
+
+@pytest.mark.smoke
+def test_fig9_smoke(smoke_point):
+    """One tiny Fig. 9 point must still build and simulate end-to-end."""
+    result = smoke_point(fig9_grid)
+    assert result.committed_ops > 0
+    assert result.verified

@@ -6,17 +6,30 @@ the LLC) under LLC-Bounded, Signature-Only, UHTM, and Ideal, and prints a
 side-by-side of throughput, abort causes, and fallback serialisations —
 a miniature of the paper's Figure 6 story.
 
-Run with:  python examples/design_comparison.py
+The five design points are independent simulations, so they fan out over a
+process pool; results are bit-identical for any ``--jobs`` (the harness's
+parallelism contract, see docs/HARNESS.md).
+
+Run with:  python examples/design_comparison.py [--jobs N]
 """
 
+import argparse
+
 from repro.harness.config import BenchmarkSpec, ExperimentSpec
+from repro.harness.parallel import GridPoint, run_grid
 from repro.harness.report import format_table
-from repro.harness.runner import run_experiment
 from repro.params import HTMConfig, HTMDesign, SignatureConfig
 from repro.workloads import WorkloadParams
 
 
 def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker processes for the design grid (default 2)",
+    )
+    args = parser.parse_args()
+
     params = WorkloadParams(
         threads=4,
         txs_per_thread=4,
@@ -37,20 +50,24 @@ def main() -> None:
                   signature=SignatureConfig(bits=4096)),
         HTMConfig(design=HTMDesign.IDEAL),
     ]
-    rows = []
-    baseline = None
-    for config in configs:
-        spec = ExperimentSpec(
-            name=f"compare:{config.label}",
-            htm=config,
-            benchmarks=benchmarks,
-            scale=1 / 16,
-            cores=16,
-            membound_instances=2,
+    points = [
+        GridPoint(
+            spec=ExperimentSpec(
+                name=f"compare:{config.label}",
+                htm=config,
+                benchmarks=benchmarks,
+                scale=1 / 16,
+                cores=16,
+                membound_instances=2,
+            ),
+            key=config.label,
         )
-        result = run_experiment(spec)
-        if baseline is None:
-            baseline = result
+        for config in configs
+    ]
+    results = run_grid(points, jobs=args.jobs)
+    rows = []
+    baseline = results[0]
+    for config, result in zip(configs, results):
         rows.append([
             config.label,
             round(result.throughput, 1),

@@ -5,7 +5,8 @@ Usage::
     python -m repro list
     python -m repro fig6
     python -m repro fig9 --full
-    python -m repro all --seed 7
+    python -m repro all --seed 7 --jobs 4 --cache-dir .repro-cache
+    python -m repro bench fig6 --jobs 4
     python -m repro faults --workload hashmap --crashes 50 --seed 1
 """
 
@@ -14,6 +15,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .harness.cache import ResultCache
 from .harness.export import to_json, to_markdown
 from .harness.figures import ALL_FIGURES
 from .harness.config import DEFAULT_SCALE
@@ -23,13 +25,20 @@ from .harness.timer import Stopwatch
 _STATIC = {"table1", "table2", "table4"}
 
 
-def _run_one(name: str, quick: bool, scale: float, seed: int) -> list:
+def _run_one(
+    name: str,
+    quick: bool,
+    scale: float,
+    seed: int,
+    jobs: int = 1,
+    cache: ResultCache = None,
+) -> list:
     driver = ALL_FIGURES[name]
     stopwatch = Stopwatch()
     if name in _STATIC:
         results = driver()
     else:
-        results = driver(quick=quick, scale=scale, seed=seed)
+        results = driver(quick=quick, scale=scale, seed=seed, jobs=jobs, cache=cache)
     if not isinstance(results, tuple):
         results = (results,)
     for result in results:
@@ -50,6 +59,10 @@ def main(argv=None) -> int:
         from .analyze.cli import main as lint_main
 
         return lint_main(argv[1:])
+    if argv and argv[0] == "bench":
+        from .harness.bench import main as bench_main
+
+        return bench_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables and figures.",
@@ -72,6 +85,18 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--seed", type=int, default=2020)
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes per figure grid (results are bit-identical "
+        "for any value)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="on-disk result cache; unchanged points are not re-simulated",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", help="also write the results as JSON"
     )
     parser.add_argument(
@@ -91,9 +116,15 @@ def main(argv=None) -> int:
         parser.error(
             f"unknown figure {args.figure!r}; try 'python -m repro list'"
         )
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
     collected = []
     for name in names:
-        collected.extend(_run_one(name, not args.full, args.scale, args.seed))
+        collected.extend(
+            _run_one(
+                name, not args.full, args.scale, args.seed,
+                jobs=args.jobs, cache=cache,
+            )
+        )
     if args.json:
         with open(args.json, "w", encoding="utf-8") as handle:
             handle.write(to_json(collected))

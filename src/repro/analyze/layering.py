@@ -30,14 +30,25 @@ from .layers import (
 )
 
 
-def _imported_package(node: ast.AST) -> Optional[str]:
-    """The repro package a ``from``-import pulls from, if any."""
+def _imported_package(
+    node: ast.AST, package: Optional[str] = None
+) -> Optional[str]:
+    """The repro package a ``from``-import pulls from, if any.
+
+    ``package`` is the importing file's own package: a single-dot relative
+    import (``from .cache import ...`` inside ``harness/``) resolves to a
+    sibling module of that package, not to a top-level package that happens
+    to share the name.
+    """
     if isinstance(node, ast.ImportFrom):
         if node.module is None:
             return None
         parts = node.module.split(".")
-        if node.level > 0:
-            # ``from ..cache.hierarchy import ...`` inside a package module.
+        if node.level == 1:
+            # ``from .sibling import ...`` never leaves the source's package.
+            return package
+        if node.level > 1:
+            # ``from ..cache.hierarchy import ...`` climbs to the repro root.
             return parts[0] if parts else None
         if parts[0] == "repro" and len(parts) > 1:
             return parts[1]
@@ -85,7 +96,7 @@ class LayeringChecker(Checker):
         for node in ast.walk(source.tree):
             if not isinstance(node, (ast.Import, ast.ImportFrom)):
                 continue
-            target = _imported_package(node)
+            target = _imported_package(node, package)
             if target is None or target in allowed:
                 continue
             if target not in LAYER_DAG and target not in UNLAYERED_MODULES:

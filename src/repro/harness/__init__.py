@@ -7,15 +7,27 @@ runs it through :func:`repro.harness.runner.run_experiment`, and returns a
 ``benchmarks/`` directory exposes one pytest-benchmark target per figure.
 """
 
+from .cache import CACHE_VERSION, ResultCache, spec_fingerprint
 from .config import BenchmarkSpec, ExperimentSpec
-from .metrics import RunResult
+from .metrics import RunResult, run_result_from_dict, run_result_to_dict
+from .parallel import GridPoint, run_grid, run_grid_detailed, run_keyed
 from .report import format_table
-from .runner import run_experiment
+from .runner import ExperimentFailure, run_experiment
 
 __all__ = [
     "BenchmarkSpec",
+    "CACHE_VERSION",
+    "ExperimentFailure",
     "ExperimentSpec",
+    "GridPoint",
+    "ResultCache",
     "RunResult",
     "format_table",
     "run_experiment",
+    "run_grid",
+    "run_grid_detailed",
+    "run_keyed",
+    "run_result_from_dict",
+    "run_result_to_dict",
+    "spec_fingerprint",
 ]

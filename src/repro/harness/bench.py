@@ -1,0 +1,172 @@
+"""``python -m repro bench`` — grid runs with per-point timing and caching.
+
+Runs the experiment grid behind one or more figures through the parallel
+executor, measures every point with :class:`~repro.harness.timer.Stopwatch`,
+and writes one ``BENCH_<figure>.json`` perf-trajectory artifact per figure::
+
+    python -m repro bench fig6 --jobs 4 --cache-dir .repro-cache
+    python -m repro bench --jobs 8 --verify          # all dynamic figures
+
+The artifact records, for each point: its key, label, spec fingerprint,
+whether it was served from the cache, and the simulation wall time.  A
+warm-cache re-run reports ``simulated: 0`` — nothing is recomputed unless a
+spec (or the cache version stamp) changed.
+
+``--verify`` re-runs one pooled point serially and asserts the bit-identical
+parallelism contract before any result is published to the cache.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .cache import ResultCache
+from .config import DEFAULT_SCALE
+from .figures import FIGURE_GRIDS
+from .parallel import GridOutcome, run_grid_detailed
+from .report import format_table
+from .timer import Stopwatch
+
+
+def _artifact(
+    figure: str, outcome: GridOutcome, args: argparse.Namespace, total_s: float
+) -> dict:
+    return {
+        "figure": figure,
+        "quick": not args.full,
+        "scale": args.scale,
+        "seed": args.seed,
+        "jobs": args.jobs,
+        "total_s": round(total_s, 3),
+        "points_total": len(outcome.runs),
+        "simulated": outcome.simulated,
+        "cache_hits": outcome.cache_hits,
+        "points": [
+            {
+                "key": list(run.key) if isinstance(run.key, tuple) else run.key,
+                "label": run.label,
+                "fingerprint": run.fingerprint,
+                "cached": run.cached,
+                "elapsed_s": round(run.elapsed_s, 4),
+            }
+            for run in outcome.runs
+        ],
+    }
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Time figure grids point-by-point, optionally in "
+        "parallel and against a result cache.",
+    )
+    parser.add_argument(
+        "figures",
+        nargs="*",
+        metavar="FIGURE",
+        help="dynamic figures to bench (default: all of "
+        + ", ".join(sorted(FIGURE_GRIDS))
+        + ")",
+    )
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="bench the paper's full sweep matrix instead of the quick one",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=DEFAULT_SCALE,
+        help=f"machine scale factor (default {DEFAULT_SCALE:g})",
+    )
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the grid (results are bit-identical "
+        "for any value)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="result-cache directory; unchanged points are not re-simulated",
+    )
+    parser.add_argument(
+        "--out-dir",
+        metavar="PATH",
+        default=".",
+        help="where to write the BENCH_<figure>.json artifacts (default: .)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="re-run one pooled point serially and assert the bit-identical "
+        "parallelism contract",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.figures or sorted(FIGURE_GRIDS)
+    unknown = [name for name in names if name not in FIGURE_GRIDS]
+    if unknown:
+        parser.error(
+            f"unknown figure(s) {', '.join(unknown)}; benchable figures: "
+            + ", ".join(sorted(FIGURE_GRIDS))
+        )
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    summary_rows = []
+    for name in names:
+        points = FIGURE_GRIDS[name](
+            quick=not args.full, scale=args.scale, seed=args.seed
+        )
+        stopwatch = Stopwatch()
+        outcome = run_grid_detailed(
+            points, jobs=args.jobs, cache=cache, verify_sample=args.verify
+        )
+        total_s = stopwatch.elapsed_s
+        artifact_path = out_dir / f"BENCH_{name}.json"
+        artifact_path.write_text(
+            json.dumps(_artifact(name, outcome, args, total_s), indent=2)
+            + "\n",
+            encoding="utf-8",
+        )
+        slowest = max(outcome.runs, key=lambda run: run.elapsed_s, default=None)
+        summary_rows.append(
+            [
+                name,
+                len(outcome.runs),
+                outcome.simulated,
+                outcome.cache_hits,
+                f"{total_s:.1f}s",
+                f"{slowest.elapsed_s:.1f}s" if slowest else "-",
+            ]
+        )
+        print(f"[{name}] {len(outcome.runs)} points in {total_s:.1f}s "
+              f"({outcome.simulated} simulated, {outcome.cache_hits} cached) "
+              f"-> {artifact_path}")
+    print()
+    print(
+        format_table(
+            ["figure", "points", "simulated", "cached", "wall", "slowest point"],
+            summary_rows,
+            title=f"bench: jobs={args.jobs}"
+            + (f", cache={args.cache_dir}" if args.cache_dir else ""),
+        )
+    )
+    if cache is not None:
+        stats = cache.stats
+        print(
+            f"\ncache: {stats.hits} hits, {stats.misses} misses, "
+            f"{stats.stores} stores, {stats.simulations} simulations"
+            + (f", {stats.corrupt} corrupt entries skipped" if stats.corrupt else "")
+        )
+    return 0

@@ -4,6 +4,21 @@ Each function returns a :class:`FigureResult` whose rows mirror the
 published series.  ``quick=True`` (the default) runs a reduced design/sweep
 matrix sized for CI; ``quick=False`` runs the full matrix of the paper.
 
+Every dynamic figure is split in two:
+
+* ``<name>_grid(quick, scale, seed)`` materialises the figure's experiment
+  grid — a deterministic, keyed list of
+  :class:`~repro.harness.parallel.GridPoint`s — without running anything;
+* ``<name>(quick, scale, seed, jobs, cache)`` fans that grid out through
+  :func:`~repro.harness.parallel.run_keyed` (a process pool when
+  ``jobs > 1``, an on-disk result cache when one is passed) and assembles
+  the rows by key lookup.
+
+Because simulation results are a pure function of each spec, rows are
+bit-identical for every ``jobs`` value and cache state.  The exposed grids
+also feed ``python -m repro bench`` (per-point timing) and the benchmark
+smoke tier (one tiny point per figure).
+
 Absolute numbers are simulated-time throughputs on the scaled machine; the
 contract is *shape* fidelity (who wins, by roughly what factor, where
 crossovers fall), recorded against the paper in ``EXPERIMENTS.md``.
@@ -17,6 +32,7 @@ from ..htm.conflict import ConflictLocation, resolve_conflict
 from ..mem.address import MemoryKind
 from ..params import DramLogPolicy, HTMConfig, HTMDesign, SignatureConfig
 from ..workloads import WORKLOADS, WorkloadParams
+from .cache import ResultCache
 from .config import (
     BenchmarkSpec,
     DEFAULT_SCALE,
@@ -24,9 +40,8 @@ from .config import (
     consolidated,
     mixed_pmdk,
 )
-from .metrics import RunResult
+from .parallel import GridPoint, run_keyed
 from .report import FigureResult
-from .runner import run_experiment
 
 #: The PMDK micro-benchmarks plus Echo, as in Figure 6.
 FIG6_BENCHMARKS = ("hashmap", "btree", "rbtree", "skiplist", "echo")
@@ -114,8 +129,36 @@ def _spec(
 # --------------------------------------------------------------------- Fig 2
 
 
-def fig2(
+def _fig2_benchmarks(quick: bool) -> Tuple[str, ...]:
+    return FIG6_BENCHMARKS if not quick else ("hashmap", "btree", "skiplist")
+
+
+def fig2_grid(
     quick: bool = True, scale: float = DEFAULT_SCALE, seed: int = 2020
+) -> List[GridPoint]:
+    value = 300 * KB  # past the on-chip boundary once consolidated
+    points: List[GridPoint] = []
+    for name in _fig2_benchmarks(quick):
+        params = _pmdk_params(value, quick)
+        for config in (_llc_bounded(), _ideal()):
+            spec = _spec(
+                f"fig2:{name}:{config.label}",
+                config,
+                consolidated(name, 4, params),
+                membound=2,
+                scale=scale,
+                seed=seed,
+            )
+            points.append(GridPoint(spec, key=(name, config.label)))
+    return points
+
+
+def fig2(
+    quick: bool = True,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 2020,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> FigureResult:
     """LLC-Bounded vs Ideal unbounded throughput, 16 threads (Section III-C).
 
@@ -126,23 +169,10 @@ def fig2(
         "Throughput of LLC-Bounded vs Ideal unbounded HTM (normalised)",
         ["benchmark", "llc_bounded", "ideal", "ideal_speedup"],
     )
-    value = 300 * KB  # past the on-chip boundary once consolidated
-    names = FIG6_BENCHMARKS if not quick else ("hashmap", "btree", "skiplist")
-    for name in names:
-        params = _pmdk_params(value, quick)
-        runs: Dict[str, RunResult] = {}
-        for config in (_llc_bounded(), _ideal()):
-            spec = _spec(
-                f"fig2:{name}:{config.label}",
-                config,
-                consolidated(name, 4, params),
-                membound=2,
-                scale=scale,
-                seed=seed,
-            )
-            runs[config.label] = run_experiment(spec)
-        bounded = runs["LLC-Bounded"]
-        ideal = runs["Ideal"]
+    runs = run_keyed(fig2_grid(quick, scale, seed), jobs=jobs, cache=cache)
+    for name in _fig2_benchmarks(quick):
+        bounded = runs[(name, "LLC-Bounded")]
+        ideal = runs[(name, "Ideal")]
         result.add_row(
             name, 1.0, ideal.speedup_over(bounded), ideal.speedup_over(bounded)
         )
@@ -152,8 +182,32 @@ def fig2(
 # --------------------------------------------------------------------- Fig 6
 
 
-def fig6(
+def fig6_grid(
     quick: bool = True, scale: float = DEFAULT_SCALE, seed: int = 2020
+) -> List[GridPoint]:
+    configs = standard_design_matrix(quick)
+    points: List[GridPoint] = []
+    for name in _fig2_benchmarks(quick):
+        params = _pmdk_params(100 * KB, quick)
+        for config in configs:
+            spec = _spec(
+                f"fig6:{name}:{config.label}",
+                config,
+                consolidated(name, 4, params),
+                membound=2,
+                scale=scale,
+                seed=seed,
+            )
+            points.append(GridPoint(spec, key=(name, config.label)))
+    return points
+
+
+def fig6(
+    quick: bool = True,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 2020,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> FigureResult:
     """Throughput with 100 KB persistent transactions (Section VI-A).
 
@@ -166,24 +220,12 @@ def fig6(
         "Normalised throughput, 100 KB persistent transactions",
         ["benchmark"] + [c.label for c in configs],
     )
-    names = FIG6_BENCHMARKS if not quick else ("hashmap", "btree", "skiplist")
-    for name in names:
-        params = _pmdk_params(100 * KB, quick)
-        baseline: Optional[RunResult] = None
+    runs = run_keyed(fig6_grid(quick, scale, seed), jobs=jobs, cache=cache)
+    for name in _fig2_benchmarks(quick):
+        baseline = runs[(name, configs[0].label)]
         row: List[object] = [name]
         for config in configs:
-            spec = _spec(
-                f"fig6:{name}:{config.label}",
-                config,
-                consolidated(name, 4, params),
-                membound=2,
-                scale=scale,
-                seed=seed,
-            )
-            run = run_experiment(spec)
-            if baseline is None:
-                baseline = run
-            row.append(run.speedup_over(baseline))
+            row.append(runs[(name, config.label)].speedup_over(baseline))
         result.rows.append(row)
     return result
 
@@ -191,8 +233,42 @@ def fig6(
 # --------------------------------------------------------------------- Fig 7
 
 
-def fig7(
+def _fig7_matrix(quick: bool) -> Tuple[Tuple[int, ...], List[HTMConfig]]:
+    footprints = (100, 300, 500) if not quick else (100, 500)
+    sig_sizes = (512, 1024, 4096) if not quick else (512, 4096)
+    configs: List[HTMConfig] = []
+    for bits in sig_sizes:
+        configs.append(_uhtm(bits, isolation=False))
+        configs.append(_uhtm(bits, isolation=True))
+    return footprints, configs
+
+
+def fig7_grid(
     quick: bool = True, scale: float = DEFAULT_SCALE, seed: int = 2020
+) -> List[GridPoint]:
+    footprints, configs = _fig7_matrix(quick)
+    points: List[GridPoint] = []
+    for footprint_kb in footprints:
+        params = _pmdk_params(footprint_kb * KB, quick)
+        for config in configs:
+            spec = _spec(
+                f"fig7:{footprint_kb}:{config.label}",
+                config,
+                mixed_pmdk(params),
+                membound=2,
+                scale=scale,
+                seed=seed,
+            )
+            points.append(GridPoint(spec, key=(footprint_kb, config.label)))
+    return points
+
+
+def fig7(
+    quick: bool = True,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 2020,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> FigureResult:
     """Abort rates of UHTM, decomposed by cause (Section VI-A).
 
@@ -212,24 +288,11 @@ def fig7(
             "capacity",
         ],
     )
-    footprints = (100, 300, 500) if not quick else (100, 500)
-    sig_sizes = (512, 1024, 4096) if not quick else (512, 4096)
+    footprints, configs = _fig7_matrix(quick)
+    runs = run_keyed(fig7_grid(quick, scale, seed), jobs=jobs, cache=cache)
     for footprint_kb in footprints:
-        params = _pmdk_params(footprint_kb * KB, quick)
-        configs = []
-        for bits in sig_sizes:
-            configs.append(_uhtm(bits, isolation=False))
-            configs.append(_uhtm(bits, isolation=True))
         for config in configs:
-            spec = _spec(
-                f"fig7:{footprint_kb}:{config.label}",
-                config,
-                mixed_pmdk(params),
-                membound=2,
-                scale=scale,
-                seed=seed,
-            )
-            run = run_experiment(spec)
+            run = runs[(footprint_kb, config.label)]
             decomposition = run.abort_decomposition()
             result.add_row(
                 footprint_kb,
@@ -245,21 +308,13 @@ def fig7(
 # --------------------------------------------------------------------- Fig 8
 
 
-def fig8(
-    quick: bool = True, scale: float = DEFAULT_SCALE, seed: int = 2020
-) -> FigureResult:
-    """Echo with long-running read-only transactions (Section VI-B).
+def _fig8_ratios(quick: bool) -> Tuple[float, ...]:
+    return (0.0, 0.01, 0.02) if quick else (0.0, 0.005, 0.01, 0.02)
 
-    0.5-2.0 % of operations are 8-32 MB read-only scans; the rest are 1 KB
-    puts.  No co-runners.  The paper reports a 4.2x UHTM win at 0.5 %.
-    """
-    result = FigureResult(
-        "Fig. 8",
-        "Echo throughput with long-running read-only transactions "
-        "(each series normalised to its own 0% run)",
-        ["long_tx_pct", "llc_bounded", "uhtm", "uhtm_speedup"],
-    )
-    ratios = (0.0, 0.01, 0.02) if quick else (0.0, 0.005, 0.01, 0.02)
+
+def fig8_grid(
+    quick: bool = True, scale: float = DEFAULT_SCALE, seed: int = 2020
+) -> List[GridPoint]:
     params = WorkloadParams(
         threads=4,
         txs_per_thread=1,  # unused: horizon mode runs for a fixed window
@@ -269,9 +324,9 @@ def fig8(
         initial_fill=12 * 1024,
     )
     horizon_ns = (6e6 if quick else 15e6)  # 6 / 15 simulated ms
-    series: Dict[str, List[RunResult]] = {}
+    points: List[GridPoint] = []
     for config in (_llc_bounded(), _uhtm(4096, True)):
-        for ratio in ratios:
+        for ratio in _fig8_ratios(quick):
             spec = _spec(
                 f"fig8:{ratio}:{config.label}",
                 config,
@@ -292,14 +347,37 @@ def fig8(
                 # figure keeps the LLC at footprint scale / 2.
                 cache_scale=scale / 2,
             )
-            series.setdefault(config.label, []).append(
-                run_experiment(spec, label=config.label)
+            points.append(
+                GridPoint(spec, label=config.label, key=(config.label, ratio))
             )
-    bounded_base = series["LLC-Bounded"][0].throughput
-    uhtm_base = series["4k_opt"][0].throughput
-    for index, ratio in enumerate(ratios):
-        bounded = series["LLC-Bounded"][index].throughput
-        uhtm = series["4k_opt"][index].throughput
+    return points
+
+
+def fig8(
+    quick: bool = True,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 2020,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> FigureResult:
+    """Echo with long-running read-only transactions (Section VI-B).
+
+    0.5-2.0 % of operations are 8-32 MB read-only scans; the rest are 1 KB
+    puts.  No co-runners.  The paper reports a 4.2x UHTM win at 0.5 %.
+    """
+    result = FigureResult(
+        "Fig. 8",
+        "Echo throughput with long-running read-only transactions "
+        "(each series normalised to its own 0% run)",
+        ["long_tx_pct", "llc_bounded", "uhtm", "uhtm_speedup"],
+    )
+    ratios = _fig8_ratios(quick)
+    runs = run_keyed(fig8_grid(quick, scale, seed), jobs=jobs, cache=cache)
+    bounded_base = runs[("LLC-Bounded", ratios[0])].throughput
+    uhtm_base = runs[("4k_opt", ratios[0])].throughput
+    for ratio in ratios:
+        bounded = runs[("LLC-Bounded", ratio)].throughput
+        uhtm = runs[("4k_opt", ratio)].throughput
         result.add_row(
             ratio * 100,
             bounded / bounded_base if bounded_base else 0.0,
@@ -312,23 +390,19 @@ def fig8(
 # --------------------------------------------------------------------- Fig 9
 
 
-def fig9(
-    quick: bool = True, scale: float = DEFAULT_SCALE, seed: int = 2020
-) -> Tuple[FigureResult, FigureResult]:
-    """Hybrid key-value stores vs transaction footprint (Section VI-C).
-
-    Returns (Fig. 9a Hybrid-Index, Fig. 9b Dual).  Footprints grow via the
-    operations batched per transaction; no LLC-hungry co-runners.
-    """
+def _fig9_matrix(quick: bool):
     configs = fig9_design_matrix(quick)
-    results = []
     footprints = (600, 1200) if quick else (600, 900, 1200, 1500)
-    for figure, workload in (("Fig. 9a", "hybrid_index"), ("Fig. 9b", "dual_kv")):
-        result = FigureResult(
-            figure,
-            f"{workload} normalised throughput vs footprint",
-            ["footprint_kb"] + [c.label for c in configs],
-        )
+    workloads = (("Fig. 9a", "hybrid_index"), ("Fig. 9b", "dual_kv"))
+    return configs, footprints, workloads
+
+
+def fig9_grid(
+    quick: bool = True, scale: float = DEFAULT_SCALE, seed: int = 2020
+) -> List[GridPoint]:
+    configs, footprints, workloads = _fig9_matrix(quick)
+    points: List[GridPoint] = []
+    for _, workload in workloads:
         for footprint_kb in footprints:
             ops = max(1, footprint_kb // 100)
             # A steady-state store: the whole key space is pre-populated and
@@ -345,14 +419,10 @@ def fig9(
                 initial_fill=4096,
                 update_ratio=1.0,
             )
-            baseline: Optional[float] = None
-            row: List[object] = [footprint_kb]
             # Small consolidated runs are schedule-sensitive, so each point
             # averages a couple of seeds.
-            seeds = (seed, seed + 1)
             for config in configs:
-                throughputs = []
-                for run_seed in seeds:
+                for run_seed in (seed, seed + 1):
                     spec = _spec(
                         f"fig9:{workload}:{footprint_kb}:{config.label}",
                         config,
@@ -366,7 +436,44 @@ def fig9(
                         # scale).
                         cache_scale=scale,
                     )
-                    throughputs.append(run_experiment(spec).throughput)
+                    points.append(
+                        GridPoint(
+                            spec,
+                            key=(workload, footprint_kb, config.label, run_seed),
+                        )
+                    )
+    return points
+
+
+def fig9(
+    quick: bool = True,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 2020,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> Tuple[FigureResult, FigureResult]:
+    """Hybrid key-value stores vs transaction footprint (Section VI-C).
+
+    Returns (Fig. 9a Hybrid-Index, Fig. 9b Dual).  Footprints grow via the
+    operations batched per transaction; no LLC-hungry co-runners.
+    """
+    configs, footprints, workloads = _fig9_matrix(quick)
+    runs = run_keyed(fig9_grid(quick, scale, seed), jobs=jobs, cache=cache)
+    results = []
+    for figure, workload in workloads:
+        result = FigureResult(
+            figure,
+            f"{workload} normalised throughput vs footprint",
+            ["footprint_kb"] + [c.label for c in configs],
+        )
+        for footprint_kb in footprints:
+            baseline: Optional[float] = None
+            row: List[object] = [footprint_kb]
+            for config in configs:
+                throughputs = [
+                    runs[(workload, footprint_kb, config.label, run_seed)].throughput
+                    for run_seed in (seed, seed + 1)
+                ]
                 mean = sum(throughputs) / len(throughputs)
                 if baseline is None:
                     baseline = mean
@@ -379,29 +486,22 @@ def fig9(
 # --------------------------------------------------------------------- Fig 10
 
 
-def fig10(
-    quick: bool = True, scale: float = DEFAULT_SCALE, seed: int = 2020
-) -> FigureResult:
-    """Undo vs redo logging for overflowed DRAM blocks (Section VI-D).
-
-    Volatile (DRAM-only) transactions under UHTM, identical except for the
-    DRAM logging policy.  The paper reports undo ahead by 7.5 % at 300 KB
-    and by up to 44.7 % as overflows grow.
-    """
-    result = FigureResult(
-        "Fig. 10",
-        "Volatile transactions: undo vs redo for overflowed DRAM blocks",
-        ["footprint_kb", "undo", "redo", "undo_advantage"],
-    )
+def _fig10_matrix(quick: bool):
     footprints = (300, 900) if quick else (300, 600, 900)
     sig_sizes = (4096,) if quick else (1024, 4096)
+    return footprints, sig_sizes
+
+
+def fig10_grid(
+    quick: bool = True, scale: float = DEFAULT_SCALE, seed: int = 2020
+) -> List[GridPoint]:
+    footprints, sig_sizes = _fig10_matrix(quick)
+    points: List[GridPoint] = []
     for footprint_kb in footprints:
         params = _pmdk_params(footprint_kb * KB, quick).with_(
             kind=MemoryKind.DRAM, keys=2048, initial_fill=512
         )
-        throughput = {}
         for policy in (DramLogPolicy.UNDO, DramLogPolicy.REDO):
-            samples = []
             for bits in sig_sizes:
                 config = HTMConfig(
                     design=HTMDesign.UHTM,
@@ -418,7 +518,39 @@ def fig10(
                     scale=scale,
                     seed=seed,
                 )
-                samples.append(run_experiment(spec).throughput)
+                points.append(
+                    GridPoint(spec, key=(footprint_kb, policy, bits))
+                )
+    return points
+
+
+def fig10(
+    quick: bool = True,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 2020,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> FigureResult:
+    """Undo vs redo logging for overflowed DRAM blocks (Section VI-D).
+
+    Volatile (DRAM-only) transactions under UHTM, identical except for the
+    DRAM logging policy.  The paper reports undo ahead by 7.5 % at 300 KB
+    and by up to 44.7 % as overflows grow.
+    """
+    result = FigureResult(
+        "Fig. 10",
+        "Volatile transactions: undo vs redo for overflowed DRAM blocks",
+        ["footprint_kb", "undo", "redo", "undo_advantage"],
+    )
+    footprints, sig_sizes = _fig10_matrix(quick)
+    runs = run_keyed(fig10_grid(quick, scale, seed), jobs=jobs, cache=cache)
+    for footprint_kb in footprints:
+        throughput = {}
+        for policy in (DramLogPolicy.UNDO, DramLogPolicy.REDO):
+            samples = [
+                runs[(footprint_kb, policy, bits)].throughput
+                for bits in sig_sizes
+            ]
             throughput[policy] = sum(samples) / len(samples)
         undo = throughput[DramLogPolicy.UNDO]
         redo = throughput[DramLogPolicy.REDO]
@@ -434,8 +566,37 @@ def fig10(
 # ------------------------------------------------------- §IV-D abort claim
 
 
-def abort_claim(
+_ABORT_CLAIM_CONFIGS = (
+    ("signature_only", lambda: _sig_only(1024)),
+    ("uhtm_sig", lambda: _uhtm(1024, isolation=False)),
+    ("uhtm_opt", lambda: _uhtm(1024, isolation=True)),
+)
+
+
+def abort_claim_grid(
     quick: bool = True, scale: float = DEFAULT_SCALE, seed: int = 2020
+) -> List[GridPoint]:
+    params = _pmdk_params(100 * KB, quick)
+    points: List[GridPoint] = []
+    for label, make_config in _ABORT_CLAIM_CONFIGS:
+        spec = _spec(
+            f"abort_claim:{label}",
+            make_config(),
+            mixed_pmdk(params),
+            membound=2,
+            scale=scale,
+            seed=seed,
+        )
+        points.append(GridPoint(spec, label=label, key=label))
+    return points
+
+
+def abort_claim(
+    quick: bool = True,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 2020,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> FigureResult:
     """The 99% -> 26% -> 9% abort-rate reduction claim (Section IV-D).
 
@@ -448,21 +609,11 @@ def abort_claim(
         "Abort-rate reduction: all-traffic signatures -> staged -> isolated",
         ["config", "abort_rate", "false_positive_share"],
     )
-    params = _pmdk_params(100 * KB, quick)
-    for label, config in (
-        ("signature_only", _sig_only(1024)),
-        ("uhtm_sig", _uhtm(1024, isolation=False)),
-        ("uhtm_opt", _uhtm(1024, isolation=True)),
-    ):
-        spec = _spec(
-            f"abort_claim:{label}",
-            config,
-            mixed_pmdk(params),
-            membound=2,
-            scale=scale,
-            seed=seed,
-        )
-        run = run_experiment(spec, label=label)
+    runs = run_keyed(
+        abort_claim_grid(quick, scale, seed), jobs=jobs, cache=cache
+    )
+    for label, _ in _ABORT_CLAIM_CONFIGS:
+        run = runs[label]
         result.add_row(label, run.abort_rate, run.false_positive_share)
     return result
 
@@ -549,4 +700,17 @@ ALL_FIGURES = {
     "table1": table1,
     "table2": table2,
     "table4": table4,
+}
+
+#: Grid builders for every dynamic figure — the unit ``repro bench`` times
+#: and the benchmark smoke tier samples.  Same keys as ``ALL_FIGURES`` minus
+#: the static tables.
+FIGURE_GRIDS = {
+    "fig2": fig2_grid,
+    "fig6": fig6_grid,
+    "fig7": fig7_grid,
+    "fig8": fig8_grid,
+    "fig9": fig9_grid,
+    "fig10": fig10_grid,
+    "abort_claim": abort_claim_grid,
 }

@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
-from typing import Dict, Optional, TYPE_CHECKING
+from typing import Any, Dict, Optional, TYPE_CHECKING
 
 from ..sim.stats import ratio
 
@@ -103,6 +104,35 @@ class CampaignMetrics:
     @property
     def ok(self) -> bool:
         return self.failures == 0
+
+
+def run_result_to_dict(result: RunResult) -> Dict[str, Any]:
+    """A JSON-safe dict that round-trips through :func:`run_result_from_dict`.
+
+    JSON object keys are strings, so ``ops_by_process`` (keyed by process id)
+    is stringified here and parsed back on load.  Floats survive the trip
+    exactly (``json`` serialises them via ``repr``), which is what lets the
+    result cache and the parallel executor promise bit-identical results.
+    """
+    payload = dataclasses.asdict(result)
+    payload["ops_by_process"] = {
+        str(pid): ops for pid, ops in result.ops_by_process.items()
+    }
+    return payload
+
+
+def run_result_from_dict(payload: Dict[str, Any]) -> RunResult:
+    """Rebuild a :class:`RunResult` written by :func:`run_result_to_dict`."""
+    data = dict(payload)
+    data["aborts_by_reason"] = dict(data.get("aborts_by_reason", {}))
+    data["ops_by_process"] = {
+        int(pid): ops for pid, ops in data.get("ops_by_process", {}).items()
+    }
+    field_names = {f.name for f in dataclasses.fields(RunResult)}
+    unknown = set(data) - field_names
+    if unknown:
+        raise ValueError(f"unknown RunResult fields: {sorted(unknown)}")
+    return RunResult(**data)
 
 
 def collect_metrics(system: "System", label: str, verified: bool) -> RunResult:

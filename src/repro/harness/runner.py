@@ -8,8 +8,51 @@ from ..errors import SimulationError
 from ..runtime.system import System
 from ..sim.engine import ThreadState
 from ..workloads import MemBoundWorkload, WORKLOADS, WorkloadParams
+from .cache import spec_fingerprint
 from .config import ExperimentSpec
 from .metrics import RunResult, collect_metrics
+
+
+class ExperimentFailure(SimulationError):
+    """One experiment point died mid-run.
+
+    Carries the point's label, its spec fingerprint, and the metrics
+    collected up to the failure, so that a failure inside a parallel grid —
+    where the traceback alone no longer says which point was running — is
+    attributable and the partial work is not lost.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        label: str,
+        spec_hash: str,
+        partial: Optional[RunResult] = None,
+    ) -> None:
+        super().__init__(f"{message} [label={label} spec={spec_hash[:12]}]")
+        self.label = label
+        self.spec_hash = spec_hash
+        self.partial = partial
+
+    def __reduce__(self):
+        # Exceptions with extra constructor arguments do not unpickle via the
+        # default path; spell the reconstruction out so a failure raised in a
+        # pool worker reaches the parent intact.
+        return (
+            _rebuild_failure,
+            (self.args[0], self.label, self.spec_hash, self.partial),
+        )
+
+
+def _rebuild_failure(
+    message: str, label: str, spec_hash: str, partial: Optional[RunResult]
+) -> ExperimentFailure:
+    failure = ExperimentFailure.__new__(ExperimentFailure)
+    SimulationError.__init__(failure, message)
+    failure.label = label
+    failure.spec_hash = spec_hash
+    failure.partial = partial
+    return failure
 
 
 def build_system(spec: ExperimentSpec) -> System:
@@ -22,7 +65,13 @@ def run_experiment(spec: ExperimentSpec, label: Optional[str] = None) -> RunResu
     Benchmarks get one simulated process each (their own conflict domain and
     fallback lock); co-runners get processes of their own and run until
     every benchmark thread finishes.
+
+    A :class:`SimulationError` raised mid-run (a co-runner thread dying, the
+    step cap firing) is re-raised as :class:`ExperimentFailure` carrying the
+    point's label, spec fingerprint, and the partial metrics collected so
+    far.
     """
+    label = label or spec.htm.label
     system = build_system(spec)
     workloads = []
     benchmark_threads = []
@@ -39,6 +88,12 @@ def run_experiment(spec: ExperimentSpec, label: Optional[str] = None) -> RunResu
     def benchmarks_done() -> bool:
         return all(t.state is ThreadState.DONE for t in benchmark_threads)
 
+    def fail(message: str) -> ExperimentFailure:
+        partial = collect_metrics(system, label, verified=False)
+        return ExperimentFailure(
+            message, label=label, spec_hash=spec_fingerprint(spec), partial=partial
+        )
+
     hog_cls = WORKLOADS[spec.corunner]
     for index in range(spec.membound_instances):
         process = system.process(f"{spec.corunner}#{index}")
@@ -51,18 +106,32 @@ def run_experiment(spec: ExperimentSpec, label: Optional[str] = None) -> RunResu
         )
         hog.spawn()
 
-    system.run(max_steps=spec.max_steps or None)
+    try:
+        system.run(max_steps=spec.max_steps or None)
+    except ExperimentFailure:
+        raise
+    except SimulationError as exc:
+        raise fail(f"experiment {spec.name!r} failed mid-run: {exc}") from exc
     if not benchmarks_done():
-        raise SimulationError(
-            f"experiment {spec.name!r} hit its step cap before finishing"
-        )
+        raise fail(f"experiment {spec.name!r} hit its step cap before finishing")
     verified = all(w.verify() for w in workloads)
-    return collect_metrics(system, label or spec.htm.label, verified)
+    return collect_metrics(system, label, verified)
 
 
 def run_series(
-    specs: List[ExperimentSpec], labels: Optional[List[str]] = None
+    specs: List[ExperimentSpec],
+    labels: Optional[List[str]] = None,
+    jobs: int = 1,
 ) -> List[RunResult]:
+    """Run several specs, optionally across a process pool (``jobs > 1``)."""
     if labels is None:
         labels = [spec.htm.label for spec in specs]
+    if jobs > 1:
+        from .parallel import GridPoint, run_grid
+
+        points = [
+            GridPoint(spec=spec, label=label)
+            for spec, label in zip(specs, labels)
+        ]
+        return run_grid(points, jobs=jobs)
     return [run_experiment(spec, label) for spec, label in zip(specs, labels)]

@@ -25,13 +25,14 @@ from __future__ import annotations
 import dataclasses
 import itertools
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from ..params import SignatureConfig
+from .cache import ResultCache
 from .config import BenchmarkSpec, ExperimentSpec
 from .metrics import RunResult
+from .parallel import GridPoint, run_grid
 from .report import FigureResult
-from .runner import run_experiment
 
 SpecTransform = Callable[[ExperimentSpec, Any], ExperimentSpec]
 MetricFn = Callable[[RunResult], Any]
@@ -46,25 +47,49 @@ class SweepAxis:
     apply: SpecTransform
 
 
+def build_grid(
+    base: ExperimentSpec, axes: Sequence[SweepAxis]
+) -> List[GridPoint]:
+    """Materialise the full cross product of axis values over ``base``.
+
+    Points come back in ``itertools.product`` order — the last axis varies
+    fastest — and each point's ``key`` is its combo tuple.  Construction is
+    pure and deterministic: the same (base, axes) always yields the same
+    points in the same order, which is what lets the executor promise
+    order-stable results for any ``jobs``.
+    """
+    if not axes:
+        raise ValueError("a sweep needs at least one axis")
+    points: List[GridPoint] = []
+    for combo in itertools.product(*(axis.values for axis in axes)):
+        spec = base
+        for axis, value in zip(axes, combo):
+            spec = axis.apply(spec, value)
+        points.append(GridPoint(spec=spec, key=tuple(combo)))
+    return points
+
+
 def run_sweep(
     base: ExperimentSpec,
     axes: Sequence[SweepAxis],
     metrics: Dict[str, MetricFn],
     title: str = "parameter sweep",
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
 ) -> FigureResult:
-    """Run the full cross product of axis values over ``base``."""
-    if not axes:
-        raise ValueError("a sweep needs at least one axis")
+    """Run the full cross product of axis values over ``base``.
+
+    ``jobs > 1`` fans the grid out over a process pool; ``cache`` serves
+    unchanged points from disk.  Both are transparent: the returned rows
+    are bit-identical for every (jobs, cache) combination.
+    """
     if not metrics:
         raise ValueError("a sweep needs at least one metric")
+    points = build_grid(base, axes)
     columns = [axis.name for axis in axes] + list(metrics)
     result = FigureResult("Sweep", title, columns)
-    for combo in itertools.product(*(axis.values for axis in axes)):
-        spec = base
-        for axis, value in zip(axes, combo):
-            spec = axis.apply(spec, value)
-        run = run_experiment(spec)
-        row = list(combo) + [fn(run) for fn in metrics.values()]
+    for point, run in zip(points, run_grid(points, jobs=jobs, cache=cache)):
+        row = list(point.key) + [fn(run) for fn in metrics.values()]
         result.rows.append(row)
     return result
 

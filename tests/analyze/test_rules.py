@@ -49,6 +49,25 @@ class TestLay002:
     def test_downward_import_is_clean(self):
         assert findings_for("repro/htm/import_good.py", "LAY002") == []
 
+    def test_sibling_module_shadowing_a_package_is_clean(self):
+        """``from .cache import ...`` inside harness/ is harness.cache,
+        not the top-level cache package — one dot never leaves the
+        importing file's own package."""
+        assert (
+            findings_for("repro/harness/import_sibling.py", "LAY002") == []
+        )
+
+    def test_two_dot_import_of_the_same_name_still_flagged(self):
+        messages = [
+            f.message
+            for f in findings_for(
+                "repro/harness/import_updir_bad.py", "LAY002"
+            )
+        ]
+        assert any(
+            "'harness' may not import from 'cache'" in m for m in messages
+        )
+
 
 class TestHook003:
     def test_unguarded_invocations_flagged(self):

@@ -1,0 +1,12 @@
+"""GOOD fixture: a sibling module whose name shadows a layered package.
+
+``from .cache import ...`` inside ``harness/`` is ``repro.harness.cache``
+— the harness's own result cache — not the top-level ``cache`` package
+(which harness may not import).  Only a two-dot import climbs the tree.
+"""
+
+from .cache import ResultCache
+
+
+def open_cache(root):
+    return ResultCache(root)

@@ -1,0 +1,11 @@
+"""BAD fixture: the two-dot form of the same name DOES climb the tree.
+
+``from ..cache.hierarchy import ...`` inside ``harness/`` reaches the
+top-level ``cache`` package, which the DAG does not allow harness to see.
+"""
+
+from ..cache.hierarchy import CacheHierarchy
+
+
+def peek(machine):
+    return CacheHierarchy(machine)

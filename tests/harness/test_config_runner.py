@@ -2,9 +2,12 @@
 
 from __future__ import annotations
 
+import pickle
+
 import pytest
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
+from repro.harness.cache import spec_fingerprint
 from repro.harness.config import (
     BenchmarkSpec,
     ExperimentSpec,
@@ -12,7 +15,7 @@ from repro.harness.config import (
     mixed_pmdk,
 )
 from repro.harness.metrics import RunResult
-from repro.harness.runner import run_experiment, run_series
+from repro.harness.runner import ExperimentFailure, run_experiment, run_series
 from repro.params import HTMConfig
 from repro.workloads import WorkloadParams
 
@@ -88,12 +91,57 @@ class TestRunner:
         results = run_series(specs)
         assert [r.label for r in results] == ["1k_opt", "Ideal"]
 
+    def test_run_series_parallel_matches_serial(self):
+        specs = [small_spec(), small_spec(design="ideal")]
+        assert run_series(specs, jobs=2) == run_series(specs)
+
     def test_determinism_across_runs(self):
         first = run_experiment(small_spec())
         second = run_experiment(small_spec())
         assert first.elapsed_ns == second.elapsed_ns
         assert first.committed_ops == second.committed_ops
         assert first.aborts == second.aborts
+
+
+class TestExperimentFailure:
+    """A point dying mid-grid must stay attributable (label + spec hash)
+    and must not lose the metrics collected before the failure."""
+
+    def failing_spec(self):
+        # A step cap far too small for the workload to finish.
+        return small_spec(max_steps=5)
+
+    def test_step_cap_failure_is_attributable(self):
+        spec = self.failing_spec()
+        with pytest.raises(ExperimentFailure) as excinfo:
+            run_experiment(spec)
+        failure = excinfo.value
+        assert isinstance(failure, SimulationError)  # old catches still work
+        assert failure.label == spec.htm.label
+        assert failure.spec_hash == spec_fingerprint(spec)
+        assert failure.spec_hash[:12] in str(failure)
+        assert failure.label in str(failure)
+
+    def test_partial_metrics_survive_the_failure(self):
+        with pytest.raises(ExperimentFailure) as excinfo:
+            run_experiment(self.failing_spec())
+        partial = excinfo.value.partial
+        assert isinstance(partial, RunResult)
+        assert not partial.verified  # never report a dead run as verified
+        assert partial.elapsed_ns >= 0
+
+    def test_failure_pickles_intact(self):
+        """Pool workers send failures back through pickle; the attribution
+        fields must survive the trip."""
+        with pytest.raises(ExperimentFailure) as excinfo:
+            run_experiment(self.failing_spec())
+        failure = excinfo.value
+        rebuilt = pickle.loads(pickle.dumps(failure))
+        assert isinstance(rebuilt, ExperimentFailure)
+        assert rebuilt.label == failure.label
+        assert rebuilt.spec_hash == failure.spec_hash
+        assert rebuilt.partial == failure.partial
+        assert str(rebuilt) == str(failure)
 
 
 class TestRunResultDerived:

@@ -1,0 +1,99 @@
+"""Property tests of sweep-grid construction (hypothesis).
+
+``build_grid`` is the seam the parallel executor relies on: the grid must
+be the exact cartesian product of the axes (every combination once, nothing
+else) and its ordering must be a pure function of the axes — never of how
+many workers later run it.  These properties hold for arbitrary axis
+shapes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+from hypothesis import given, strategies as st
+
+from repro.harness.config import ExperimentSpec, consolidated
+from repro.harness.sweep import SweepAxis, build_grid
+from repro.params import HTMConfig
+from repro.workloads import WorkloadParams
+
+
+def base_spec() -> ExperimentSpec:
+    return ExperimentSpec(
+        name="grid-prop",
+        htm=HTMConfig(),
+        benchmarks=consolidated(
+            "hashmap", 1,
+            WorkloadParams(threads=1, txs_per_thread=1,
+                           value_bytes=16 << 10, keys=64, initial_fill=16),
+        ),
+        scale=1 / 16,
+        cores=4,
+    )
+
+
+#: Spec fields safe to sweep without tripping validation, with transforms.
+_FIELD_TRANSFORMS = {
+    "seed": lambda spec, v: dataclasses.replace(spec, seed=v),
+    "max_steps": lambda spec, v: dataclasses.replace(spec, max_steps=v),
+    "membound_instances": lambda spec, v: dataclasses.replace(
+        spec, membound_instances=v
+    ),
+    "cores": lambda spec, v: dataclasses.replace(spec, cores=v),
+}
+
+_axis_values = st.lists(
+    st.integers(min_value=1, max_value=1_000_000), min_size=1, max_size=4,
+    unique=True,
+)
+
+_axes_strategy = (
+    st.lists(
+        st.sampled_from(sorted(_FIELD_TRANSFORMS)),
+        min_size=1,
+        max_size=len(_FIELD_TRANSFORMS),
+        unique=True,
+    )
+    .flatmap(
+        lambda fields: st.tuples(
+            st.just(fields),
+            st.tuples(*[_axis_values for _ in fields]),
+        )
+    )
+    .map(
+        lambda pair: [
+            SweepAxis(name, values, _FIELD_TRANSFORMS[name])
+            for name, values in zip(pair[0], pair[1])
+        ]
+    )
+)
+
+
+@given(axes=_axes_strategy)
+def test_grid_is_exact_cartesian_product(axes):
+    points = build_grid(base_spec(), axes)
+    expected = list(itertools.product(*(axis.values for axis in axes)))
+    assert len(points) == len(expected)
+    # Every combination appears exactly once, in product order.
+    assert [point.key for point in points] == expected
+    assert len({point.key for point in points}) == len(points)
+
+
+@given(axes=_axes_strategy)
+def test_every_combo_is_applied_to_its_spec(axes):
+    points = build_grid(base_spec(), axes)
+    for point in points:
+        for axis, value in zip(axes, point.key):
+            assert getattr(point.spec, axis.name) == value
+
+
+@given(axes=_axes_strategy)
+def test_ordering_is_deterministic(axes):
+    """Construction is pure: same axes, same grid — the property the
+    executor's order-stable results (for any ``jobs``) rest on."""
+    first = build_grid(base_spec(), axes)
+    second = build_grid(base_spec(), axes)
+    assert [p.key for p in first] == [p.key for p in second]
+    assert [p.spec for p in first] == [p.spec for p in second]
