@@ -1,0 +1,33 @@
+"""Smoke tier: the tracing pipeline must run end-to-end in seconds.
+
+One tiny Fig. 7 point is traced, decomposed, and exported; the forensic
+abort counts must equal the run's own ``tx.aborts.*`` counters and the
+Chrome document must have the trace_event structure.  This is the CI
+guard for ``python -m repro trace``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.figures import fig7_grid
+from repro.obs import analyze_events, chrome_trace
+from repro.obs.capture import trace_grid
+
+
+@pytest.mark.smoke
+def test_trace_smoke():
+    points = fig7_grid(quick=True, scale=1 / 64, seed=2020)[:1]
+    (run,) = trace_grid(points)
+    assert run.dropped == 0
+    assert run.events
+
+    report = analyze_events(run.events)
+    assert report.begins == run.result.begins
+    assert report.commits == run.result.commits
+    assert report.reason_counts == run.result.aborts_by_reason
+
+    doc = chrome_trace([(run.label, run.events)])
+    assert doc["displayTimeUnit"] == "ns"
+    spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(spans) == run.result.begins + run.result.slow_path_executions

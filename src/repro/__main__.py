@@ -8,6 +8,7 @@ Usage::
     python -m repro all --seed 7 --jobs 4 --cache-dir .repro-cache
     python -m repro bench fig6 --jobs 4
     python -m repro faults --workload hashmap --crashes 50 --seed 1
+    python -m repro trace fig7 --report
 """
 
 from __future__ import annotations
@@ -63,6 +64,10 @@ def main(argv=None) -> int:
         from .harness.bench import main as bench_main
 
         return bench_main(argv[1:])
+    if argv and argv[0] == "trace":
+        from .obs.cli import main as trace_main
+
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables and figures.",

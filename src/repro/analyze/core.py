@@ -50,6 +50,7 @@ KNOWN_PACKAGES = frozenset(
         "workloads",
         "harness",
         "faults",
+        "obs",
         "runtime",
         "analyze",
     }

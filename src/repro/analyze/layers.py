@@ -28,6 +28,12 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
     "faults": frozenset(
         {"mem", "sim", "htm", "runtime", "workloads", "harness"}
     ),
+    # Observability sits on top like faults/: it reads every layer through
+    # duck-typed hook attributes, and nothing below ever imports it.
+    "obs": frozenset(
+        {"mem", "sim", "cache", "signatures", "htm", "runtime", "workloads",
+         "harness"}
+    ),
     "analyze": frozenset(),
 }
 

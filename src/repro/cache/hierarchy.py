@@ -63,6 +63,9 @@ class CacheHierarchy:
         self.on_l1_evict: Optional[L1EvictCallback] = None
         self.on_llc_evict: Optional[LLCEvictCallback] = None
         self.writebacks = 0
+        #: Optional event tracer (see :mod:`repro.obs`): transactional LLC
+        #: evictions are emitted as ``llc.evict`` events when attached.
+        self.tracer = None
 
     # -- the demand access path -----------------------------------------------
 
@@ -204,10 +207,19 @@ class CacheHierarchy:
             # the values (non-transactional stores write through); count the
             # write-back for bandwidth accounting only.
             self.writebacks += 1
-        if self.on_llc_evict is not None and (
-            victim.transactional or entry is not None
-        ):
-            self.on_llc_evict(victim, entry)
+        if victim.transactional or entry is not None:
+            if self.tracer is not None:
+                readers = set(victim.tx_readers)
+                if entry is not None:
+                    readers.update(entry.tx_sharers)
+                self.tracer.emit(
+                    "llc.evict",
+                    line_addr=victim.line_addr,
+                    writer=victim.tx_writer,
+                    readers=len(readers),
+                )
+            if self.on_llc_evict is not None:
+                self.on_llc_evict(victim, entry)
 
     def _invalidate_other_l1s(self, core_id: int, line_addr: int) -> None:
         holders = self._l1_holders.get(line_addr)

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from ..errors import SimulationError
 from ..runtime.system import System
@@ -59,12 +59,21 @@ def build_system(spec: ExperimentSpec) -> System:
     return System(spec.machine(), spec.htm, seed=spec.seed)
 
 
-def run_experiment(spec: ExperimentSpec, label: Optional[str] = None) -> RunResult:
+def run_experiment(
+    spec: ExperimentSpec,
+    label: Optional[str] = None,
+    instrument: Optional[Callable[[System], None]] = None,
+) -> RunResult:
     """Run one experiment to completion and return its metrics.
 
     Benchmarks get one simulated process each (their own conflict domain and
     fallback lock); co-runners get processes of their own and run until
     every benchmark thread finishes.
+
+    ``instrument`` is called with the freshly built :class:`System` before
+    any workload is spawned — observers (e.g. ``repro.obs.attach_tracer``)
+    hook in here.  The spec itself stays observation-free, so instrumented
+    and plain runs share one cache fingerprint.
 
     A :class:`SimulationError` raised mid-run (a co-runner thread dying, the
     step cap firing) is re-raised as :class:`ExperimentFailure` carrying the
@@ -73,6 +82,8 @@ def run_experiment(spec: ExperimentSpec, label: Optional[str] = None) -> RunResu
     """
     label = label or spec.htm.label
     system = build_system(spec)
+    if instrument is not None:
+        instrument(system)
     workloads = []
     benchmark_threads = []
     for index, bench in enumerate(spec.benchmarks):

@@ -120,6 +120,9 @@ class HTMSystem:
         self._active: Dict[int, TxHandle] = {}
         #: Optional trace capture (set by the System facade).
         self.capture = None
+        #: Optional event tracer (set by ``repro.obs.attach_tracer``); hook
+        #: sites guard with ``is not None`` and never import the obs package.
+        self.tracer = None
         hierarchy.on_l1_evict = self._handle_l1_evict
         hierarchy.on_llc_evict = self._handle_llc_evict
 
@@ -183,6 +186,16 @@ class HTMSystem:
         if self.capture is not None:
             self.capture.begin(tx_id, thread.thread_id)
         self.stats.incr("tx.begins")
+        if self.tracer is not None:
+            self.tracer.emit(
+                "tx.begin",
+                ts_ns=thread.clock_ns,
+                tx_id=tx_id,
+                thread_id=thread.thread_id,
+                core=core_id,
+                process=process_id,
+                domain=domain_id,
+            )
         return tx
 
     def _register_tracking(self, tx: TxHandle) -> None:
@@ -312,7 +325,9 @@ class HTMSystem:
             conflict = self.hierarchy.directory.check_access(line_addr, None, is_write)
             if conflict is not None:
                 for victim_id in sorted(conflict.victims):
-                    self._abort_tx_id(victim_id, AbortReason.NON_TX_CONFLICT)
+                    self._abort_tx_id(
+                        victim_id, AbortReason.NON_TX_CONFLICT, line_addr=line_addr
+                    )
         llc_miss = self.hierarchy.would_miss_llc(core_id, line_addr)
         if self._offchip_trigger(llc_miss):
             # Check before the fill: the victims' rollback must restore the
@@ -351,12 +366,24 @@ class HTMSystem:
         if not victims:
             return
         self.stats.incr("conflicts.onchip")
-        resolution = self._resolve(ConflictLocation.ON_CHIP, tx.tx_id, victims)
+        resolution = self._resolve(
+            ConflictLocation.ON_CHIP, tx.tx_id, victims, now_ns=tx.thread.clock_ns
+        )
         if resolution.requester_aborts:
-            self._abort(tx, AbortReason.CONFLICT_COHERENCE)
+            self._abort(
+                tx,
+                AbortReason.CONFLICT_COHERENCE,
+                line_addr=line_addr,
+                other_tx=victims[0],
+            )
             raise TransactionAborted(AbortReason.CONFLICT_COHERENCE, tx.tx_id)
         for victim_id in sorted(resolution.victims_to_abort):
-            self._abort_tx_id(victim_id, AbortReason.CONFLICT_COHERENCE)
+            self._abort_tx_id(
+                victim_id,
+                AbortReason.CONFLICT_COHERENCE,
+                line_addr=line_addr,
+                other_tx=tx.tx_id,
+            )
 
     def _offchip_conflict_check(
         self,
@@ -390,10 +417,13 @@ class HTMSystem:
                     if truly[victim_id]
                     else AbortReason.FALSE_POSITIVE
                 )
-                self._abort_tx_id(victim_id, reason)
+                self._abort_tx_id(victim_id, reason, line_addr=line_addr)
             return
         resolution = self._resolve(
-            ConflictLocation.OFF_CHIP, requester.tx_id, victims
+            ConflictLocation.OFF_CHIP,
+            requester.tx_id,
+            victims,
+            now_ns=requester.thread.clock_ns,
         )
         if resolution.requester_aborts:
             reason = (
@@ -401,7 +431,13 @@ class HTMSystem:
                 if any(truly.values())
                 else AbortReason.FALSE_POSITIVE
             )
-            self._abort(requester, reason)
+            true_victims = [v for v in victims if truly[v]]
+            self._abort(
+                requester,
+                reason,
+                line_addr=line_addr,
+                other_tx=true_victims[0] if true_victims else victims[0],
+            )
             raise TransactionAborted(reason, requester.tx_id)
         for victim_id in sorted(resolution.victims_to_abort):
             reason = (
@@ -409,18 +445,29 @@ class HTMSystem:
                 if truly[victim_id]
                 else AbortReason.FALSE_POSITIVE
             )
-            self._abort_tx_id(victim_id, reason)
+            self._abort_tx_id(
+                victim_id, reason, line_addr=line_addr, other_tx=requester.tx_id
+            )
 
     def _resolve(
-        self, location: ConflictLocation, requester_id: int, victims: List[int]
+        self,
+        location: ConflictLocation,
+        requester_id: int,
+        victims: List[int],
+        now_ns: float = 0.0,
     ) -> Resolution:
         if self.config.resolution == ResolutionPolicy.OLDEST_WINS:
-            return resolve_conflict_oldest_wins(requester_id, victims)
+            return resolve_conflict_oldest_wins(
+                requester_id, victims, tracer=self.tracer, now_ns=now_ns
+            )
         return resolve_conflict(
             location,
             self.tss.is_overflowed(requester_id),
             victims,
             {v: self.tss.is_overflowed(v) for v in victims},
+            tracer=self.tracer,
+            now_ns=now_ns,
+            requester_id=requester_id,
         )
 
     # ------------------------------------------------------------- evictions
@@ -453,6 +500,16 @@ class HTMSystem:
             if tx is None or not self.tss.is_active(tx_id):
                 continue
             self.stats.incr("llc.tx_evictions")
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "llc.overflow",
+                    ts_ns=tx.thread.clock_ns,
+                    tx_id=tx_id,
+                    thread_id=tx.thread.thread_id,
+                    line_addr=meta.line_addr,
+                    wrote=tx_id in writers,
+                    read=tx_id in readers,
+                )
             self._on_llc_overflow(
                 tx,
                 meta.line_addr,
@@ -478,6 +535,16 @@ class HTMSystem:
         if self.capture is not None:
             self.capture.commit(tx.tx_id)
         self.stats.incr("tx.commits")
+        if self.tracer is not None:
+            self.tracer.emit(
+                "tx.commit",
+                ts_ns=tx.thread.clock_ns,
+                tx_id=tx.tx_id,
+                thread_id=tx.thread.thread_id,
+                latency_ns=max(0.0, tx.thread.clock_ns - tx.started_at_ns),
+                reads=tx.reads,
+                writes=tx.writes,
+            )
         self.stats.histogram("tx.latency_ns").record(
             max(0.0, tx.thread.clock_ns - tx.started_at_ns)
         )
@@ -496,10 +563,30 @@ class HTMSystem:
         # Locating the write-set in LLC / DRAM cache via the overflow list
         # (Section IV-B): one LLC reference per overflow-list entry.
         walk_ns = len(tx.overflow_list) * self.machine.latency.llc_ns
+        if self.tracer is not None:
+            # Also stamps the commit time for the timeless controller/log
+            # events emitted during the protocol below.
+            self.tracer.emit(
+                "tx.commit.phase",
+                ts_ns=tx.thread.clock_ns,
+                tx_id=tx.tx_id,
+                thread_id=tx.thread.thread_id,
+                phase="walk",
+                phase_ns=walk_ns,
+            )
 
         nvm_ns = 0.0
         if nvm_lines:
             nvm_ns = self.controller.commit_nvm_transaction(tx.tx_id, nvm_lines)
+        if self.tracer is not None and nvm_ns:
+            self.tracer.emit(
+                "tx.commit.phase",
+                ts_ns=tx.thread.clock_ns,
+                tx_id=tx.tx_id,
+                thread_id=tx.thread.thread_id,
+                phase="nvm",
+                phase_ns=nvm_ns,
+            )
 
         # Fault hook: the window between the (durable) NVM commit protocol
         # and the volatile DRAM publish — a crash here must still recover
@@ -514,6 +601,15 @@ class HTMSystem:
                 dram_ns = self.controller.commit_undo(tx.tx_id)
             else:
                 dram_ns = self.controller.commit_redo_dram(tx.tx_id)
+        if self.tracer is not None and dram_ns:
+            self.tracer.emit(
+                "tx.commit.phase",
+                ts_ns=tx.thread.clock_ns,
+                tx_id=tx.tx_id,
+                thread_id=tx.thread.thread_id,
+                phase="dram",
+                phase_ns=dram_ns,
+            )
 
         # Publish volatile data: buffered DRAM words become globally visible.
         self.controller.publish_dram_words(dram_words)
@@ -534,17 +630,46 @@ class HTMSystem:
             self._abort(tx, reason)
         return len(doomed)
 
-    def _abort_tx_id(self, tx_id: int, reason: AbortReason) -> None:
+    def _abort_tx_id(
+        self,
+        tx_id: int,
+        reason: AbortReason,
+        line_addr: Optional[int] = None,
+        other_tx: Optional[int] = None,
+    ) -> None:
         tx = self._active.get(tx_id)
         if tx is None or not self.tss.is_active(tx_id):
             return
-        self._abort(tx, reason)
+        self._abort(tx, reason, line_addr=line_addr, other_tx=other_tx)
 
-    def _abort(self, tx: TxHandle, reason: AbortReason) -> None:
-        """Synchronously roll back ``tx``; its thread unwinds on next use."""
+    def _abort(
+        self,
+        tx: TxHandle,
+        reason: AbortReason,
+        line_addr: Optional[int] = None,
+        other_tx: Optional[int] = None,
+    ) -> None:
+        """Synchronously roll back ``tx``; its thread unwinds on next use.
+
+        ``line_addr``/``other_tx`` attribute conflict aborts: the cache line
+        fought over and the transaction on the winning side (``None`` for
+        capacity/fallback aborts or non-transactional aggressors).
+        """
         self.tss.mark_aborted(tx.tx_id, reason)
         self.stats.incr("tx.aborts")
         self.stats.incr(f"tx.aborts.{reason.value}")
+        if self.tracer is not None:
+            # The only site that counts ``tx.aborts``, so traced abort
+            # events equal the counters exactly (the forensics contract).
+            self.tracer.emit(
+                "tx.abort",
+                ts_ns=tx.thread.clock_ns,
+                tx_id=tx.tx_id,
+                thread_id=tx.thread.thread_id,
+                reason=reason.value,
+                line_addr=line_addr,
+                other_tx=other_tx,
+            )
         cost = 0.0
         self.hierarchy.invalidate_written_lines(tx.tx_id, tx.cached_written_lines)
         if self.USES_DIRECTORY:

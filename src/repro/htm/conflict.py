@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import FrozenSet, List
+from typing import FrozenSet, List, Optional
 
 
 class ConflictLocation(enum.Enum):
@@ -55,14 +55,43 @@ class ResolutionPolicy:
     ALL = (TABLE2, OLDEST_WINS)
 
 
+def _emit_resolution(
+    tracer,
+    location: ConflictLocation,
+    requester_id: Optional[int],
+    victims: List[int],
+    resolution: Resolution,
+    now_ns: float,
+) -> None:
+    if tracer is None:
+        return
+    tracer.emit(
+        "conflict.resolve",
+        ts_ns=now_ns,
+        tx_id=requester_id,
+        location=location.value,
+        victims=tuple(victims),
+        requester_aborts=resolution.requester_aborts,
+        victims_aborted=tuple(sorted(resolution.victims_to_abort)),
+    )
+
+
 def resolve_conflict_oldest_wins(
-    requester_id: int, victims: List[int]
+    requester_id: int,
+    victims: List[int],
+    tracer=None,
+    now_ns: float = 0.0,
 ) -> Resolution:
     """Timestamp ordering: the lowest transaction ID survives."""
     oldest = min(victims + [requester_id])
     if oldest != requester_id:
-        return Resolution(True, frozenset())
-    return Resolution(False, frozenset(victims))
+        resolution = Resolution(True, frozenset())
+    else:
+        resolution = Resolution(False, frozenset(victims))
+    _emit_resolution(
+        tracer, ConflictLocation.ON_CHIP, requester_id, victims, resolution, now_ns
+    )
+    return resolution
 
 
 def resolve_conflict(
@@ -70,6 +99,9 @@ def resolve_conflict(
     requester_overflowed: bool,
     victims: List[int],
     victim_overflowed: "dict[int, bool]",
+    tracer=None,
+    now_ns: float = 0.0,
+    requester_id: Optional[int] = None,
 ) -> Resolution:
     """Apply Table II to a requester-vs-victims conflict.
 
@@ -78,6 +110,19 @@ def resolve_conflict(
     and no victim does.  That conservative choice avoids asymmetric partial
     aborts the paper does not describe.
     """
+    resolution = _apply_table2(
+        location, requester_overflowed, victims, victim_overflowed
+    )
+    _emit_resolution(tracer, location, requester_id, victims, resolution, now_ns)
+    return resolution
+
+
+def _apply_table2(
+    location: ConflictLocation,
+    requester_overflowed: bool,
+    victims: List[int],
+    victim_overflowed: "dict[int, bool]",
+) -> Resolution:
     doomed: List[int] = []
     for victim in victims:
         v_overflowed = victim_overflowed.get(victim, False)

@@ -90,6 +90,15 @@ class SignatureOnlyHTM(HTMSystem):
         self._mark_overflowed(tx)
         if wrote:
             self._spill_written_line(tx, line_addr)
+        if self.tracer is not None and tx.signature is not None:
+            self.tracer.emit(
+                "sig.saturation",
+                ts_ns=tx.thread.clock_ns,
+                tx_id=tx.tx_id,
+                thread_id=tx.thread.thread_id,
+                read=tx.signature.read_filter.saturation,
+                write=tx.signature.write_filter.saturation,
+            )
 
     def _offchip_conflicts(
         self,
@@ -133,6 +142,15 @@ class UHTM(HTMSystem):
         if wrote:
             tx.signature.add_write(line_addr)
             self._spill_written_line(tx, line_addr)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "sig.saturation",
+                ts_ns=tx.thread.clock_ns,
+                tx_id=tx.tx_id,
+                thread_id=tx.thread.thread_id,
+                read=tx.signature.read_filter.saturation,
+                write=tx.signature.write_filter.saturation,
+            )
 
     def _offchip_conflicts(
         self,
@@ -229,12 +247,30 @@ def _signature_hits(
             truly = signature.truly_conflicts_with_access(line_addr, is_write)
             hits.append((tx_id, truly))
             system.stats.incr("sig.hits.true" if truly else "sig.hits.false")
+            if system.tracer is not None:
+                system.tracer.emit(
+                    "sig.hit",
+                    tx_id=exclude_tx,
+                    victim=tx_id,
+                    line_addr=line_addr,
+                    is_write=is_write,
+                    truly=truly,
+                )
             if requester_overflowed is not None and not (
                 requester_overflowed and not system.tss.is_overflowed(tx_id)
             ):
                 break  # the requester is already doomed
     if checks:
         system.stats.incr("sig.checks", checks)
+        if system.tracer is not None:
+            system.tracer.emit(
+                "sig.check",
+                tx_id=exclude_tx,
+                line_addr=line_addr,
+                is_write=is_write,
+                checks=checks,
+                hits=len(hits),
+            )
     return hits
 
 

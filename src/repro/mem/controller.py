@@ -47,6 +47,10 @@ class MemoryController:
         #: Fault-injection hook points (see :mod:`repro.faults`).  ``None``
         #: means no campaign is running and every hook is a no-op.
         self.fault_injector = None
+        #: Optional event tracer (see :mod:`repro.obs`).  The controller has
+        #: no clock of its own, so it emits with ``ts_ns=None`` and the
+        #: tracer stamps the caller's last-known simulated time.
+        self.tracer = None
         #: Invoked at the architectural NVM commit point — right after the
         #: durable commit mark lands (or would have landed, under an
         #: injected durability bug) — with ``(tx_id, lines)``.  The crash
@@ -155,6 +159,13 @@ class MemoryController:
         elapsed = len(records) * (self.latency.dram_ns * 2)
         self.dram_log.append_mark(RecordKind.ABORT, tx_id)
         self.dram_log.reclaim(tx_id)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "mem.rollback.dram",
+                tx_id=tx_id,
+                records=len(records),
+                latency_ns=elapsed,
+            )
         return elapsed
 
     def commit_undo(self, tx_id: int) -> float:
@@ -166,6 +177,8 @@ class MemoryController:
         """
         self.dram_log.append_mark(RecordKind.COMMIT, tx_id)
         self.dram_log.reclaim(tx_id)  # background reclamation
+        if self.tracer is not None:
+            self.tracer.emit("mem.commit.dram", tx_id=tx_id, policy="undo")
         return self.latency.dram_ns
 
     # -- redo logging for DRAM (Figure 10 ablation) --------------------------
@@ -208,6 +221,14 @@ class MemoryController:
         elapsed = len(records) * (self.latency.dram_ns * 2) + self.latency.dram_ns
         self.dram_log.append_mark(RecordKind.COMMIT, tx_id)
         self.dram_log.reclaim(tx_id)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "mem.commit.dram",
+                tx_id=tx_id,
+                policy="redo",
+                records=len(records),
+                latency_ns=elapsed,
+            )
         return elapsed
 
     def discard_redo_dram(self, tx_id: int) -> float:
@@ -277,6 +298,14 @@ class MemoryController:
             drained = self.dram_cache.fill(line_addr, words, tx_id, committed=True)
             self.background_nvm_writes += drained
             elapsed += self.latency.dram_cache_ns
+        if self.tracer is not None:
+            self.tracer.emit(
+                "mem.commit.nvm",
+                tx_id=tx_id,
+                lines=len(lines),
+                marked=write_mark,
+                latency_ns=elapsed,
+            )
         return elapsed
 
     def buffer_early_evicted_nvm(
@@ -296,6 +325,10 @@ class MemoryController:
         # Setting invalidate bits is cheap; log deletion is deferred to the
         # background reclaimer, so the thread pays only the abort mark.
         self.nvm_log.reclaim(tx_id)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "mem.abort.nvm", tx_id=tx_id, lines=len(overflow_lines)
+            )
         return self.latency.nvm_write_ns
 
     # -- crash & recovery ------------------------------------------------------

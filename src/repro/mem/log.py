@@ -89,6 +89,9 @@ class HardwareLog:
         #: may be its redo records until its lines drain to NVM in place, so
         #: reclaiming those records before the drain would break recovery.
         self.pre_compact: Optional[Callable[[], None]] = None
+        #: Optional event tracer (see :mod:`repro.obs`): every append is
+        #: emitted as a ``log.append`` event when attached.
+        self.tracer = None
 
     @property
     def name(self) -> str:
@@ -155,6 +158,15 @@ class HardwareLog:
             # Index before notifying observers: an observer may model a
             # power failure by raising, and the record is already durable.
             self._by_tx.setdefault(tx_id, []).append(len(self._records) - 1)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "log.append",
+                tx_id=tx_id,
+                log=self._name,
+                record=kind.value,
+                line_addr=line_addr,
+                sequence=self._sequence,
+            )
         for observer in self._observers:
             observer(record)
         return record

@@ -1,0 +1,81 @@
+"""Traced experiment execution, serial or across the process pool.
+
+Tracing must survive the pickle boundary of the grid runner without
+perturbing it: a :class:`Tracer` holds a live ring of events and must not
+cross into workers, and :class:`~repro.harness.config.ExperimentSpec` must
+not grow a trace field (that would change every cache fingerprint).  So the
+worker receives only ``(GridPoint, capacity)`` — both trivially picklable —
+builds the tracer *inside* the worker process, attaches it via the
+``instrument`` hook of :func:`~repro.harness.runner.run_experiment`, and
+ships the captured events back as plain frozen dataclasses.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..harness.config import ExperimentSpec
+from ..harness.metrics import RunResult
+from ..harness.parallel import GridPoint
+from ..harness.runner import run_experiment
+from .events import TraceEvent
+from .tracer import DEFAULT_CAPACITY, Tracer, attach_tracer
+
+
+@dataclass
+class TracedRun:
+    """One experiment's metrics plus its captured event stream."""
+
+    label: str
+    result: RunResult
+    events: List[TraceEvent]
+    #: Events lost to ring overflow; forensics counts are exact only when 0.
+    dropped: int
+
+
+def _trace_point(item: Tuple[GridPoint, int]) -> TracedRun:
+    """Worker entry: must stay a module-level function (it is pickled)."""
+    point, capacity = item
+    tracer = Tracer(capacity=capacity)
+    result = run_experiment(
+        point.spec,
+        point.label,
+        instrument=lambda system: attach_tracer(system, tracer),
+    )
+    return TracedRun(
+        label=point.label or point.spec.htm.label,
+        result=result,
+        events=tracer.events(),
+        dropped=tracer.dropped,
+    )
+
+
+def trace_grid(
+    points: Sequence[GridPoint],
+    jobs: int = 1,
+    capacity: int = DEFAULT_CAPACITY,
+) -> List[TracedRun]:
+    """Trace every point, in order, across ``jobs`` worker processes.
+
+    The same bit-identical contract as ``run_grid``: results (and events)
+    come back in submission order for every ``jobs`` value, because each
+    worker runs a fresh seeded system and tracing is a pure observer.
+    """
+    jobs = max(1, int(jobs))
+    items = [(point, capacity) for point in points]
+    if jobs > 1 and len(items) > 1:
+        workers = min(jobs, len(items))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_trace_point, items))
+    return [_trace_point(item) for item in items]
+
+
+def trace_experiment(
+    spec: ExperimentSpec,
+    label: Optional[str] = None,
+    capacity: int = DEFAULT_CAPACITY,
+) -> TracedRun:
+    """Trace a single experiment in-process."""
+    return _trace_point((GridPoint(spec=spec, label=label), capacity))

@@ -1,0 +1,197 @@
+"""``python -m repro trace`` — trace a figure grid or a single workload.
+
+Examples::
+
+    python -m repro trace fig7 --report            # trace + abort forensics
+    python -m repro trace hashmap --out t.json     # one workload, Chrome JSON
+    python -m repro trace fig6 --jsonl fig6.jsonl  # raw event stream
+
+``--report`` also cross-checks the forensic decomposition against the run's
+own counters: the report's per-reason abort counts must equal the run's
+``tx.aborts.*`` values exactly.  A mismatch (or a ring overflow, which makes
+counts inexact) is an error, not a warning in fine print.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from ..harness.config import DEFAULT_SCALE, ExperimentSpec, consolidated
+from ..harness.figures import FIGURE_GRIDS
+from ..harness.parallel import GridPoint
+from ..params import HTMConfig
+from ..workloads import WorkloadParams
+from .capture import DEFAULT_CAPACITY, TracedRun, trace_grid
+from .export import write_chrome_trace, write_jsonl
+from .forensics import analyze_events, format_report
+
+#: Workloads the single-workload form accepts (the benchmark set; co-runner
+#: workloads make no sense as a traced benchmark on their own).
+TRACE_WORKLOADS = (
+    "hashmap",
+    "btree",
+    "rbtree",
+    "skiplist",
+    "hybrid_index",
+    "dual_kv",
+    "echo",
+)
+
+KB = 1 << 10
+
+
+def _workload_points(
+    workload: str, scale: float, seed: int
+) -> List[GridPoint]:
+    params = WorkloadParams(
+        threads=4,
+        txs_per_thread=4,
+        value_bytes=100 * KB,
+        ops_per_tx=1,
+        keys=256,
+        initial_fill=64,
+    )
+    spec = ExperimentSpec(
+        name=f"trace:{workload}",
+        htm=HTMConfig(),
+        benchmarks=consolidated(workload, 2, params),
+        scale=scale,
+        cores=16,
+        membound_instances=1,
+        seed=seed,
+    )
+    return [GridPoint(spec, label=f"{workload}:{spec.htm.label}")]
+
+
+def _build_points(
+    target: str, scale: float, seed: int
+) -> List[GridPoint]:
+    if target in FIGURE_GRIDS:
+        return FIGURE_GRIDS[target](quick=True, scale=scale, seed=seed)
+    if target in TRACE_WORKLOADS:
+        return _workload_points(target, scale, seed)
+    choices = ", ".join(sorted(FIGURE_GRIDS) + sorted(TRACE_WORKLOADS))
+    raise SystemExit(f"unknown trace target {target!r}; choose one of: {choices}")
+
+
+def _check_report(run: TracedRun) -> List[str]:
+    """Forensics-vs-counters cross-check; returns the discrepancies."""
+    problems: List[str] = []
+    if run.dropped:
+        problems.append(
+            f"{run.label}: ring dropped {run.dropped} events — counts are "
+            "inexact; re-run with a larger --capacity"
+        )
+        return problems
+    report = analyze_events(run.events)
+    if report.reason_counts != run.result.aborts_by_reason:
+        problems.append(
+            f"{run.label}: forensic abort counts {report.reason_counts} "
+            f"!= counters {run.result.aborts_by_reason}"
+        )
+    if report.begins != run.result.begins:
+        problems.append(
+            f"{run.label}: traced begins {report.begins} "
+            f"!= counter {run.result.begins}"
+        )
+    if report.commits != run.result.commits:
+        problems.append(
+            f"{run.label}: traced commits {report.commits} "
+            f"!= counter {run.result.commits}"
+        )
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description=(
+            "Trace a figure grid or a single workload and export the event "
+            "stream as Chrome trace_event JSON (and optionally JSONL)."
+        ),
+    )
+    parser.add_argument(
+        "target",
+        help=(
+            "a figure grid (%s) or a workload (%s)"
+            % (", ".join(sorted(FIGURE_GRIDS)), ", ".join(TRACE_WORKLOADS))
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="Chrome trace_event JSON path (default: TRACE_<target>.json)",
+    )
+    parser.add_argument(
+        "--jsonl",
+        default=None,
+        metavar="PATH",
+        help="also write the raw event stream as JSON Lines",
+    )
+    parser.add_argument(
+        "--report",
+        action="store_true",
+        help=(
+            "print the abort-forensics report per run and cross-check it "
+            "against the run's tx.aborts.* counters (non-zero exit on drift)"
+        ),
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, help="worker processes (default: 1)"
+    )
+    parser.add_argument("--seed", type=int, default=2020)
+    parser.add_argument("--scale", type=float, default=DEFAULT_SCALE)
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=DEFAULT_CAPACITY,
+        help="per-run event-ring capacity (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--points",
+        type=int,
+        default=0,
+        metavar="N",
+        help="trace only the first N grid points (0 = all)",
+    )
+    args = parser.parse_args(argv)
+
+    points = _build_points(args.target, args.scale, args.seed)
+    if args.points > 0:
+        points = points[: args.points]
+    print(f"tracing {len(points)} point(s) of {args.target!r} ...")
+    runs = trace_grid(points, jobs=args.jobs, capacity=args.capacity)
+
+    out_path = args.out or f"TRACE_{args.target}.json"
+    write_chrome_trace(out_path, [(run.label, run.events) for run in runs])
+    total_events = sum(len(run.events) for run in runs)
+    print(f"wrote {out_path} ({total_events} events across {len(runs)} runs)")
+    if args.jsonl:
+        write_jsonl(
+            args.jsonl, (event for run in runs for event in run.events)
+        )
+        print(f"wrote {args.jsonl}")
+
+    exit_code = 0
+    if args.report:
+        for run in runs:
+            print()
+            print(format_report(analyze_events(run.events), label=run.label))
+            for problem in _check_report(run):
+                print(f"ERROR: {problem}", file=sys.stderr)
+                exit_code = 1
+        print()
+        if exit_code == 0:
+            print(
+                "forensics cross-check: every per-reason abort count matches "
+                "its run's tx.aborts.* counters"
+            )
+        else:
+            print("forensics cross-check FAILED", file=sys.stderr)
+    return exit_code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

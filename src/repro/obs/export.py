@@ -1,0 +1,116 @@
+"""Trace exporters: JSONL and Chrome ``trace_event`` JSON.
+
+The Chrome format loads directly in ``chrome://tracing`` or Perfetto
+(https://ui.perfetto.dev): each traced run becomes one process row, each
+simulated thread one track, committed/aborted transactions are complete
+("X") spans, aborts and overflows are instants, and signature saturation
+renders as counter tracks.  Timestamps are microseconds in that format, so
+nanosecond event times are divided by 1000.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Sequence, Tuple
+
+from .events import (
+    LLC_OVERFLOW,
+    LOG_APPEND,
+    SIG_HIT,
+    SIG_SATURATION,
+    TX_ABORT,
+    TraceEvent,
+)
+from .timeline import build_timelines
+
+#: Event kinds rendered as instant ("i") markers on their thread's track.
+_INSTANT_KINDS = frozenset({TX_ABORT, LLC_OVERFLOW, LOG_APPEND, SIG_HIT})
+
+
+def to_jsonl(events: Iterable[TraceEvent]) -> str:
+    """One JSON object per line, keys sorted — byte-stable for diffing."""
+    return "".join(
+        json.dumps(event.to_dict(), sort_keys=True) + "\n" for event in events
+    )
+
+
+def write_jsonl(path: str, events: Iterable[TraceEvent]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(to_jsonl(events))
+
+
+def chrome_trace(
+    runs: Sequence[Tuple[str, Sequence[TraceEvent]]],
+) -> Dict[str, Any]:
+    """Build a Chrome ``trace_event`` document from labelled event streams.
+
+    ``runs`` is a sequence of ``(label, events)`` pairs; each pair becomes
+    one process (pid) in the trace viewer.
+    """
+    trace_events: List[Dict[str, Any]] = []
+    for pid, (label, events) in enumerate(runs):
+        trace_events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": label},
+            }
+        )
+        timelines = build_timelines(events)
+        for timeline in timelines.values():
+            args: Dict[str, Any] = {"tx_id": timeline.tx_id}
+            if timeline.outcome is not None:
+                args["outcome"] = timeline.outcome
+            if timeline.abort_reason is not None:
+                args["abort_reason"] = timeline.abort_reason
+            trace_events.append(
+                {
+                    "name": f"tx {timeline.tx_id}",
+                    "cat": timeline.outcome or "inflight",
+                    "ph": "X",
+                    "pid": pid,
+                    "tid": timeline.thread_id if timeline.thread_id is not None else 0,
+                    "ts": timeline.begin_ns / 1000.0,
+                    "dur": timeline.duration_ns / 1000.0,
+                    "args": args,
+                }
+            )
+        for event in events:
+            if event.kind in _INSTANT_KINDS:
+                trace_events.append(
+                    {
+                        "name": event.kind,
+                        "cat": "marker",
+                        "ph": "i",
+                        "s": "t",
+                        "pid": pid,
+                        "tid": event.thread_id if event.thread_id is not None else 0,
+                        "ts": event.ts_ns / 1000.0,
+                        "args": event.payload(),
+                    }
+                )
+            elif event.kind == SIG_SATURATION:
+                trace_events.append(
+                    {
+                        "name": "signature saturation",
+                        "ph": "C",
+                        "pid": pid,
+                        "tid": 0,
+                        "ts": event.ts_ns / 1000.0,
+                        "args": {
+                            "read": event.get("read", 0.0),
+                            "write": event.get("write", 0.0),
+                        },
+                    }
+                )
+    return {"traceEvents": trace_events, "displayTimeUnit": "ns"}
+
+
+def write_chrome_trace(
+    path: str, runs: Sequence[Tuple[str, Sequence[TraceEvent]]]
+) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(chrome_trace(runs), handle, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,153 @@
+"""Abort forensics: decompose every abort and track signature saturation.
+
+The Figure 7 attribution claim — staged detection drops the false-positive
+abort rate from >99 % to 26 %, isolation to 9 % — is only checkable if each
+abort can be traced to its cause.  ``tx.abort`` events are emitted at the
+single site that increments the ``tx.aborts`` / ``tx.aborts.<reason>``
+counters, so a report's per-reason counts equal the run's counters exactly
+(the CLI cross-checks this and fails loudly on drift or ring overflow).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .events import SIG_SATURATION, TX_ABORT, TX_BEGIN, TX_COMMIT, TraceEvent
+
+#: Abort reasons grouped by detection mechanism (the forensic decomposition).
+#: ``precise`` aborts come from exact information — the coherence directory,
+#: an exact-set hit, or a non-transactional collision; ``signature_alias``
+#: aborts are pure Bloom-filter noise; ``capacity`` is footprint overflow in
+#: bounded designs; ``fallback`` is the runtime protocol (lock preemption,
+#: explicit ``_xabort``).  Every AbortReason value appears exactly once.
+REASON_GROUPS: Dict[str, Tuple[str, ...]] = {
+    "precise": ("conflict_coherence", "conflict_true", "non_tx_conflict"),
+    "signature_alias": ("false_positive",),
+    "capacity": ("capacity",),
+    "fallback": ("lock_preempted", "explicit"),
+}
+
+
+@dataclass(frozen=True)
+class AbortRecord:
+    """One abort, fully attributed."""
+
+    ts_ns: float
+    tx_id: int
+    reason: str
+    group: str
+    #: The conflicting cache line (None for capacity/fallback aborts).
+    line_addr: Optional[int]
+    #: The transaction on the other side of the conflict edge (None when
+    #: the aggressor was non-transactional or there was no conflict).
+    other_tx: Optional[int]
+
+
+@dataclass
+class ForensicsReport:
+    """The decomposed abort record of one traced run."""
+
+    begins: int = 0
+    commits: int = 0
+    aborts: List[AbortRecord] = field(default_factory=list)
+    #: Per-AbortReason counts; equals the run's ``tx.aborts.*`` counters.
+    reason_counts: Dict[str, int] = field(default_factory=dict)
+    #: Per-group counts (precise / signature_alias / capacity / fallback).
+    group_counts: Dict[str, int] = field(default_factory=dict)
+    #: (ts_ns, read_saturation, write_saturation) samples, in time order.
+    saturation: List[Tuple[float, float, float]] = field(default_factory=list)
+
+    @property
+    def abort_count(self) -> int:
+        return len(self.aborts)
+
+
+def _group_of(reason: str) -> str:
+    for group, reasons in REASON_GROUPS.items():
+        if reason in reasons:
+            return group
+    return "fallback"
+
+
+def analyze_events(events: Iterable[TraceEvent]) -> ForensicsReport:
+    """Build the forensics report from a captured event stream."""
+    report = ForensicsReport()
+    for event in events:
+        if event.kind == TX_BEGIN:
+            report.begins += 1
+        elif event.kind == TX_COMMIT:
+            report.commits += 1
+        elif event.kind == TX_ABORT:
+            reason = event.get("reason", "explicit")
+            group = _group_of(reason)
+            report.aborts.append(
+                AbortRecord(
+                    ts_ns=event.ts_ns,
+                    tx_id=event.tx_id if event.tx_id is not None else -1,
+                    reason=reason,
+                    group=group,
+                    line_addr=event.get("line_addr"),
+                    other_tx=event.get("other_tx"),
+                )
+            )
+            report.reason_counts[reason] = report.reason_counts.get(reason, 0) + 1
+            report.group_counts[group] = report.group_counts.get(group, 0) + 1
+        elif event.kind == SIG_SATURATION:
+            report.saturation.append(
+                (event.ts_ns, event.get("read", 0.0), event.get("write", 0.0))
+            )
+    return report
+
+
+def format_report(report: ForensicsReport, label: str = "") -> str:
+    """Render the report as the CLI's human-readable text."""
+    lines: List[str] = []
+    title = f"Abort forensics — {label}" if label else "Abort forensics"
+    lines.append(title)
+    lines.append("=" * len(title))
+    lines.append(
+        f"begins={report.begins} commits={report.commits} "
+        f"aborts={report.abort_count}"
+    )
+    lines.append("")
+    lines.append("By detection mechanism:")
+    for group in REASON_GROUPS:
+        count = report.group_counts.get(group, 0)
+        share = count / report.abort_count if report.abort_count else 0.0
+        lines.append(f"  {group:<16} {count:>6}  ({share:6.1%})")
+    lines.append("")
+    lines.append("By abort reason (equals the run's tx.aborts.* counters):")
+    for reason in sorted(report.reason_counts):
+        lines.append(f"  tx.aborts.{reason:<20} {report.reason_counts[reason]:>6}")
+    worst = _worst_aborts(report)
+    if worst:
+        lines.append("")
+        lines.append("Sample conflict edges (tx <- aggressor @ line):")
+        for record in worst:
+            line = (
+                f"0x{record.line_addr:x}" if record.line_addr is not None else "-"
+            )
+            other = record.other_tx if record.other_tx is not None else "-"
+            lines.append(
+                f"  t={record.ts_ns:>12.1f}ns  tx {record.tx_id} "
+                f"<- {other} @ {line}  [{record.reason}]"
+            )
+    if report.saturation:
+        first_ts, first_read, first_write = report.saturation[0]
+        last_ts, last_read, last_write = report.saturation[-1]
+        peak_read = max(sample[1] for sample in report.saturation)
+        peak_write = max(sample[2] for sample in report.saturation)
+        lines.append("")
+        lines.append(
+            f"Signature saturation: {len(report.saturation)} samples, "
+            f"read {first_read:.1%} -> {last_read:.1%} (peak {peak_read:.1%}), "
+            f"write {first_write:.1%} -> {last_write:.1%} (peak {peak_write:.1%})"
+        )
+    return "\n".join(lines)
+
+
+def _worst_aborts(report: ForensicsReport, limit: int = 5) -> List[AbortRecord]:
+    """The first few aborts that carry a concrete conflict edge."""
+    with_edges = [a for a in report.aborts if a.line_addr is not None]
+    return with_edges[:limit]

@@ -1,0 +1,68 @@
+"""Per-transaction timeline assembly from a captured event stream."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .events import (
+    SLOWPATH_BEGIN,
+    SLOWPATH_COMMIT,
+    TX_ABORT,
+    TX_BEGIN,
+    TX_COMMIT,
+    TraceEvent,
+)
+
+
+@dataclass
+class TxTimeline:
+    """Everything one transaction attempt did, in event order.
+
+    Slow-path executions appear too (their pseudo transaction id from the
+    shared allocator), with outcome ``"slowpath"``.
+    """
+
+    tx_id: int
+    thread_id: Optional[int] = None
+    begin_ns: float = 0.0
+    end_ns: float = 0.0
+    #: "committed", "aborted", "slowpath", or None while still in flight.
+    outcome: Optional[str] = None
+    abort_reason: Optional[str] = None
+    events: List[TraceEvent] = field(default_factory=list)
+
+    @property
+    def duration_ns(self) -> float:
+        return max(0.0, self.end_ns - self.begin_ns)
+
+
+def build_timelines(events: Iterable[TraceEvent]) -> Dict[int, TxTimeline]:
+    """Group an event stream by transaction id, in first-seen order.
+
+    Transaction ids are allocated once and never reused (``TxIdAllocator``),
+    so one id is one attempt.  Events without a transaction id (thread
+    scheduling, raw LLC evictions) are not part of any timeline.
+    """
+    timelines: Dict[int, TxTimeline] = {}
+    for event in events:
+        if event.tx_id is None:
+            continue
+        timeline = timelines.get(event.tx_id)
+        if timeline is None:
+            timeline = TxTimeline(tx_id=event.tx_id, begin_ns=event.ts_ns)
+            timelines[event.tx_id] = timeline
+        timeline.events.append(event)
+        timeline.end_ns = max(timeline.end_ns, event.ts_ns)
+        if event.thread_id is not None:
+            timeline.thread_id = event.thread_id
+        if event.kind in (TX_BEGIN, SLOWPATH_BEGIN):
+            timeline.begin_ns = event.ts_ns
+        elif event.kind == TX_COMMIT:
+            timeline.outcome = "committed"
+        elif event.kind == TX_ABORT:
+            timeline.outcome = "aborted"
+            timeline.abort_reason = event.get("reason")
+        elif event.kind == SLOWPATH_COMMIT:
+            timeline.outcome = "slowpath"
+    return timelines

@@ -1,0 +1,100 @@
+"""The ring-buffer tracer and the hook-point wiring.
+
+A :class:`Tracer` is a bounded deque of :class:`~repro.obs.events.TraceEvent`
+records: memory use is capped at ``capacity`` events, the oldest events are
+dropped first (and counted), and emission is a constant-time append.
+
+When no tracer is attached every hook site is a single ``is not None``
+attribute test — the disabled cost the trace-neutrality test keeps honest.
+Hook sites never import this package; they hold a duck-typed ``tracer``
+attribute that :func:`attach_tracer` assigns, keeping the layer DAG
+pointing strictly downward.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional
+
+from .events import TraceEvent
+
+#: Default ring capacity: bounded memory even for long runs (a few hundred
+#: MB worst case), sized so every quick-matrix grid point the CLI traces
+#: fits without drops — ``--report``'s exact cross-check needs a whole run.
+DEFAULT_CAPACITY = 1 << 20
+
+
+class Tracer:
+    """Receives typed events from the simulator's hook points."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("tracer capacity must be >= 1")
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        #: Events evicted from the ring because it was full.
+        self.dropped = 0
+        self._last_ts_ns = 0.0
+
+    def emit(
+        self,
+        kind: str,
+        ts_ns: Optional[float] = None,
+        tx_id: Optional[int] = None,
+        thread_id: Optional[int] = None,
+        **data: object,
+    ) -> None:
+        """Record one event.
+
+        ``ts_ns=None`` means "the emitter does not track simulated time"
+        (memory controller, hardware logs); the event is stamped with the
+        last explicitly-stamped time, which the HTM-level caller set just
+        before reaching the timeless component.
+        """
+        if ts_ns is None:
+            ts_ns = self._last_ts_ns
+        else:
+            self._last_ts_ns = ts_ns
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(
+            TraceEvent(kind, ts_ns, tx_id, thread_id, tuple(sorted(data.items())))
+        )
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events(self) -> List[TraceEvent]:
+        """The buffered events, oldest first (a copy)."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        self._events.clear()
+        self.dropped = 0
+        self._last_ts_ns = 0.0
+
+
+def attach_tracer(system, tracer: Tracer) -> Tracer:
+    """Arm every hook point of a built :class:`~repro.runtime.system.System`.
+
+    Purely an observer: assigning the ``tracer`` attributes changes no
+    simulation behaviour, which is why a traced run's metrics are
+    bit-identical to an untraced run's.
+    """
+    system.htm.tracer = tracer
+    system.engine.tracer = tracer
+    system.hierarchy.tracer = tracer
+    system.controller.tracer = tracer
+    system.controller.dram_log.tracer = tracer
+    system.controller.nvm_log.tracer = tracer
+    return tracer
+
+
+def detach_tracer(system) -> None:
+    """Disarm every hook point (events stop flowing immediately)."""
+    system.htm.tracer = None
+    system.engine.tracer = None
+    system.hierarchy.tracer = None
+    system.controller.tracer = None
+    system.controller.dram_log.tracer = None
+    system.controller.nvm_log.tracer = None

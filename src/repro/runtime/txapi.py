@@ -160,6 +160,15 @@ class SlowPathContext(MemoryContext):
         self.tx_id = htm.tx_ids.allocate()
         self._nvm_buffer: Dict[int, Dict[int, int]] = {}
         self._finalized = False
+        if htm.tracer is not None:
+            htm.tracer.emit(
+                "slowpath.begin",
+                ts_ns=thread.clock_ns,
+                tx_id=self.tx_id,
+                thread_id=thread.thread_id,
+                core=core_id,
+                domain=domain_id,
+            )
 
     def read_word(self, addr: int) -> int:
         if self._controller.address_space.is_nvm(addr):
@@ -204,9 +213,27 @@ class SlowPathContext(MemoryContext):
         if self._finalized:
             raise ReproError("slow path finalized twice")
         self._finalized = True
-        if not self._nvm_buffer:
-            return
-        self._thread.advance(
-            self._controller.commit_nvm_transaction(self.tx_id, self._nvm_buffer)
-        )
-        self._nvm_buffer.clear()
+        if self._nvm_buffer:
+            if self._htm.tracer is not None:
+                # Stamp before the timeless controller's commit events.
+                self._htm.tracer.emit(
+                    "slowpath.commit",
+                    ts_ns=self._thread.clock_ns,
+                    tx_id=self.tx_id,
+                    thread_id=self._thread.thread_id,
+                    nvm_lines=len(self._nvm_buffer),
+                )
+            self._thread.advance(
+                self._controller.commit_nvm_transaction(
+                    self.tx_id, self._nvm_buffer
+                )
+            )
+            self._nvm_buffer.clear()
+        elif self._htm.tracer is not None:
+            self._htm.tracer.emit(
+                "slowpath.commit",
+                ts_ns=self._thread.clock_ns,
+                tx_id=self.tx_id,
+                thread_id=self._thread.thread_id,
+                nvm_lines=0,
+            )

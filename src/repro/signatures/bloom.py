@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, Optional
 
 from .hashing import HashFamily, MultiplicativeHashFamily
@@ -70,12 +71,31 @@ class BloomFilter:
         return self._array == 0
 
     def expected_false_positive_rate(self) -> float:
-        """The analytic (1 - e^{-kn/m})^k estimate for current occupancy."""
+        """The analytic ``(1 - e^{-kn/m})^k`` estimate from insert count.
+
+        ``n`` is the number of inserts, ``m`` the filter width, ``k`` the
+        hash-function count — the textbook prediction of what the filter's
+        false-positive rate *should* be after ``n`` random insertions.
+        Compare with :meth:`observed_false_positive_rate`, which reads the
+        actual bit array.
+        """
         if self._inserted == 0:
             return 0.0
         k = self._family.functions
-        fraction = self.popcount / self.bits
-        return fraction**k
+        return (1.0 - math.exp(-k * self._inserted / self.bits)) ** k
+
+    def observed_false_positive_rate(self) -> float:
+        """The occupancy-based ``(popcount/m)^k`` rate of *this* bit array.
+
+        A uniformly random probe hits ``k`` independent bit positions; each
+        is set with probability equal to the measured occupancy, so this is
+        the aliasing probability the filter actually exhibits (the analytic
+        estimate assumes ideal hashing and distinct keys).
+        """
+        if self._inserted == 0:
+            return 0.0
+        k = self._family.functions
+        return self.saturation**k
 
 
 class BankedBloomFilter:
@@ -140,3 +160,28 @@ class BankedBloomFilter:
 
     def is_empty(self) -> bool:
         return all(a == 0 for a in self._arrays)
+
+    def expected_false_positive_rate(self) -> float:
+        """The analytic banked estimate from insert count.
+
+        Each of the ``k`` banks has ``m/k`` bits and sees one hash per
+        insert, so a bank bit stays clear with probability
+        ``(1 - k/m)^n`` — giving ``(1 - e^{-kn/m})^k`` overall, the same
+        asymptotic form as the flat filter (banking costs only a
+        lower-order term).
+        """
+        if self._inserted == 0:
+            return 0.0
+        k = self.banks
+        return (1.0 - math.exp(-k * self._inserted / self.bits)) ** k
+
+    def observed_false_positive_rate(self) -> float:
+        """Product of per-bank occupancies: the aliasing rate of a random
+        probe against *this* filter's bit arrays (one bit tested per bank).
+        """
+        if self._inserted == 0:
+            return 0.0
+        rate = 1.0
+        for array in self._arrays:
+            rate *= bin(array).count("1") / self._bank_bits
+        return rate

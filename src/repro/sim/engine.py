@@ -83,6 +83,9 @@ class Engine:
         #: A raised :class:`~repro.errors.PowerFailure` propagates out of
         #: :meth:`run`; the dead machine is never resumed.
         self.fault_injector = None
+        #: Optional event tracer (see :mod:`repro.obs`): scheduling events
+        #: (block/wake/done) are emitted when attached, else zero cost.
+        self.tracer = None
 
     @property
     def threads(self) -> List[SimThread]:
@@ -112,6 +115,10 @@ class Engine:
         if thread.state is ThreadState.DONE:
             raise SimulationError("cannot block a finished thread")
         thread.state = ThreadState.BLOCKED
+        if self.tracer is not None:
+            self.tracer.emit(
+                "thread.block", ts_ns=thread.clock_ns, thread_id=thread.thread_id
+            )
 
     def wake(self, thread: SimThread, at_ns: Optional[float] = None) -> None:
         """Make ``thread`` runnable again, no earlier than ``at_ns``."""
@@ -122,6 +129,10 @@ class Engine:
         if thread.state is ThreadState.BLOCKED:
             thread.state = ThreadState.RUNNABLE
             self._push(thread)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "thread.wake", ts_ns=thread.clock_ns, thread_id=thread.thread_id
+                )
 
     # -- run loop ----------------------------------------------------------
 
@@ -174,6 +185,10 @@ class Engine:
             next(body)
         except StopIteration:
             thread.state = ThreadState.DONE
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "thread.done", ts_ns=thread.clock_ns, thread_id=thread.thread_id
+                )
             return
         if thread.state is ThreadState.RUNNABLE:
             self._push(thread)

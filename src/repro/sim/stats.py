@@ -70,6 +70,8 @@ class StatsRegistry:
             self._counters[name] += value
         for name, values in other._samples.items():
             self._samples[name].extend(values)
+        for name, histogram in other._histograms.items():
+            self.histogram(name).merge(histogram)
 
     def items(self) -> Iterable[Tuple[str, int]]:
         return self._counters.items()
@@ -82,8 +84,9 @@ class StatsRegistry:
 class Histogram:
     """A fixed-bucket latency histogram (log2 buckets by default).
 
-    Bucket ``i`` counts samples in ``[2^i, 2^(i+1))`` (ns); cheap enough to
-    sit on the commit path and good enough for tail inspection.
+    Bucket 0 counts samples in ``[0, 2)``; bucket ``i >= 1`` counts samples
+    in ``[2^i, 2^(i+1))`` (ns).  Cheap enough to sit on the commit path and
+    good enough for tail inspection.
     """
 
     def __init__(self, buckets: int = 40) -> None:
@@ -116,11 +119,33 @@ class Histogram:
     def max(self) -> float:
         return self._max
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other`` into this histogram (bucket-wise add).
+
+        Counts add bucket by bucket (growing this histogram if ``other``
+        has more buckets), totals and sums add, and the max is the max of
+        the two maxes — so a merged registry reports the same aggregate
+        statistics a single-registry run would have.
+        """
+        if len(other._counts) > len(self._counts):
+            self._counts.extend([0] * (len(other._counts) - len(self._counts)))
+        for index, count in enumerate(other._counts):
+            self._counts[index] += count
+        self._total += other._total
+        self._sum += other._sum
+        if other._max > self._max:
+            self._max = other._max
+
     def percentile(self, fraction: float) -> float:
-        """Upper bound of the bucket containing the given percentile."""
+        """Upper bound of the bucket containing the given percentile.
+
+        An empty histogram — and one whose samples are all zero, where the
+        bucket upper bound of 2.0 would overstate every percentile — reports
+        0.0.
+        """
         if not 0 < fraction <= 1:
             raise ValueError("fraction must be in (0, 1]")
-        if self._total == 0:
+        if self._total == 0 or self._max == 0:
             return 0.0
         threshold = fraction * self._total
         seen = 0

@@ -1,0 +1,42 @@
+"""Shared fixtures for the observability tests: small, contended specs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.config import ExperimentSpec, consolidated
+from repro.params import HTMConfig
+from repro.workloads import WorkloadParams
+
+
+def _spec(name: str, keys: int, threads: int) -> ExperimentSpec:
+    return ExperimentSpec(
+        name=name,
+        htm=HTMConfig(),
+        benchmarks=consolidated(
+            "hashmap",
+            2,
+            WorkloadParams(
+                threads=threads,
+                txs_per_thread=2,
+                value_bytes=16 << 10,
+                keys=keys,
+                initial_fill=min(16, keys),
+            ),
+        ),
+        scale=1 / 16,
+        cores=4,
+        membound_instances=1,
+    )
+
+
+@pytest.fixture
+def tiny_spec() -> ExperimentSpec:
+    """A seconds-fast run with a little of everything (overflow, logs)."""
+    return _spec("obs-tiny", keys=64, threads=2)
+
+
+@pytest.fixture
+def contended_spec() -> ExperimentSpec:
+    """Few keys, more threads: guaranteed conflicts and aborts."""
+    return _spec("obs-contended", keys=8, threads=4)

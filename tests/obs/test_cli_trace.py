@@ -1,0 +1,70 @@
+"""The ``python -m repro trace`` entry point, end to end."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.cli import TRACE_WORKLOADS, main
+
+
+class TestTraceCli:
+    def test_workload_trace_writes_chrome_json(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        rc = main(["hashmap", "--out", str(out)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["displayTimeUnit"] == "ns"
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+        assert str(out) in capsys.readouterr().out
+
+    def test_report_cross_checks_counters(self, tmp_path, capsys):
+        rc = main(
+            ["hashmap", "--out", str(tmp_path / "t.json"), "--report"]
+        )
+        assert rc == 0
+        output = capsys.readouterr().out
+        assert "Abort forensics" in output
+        assert "matches" in output
+
+    def test_figure_grid_with_point_limit(self, tmp_path):
+        out = tmp_path / "fig7.json"
+        rc = main(
+            [
+                "fig7",
+                "--out",
+                str(out),
+                "--points",
+                "1",
+                "--report",
+            ]
+        )
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        metadata = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert len(metadata) == 1  # one traced run -> one pid
+
+    def test_jsonl_sidecar(self, tmp_path):
+        jsonl = tmp_path / "events.jsonl"
+        rc = main(
+            [
+                "hashmap",
+                "--out",
+                str(tmp_path / "t.json"),
+                "--jsonl",
+                str(jsonl),
+            ]
+        )
+        assert rc == 0
+        lines = jsonl.read_text().splitlines()
+        assert lines
+        assert all(json.loads(line)["kind"] for line in lines)
+
+    def test_unknown_target_is_an_error(self):
+        with pytest.raises(SystemExit):
+            main(["not-a-target"])
+
+    def test_workload_list_excludes_corunners(self):
+        assert "membound" not in TRACE_WORKLOADS
+        assert "graphhog" not in TRACE_WORKLOADS

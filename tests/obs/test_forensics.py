@@ -1,0 +1,71 @@
+"""Forensics: abort decomposition must equal the run's own counters."""
+
+from __future__ import annotations
+
+from repro.obs import analyze_events, build_timelines, format_report
+from repro.obs.capture import trace_experiment
+from repro.obs.forensics import REASON_GROUPS
+
+
+def test_reason_groups_cover_every_abort_reason():
+    from repro.errors import AbortReason
+
+    grouped = [r for reasons in REASON_GROUPS.values() for r in reasons]
+    assert sorted(grouped) == sorted(r.value for r in AbortReason)
+
+
+class TestAgainstCounters:
+    def test_abort_counts_equal_tx_aborts_counters(self, contended_spec):
+        run = trace_experiment(contended_spec)
+        assert run.dropped == 0
+        report = analyze_events(run.events)
+        assert run.result.aborts > 0, "spec not contended enough to test"
+        assert report.reason_counts == run.result.aborts_by_reason
+        assert report.abort_count == run.result.aborts
+        assert report.begins == run.result.begins
+        assert report.commits == run.result.commits
+        assert sum(report.group_counts.values()) == report.abort_count
+
+    def test_conflict_aborts_carry_an_edge(self, contended_spec):
+        run = trace_experiment(contended_spec)
+        report = analyze_events(run.events)
+        conflict_aborts = [
+            a
+            for a in report.aborts
+            if a.reason in ("conflict_coherence", "conflict_true", "false_positive")
+        ]
+        assert conflict_aborts, "spec not contended enough to test"
+        for record in conflict_aborts:
+            assert record.line_addr is not None
+            assert record.other_tx is not None
+            assert record.other_tx != record.tx_id
+
+    def test_format_report_mentions_every_reason(self, contended_spec):
+        run = trace_experiment(contended_spec)
+        report = analyze_events(run.events)
+        text = format_report(report, label=run.label)
+        assert run.label in text
+        for reason in report.reason_counts:
+            assert f"tx.aborts.{reason}" in text
+        for group in REASON_GROUPS:
+            assert group in text
+
+
+class TestTimelines:
+    def test_every_transaction_resolves(self, tiny_spec):
+        run = trace_experiment(tiny_spec)
+        timelines = build_timelines(run.events)
+        assert len(timelines) == run.result.begins + run.result.slow_path_executions
+        outcomes = [t.outcome for t in timelines.values()]
+        assert outcomes.count("committed") == run.result.commits
+        assert outcomes.count("aborted") == run.result.aborts
+        assert None not in outcomes
+
+    def test_timelines_are_ordered_and_attributed(self, tiny_spec):
+        run = trace_experiment(tiny_spec)
+        for timeline in build_timelines(run.events).values():
+            assert timeline.end_ns >= timeline.begin_ns
+            assert timeline.thread_id is not None
+            assert timeline.events[0].kind in ("tx.begin", "slowpath.begin")
+            if timeline.outcome == "aborted":
+                assert timeline.abort_reason is not None

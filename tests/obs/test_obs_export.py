@@ -1,0 +1,66 @@
+"""Exporters: Chrome trace_event structure and JSONL round-trips."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import chrome_trace, to_jsonl, write_chrome_trace, write_jsonl
+from repro.obs.capture import trace_experiment
+
+
+class TestChromeTrace:
+    def test_document_structure(self, tiny_spec):
+        run = trace_experiment(tiny_spec)
+        doc = chrome_trace([(run.label, run.events)])
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ns"
+        assert isinstance(doc["traceEvents"], list)
+        phases = {event["ph"] for event in doc["traceEvents"]}
+        assert "M" in phases  # process_name metadata
+        assert "X" in phases  # transaction spans
+
+    def test_one_span_per_transaction(self, tiny_spec):
+        run = trace_experiment(tiny_spec)
+        doc = chrome_trace([(run.label, run.events)])
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert (
+            len(spans)
+            == run.result.begins + run.result.slow_path_executions
+        )
+        committed = [s for s in spans if s["args"].get("outcome") == "committed"]
+        assert len(committed) == run.result.commits
+        for span in spans:
+            assert span["dur"] >= 0.0
+            assert span["ts"] >= 0.0
+
+    def test_each_run_gets_its_own_pid(self, tiny_spec, contended_spec):
+        runs = [trace_experiment(tiny_spec), trace_experiment(contended_spec)]
+        doc = chrome_trace([(run.label, run.events) for run in runs])
+        metadata = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert [m["pid"] for m in metadata] == [0, 1]
+        assert [m["args"]["name"] for m in metadata] == [r.label for r in runs]
+
+    def test_document_is_json_serialisable(self, tiny_spec, tmp_path):
+        run = trace_experiment(tiny_spec)
+        path = tmp_path / "trace.json"
+        write_chrome_trace(str(path), [(run.label, run.events)])
+        loaded = json.loads(path.read_text())
+        assert loaded == chrome_trace([(run.label, run.events)])
+
+
+class TestJsonl:
+    def test_one_line_per_event_and_round_trip(self, tiny_spec, tmp_path):
+        run = trace_experiment(tiny_spec)
+        text = to_jsonl(run.events)
+        lines = text.splitlines()
+        assert len(lines) == len(run.events)
+        for line, event in zip(lines, run.events):
+            assert json.loads(line) == event.to_dict()
+        path = tmp_path / "events.jsonl"
+        write_jsonl(str(path), run.events)
+        assert path.read_text() == text
+
+    def test_jsonl_is_byte_stable(self, tiny_spec):
+        run_a = trace_experiment(tiny_spec)
+        run_b = trace_experiment(tiny_spec)
+        assert to_jsonl(run_a.events) == to_jsonl(run_b.events)

@@ -1,0 +1,106 @@
+"""Unit tests for the ring-buffer tracer and the event type."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs import TraceEvent, Tracer
+from repro.obs.tracer import DEFAULT_CAPACITY, detach_tracer
+
+
+class TestTracer:
+    def test_emit_and_read_back_in_order(self):
+        tracer = Tracer()
+        tracer.emit("tx.begin", ts_ns=1.0, tx_id=1)
+        tracer.emit("tx.commit", ts_ns=2.0, tx_id=1)
+        kinds = [event.kind for event in tracer.events()]
+        assert kinds == ["tx.begin", "tx.commit"]
+        assert len(tracer) == 2
+
+    def test_ring_is_bounded_and_counts_drops(self):
+        tracer = Tracer(capacity=4)
+        for index in range(10):
+            tracer.emit("tx.begin", ts_ns=float(index), tx_id=index)
+        assert len(tracer) == 4
+        assert tracer.dropped == 6
+        # Oldest events were dropped; the newest four survive.
+        assert [event.tx_id for event in tracer.events()] == [6, 7, 8, 9]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_default_capacity_is_bounded(self):
+        assert Tracer().capacity == DEFAULT_CAPACITY
+
+    def test_timeless_emit_inherits_last_stamped_time(self):
+        tracer = Tracer()
+        tracer.emit("tx.commit.phase", ts_ns=42.0, tx_id=1)
+        tracer.emit("log.append", tx_id=1, log="nvm")  # no ts_ns
+        events = tracer.events()
+        assert events[1].ts_ns == 42.0
+
+    def test_clear_resets_everything(self):
+        tracer = Tracer(capacity=2)
+        for index in range(5):
+            tracer.emit("tx.begin", ts_ns=float(index))
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+        tracer.emit("log.append")
+        assert tracer.events()[0].ts_ns == 0.0
+
+
+class TestTraceEvent:
+    def test_payload_is_sorted_and_hashable(self):
+        event = TraceEvent("tx.abort", 1.0, tx_id=1, data=(("a", 1), ("b", 2)))
+        assert event.get("a") == 1
+        assert event.get("missing", "x") == "x"
+        assert event.payload() == {"a": 1, "b": 2}
+        hash(event)  # frozen dataclass with tuple payload
+
+    def test_emit_sorts_kwargs_deterministically(self):
+        tracer = Tracer()
+        tracer.emit("tx.abort", ts_ns=0.0, zeta=1, alpha=2)
+        assert tracer.events()[0].data == (("alpha", 2), ("zeta", 1))
+
+    def test_events_survive_pickling(self):
+        tracer = Tracer()
+        tracer.emit("conflict.resolve", ts_ns=3.0, tx_id=4, victims=(7, 8))
+        clone = pickle.loads(pickle.dumps(tracer.events()))
+        assert clone == tracer.events()
+
+    def test_to_dict_is_flat_and_json_safe(self):
+        event = TraceEvent(
+            "conflict.resolve", 5.0, tx_id=2, data=(("victims", (3, 4)),)
+        )
+        out = event.to_dict()
+        assert out == {
+            "kind": "conflict.resolve",
+            "ts_ns": 5.0,
+            "tx_id": 2,
+            "victims": [3, 4],
+        }
+
+
+class TestAttachDetach:
+    def test_attach_arms_and_detach_disarms_every_hook(self, tiny_spec):
+        from repro.harness.runner import build_system
+        from repro.obs import attach_tracer
+
+        system = build_system(tiny_spec)
+        tracer = Tracer()
+        attach_tracer(system, tracer)
+        hooks = [
+            system.htm,
+            system.engine,
+            system.hierarchy,
+            system.controller,
+            system.controller.dram_log,
+            system.controller.nvm_log,
+        ]
+        assert all(component.tracer is tracer for component in hooks)
+        detach_tracer(system)
+        assert all(component.tracer is None for component in hooks)

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.signatures.bloom import BloomFilter
+from repro.signatures.bloom import BankedBloomFilter, BloomFilter
 from repro.signatures.hashing import MultiplicativeHashFamily
 
 
@@ -71,6 +71,62 @@ class TestSaturation:
         fp_small = sum(small.maybe_contains(p) for p in probes)
         fp_large = sum(large.maybe_contains(p) for p in probes)
         assert fp_large < fp_small
+
+
+class TestFalsePositiveEstimates:
+    """Regression: ``expected_false_positive_rate`` used to return the
+    occupancy-based rate its docstring disclaimed; the pair is now split."""
+
+    def test_expected_is_analytic_formula(self):
+        import math
+
+        bloom = make_filter(bits=1024, k=4)
+        bloom.insert_all(0x4000_0000 + i * 64 for i in range(150))
+        k, n, m = 4, 150, 1024
+        analytic = (1.0 - math.exp(-k * n / m)) ** k
+        assert bloom.expected_false_positive_rate() == pytest.approx(analytic)
+
+    def test_observed_is_occupancy_based(self):
+        bloom = make_filter(bits=1024, k=4)
+        bloom.insert_all(0x4000_0000 + i * 64 for i in range(150))
+        assert bloom.observed_false_positive_rate() == pytest.approx(
+            bloom.saturation**4
+        )
+
+    def test_expected_and_observed_agree_on_known_fill(self):
+        """With a decent hash family the two views of the same filter must
+        land close together — and both near the measured probe rate."""
+        bloom = make_filter(bits=1024, k=4)
+        bloom.insert_all(0x4000_0000 + i * 64 for i in range(150))
+        expected = bloom.expected_false_positive_rate()
+        observed = bloom.observed_false_positive_rate()
+        assert abs(expected - observed) < 0.05
+        probes = [0x8000_0000 + i * 64 for i in range(4000)]
+        fp = sum(bloom.maybe_contains(p) for p in probes) / len(probes)
+        assert abs(fp - expected) < 0.1
+        assert abs(fp - observed) < 0.1
+
+    def test_banked_filter_has_same_pair(self):
+        import math
+
+        banked = BankedBloomFilter(
+            1024, 4, MultiplicativeHashFamily(4, 256, seed=1)
+        )
+        banked.insert_all(0x4000_0000 + i * 64 for i in range(150))
+        k, n, m = 4, 150, 1024
+        analytic = (1.0 - math.exp(-k * n / m)) ** k
+        assert banked.expected_false_positive_rate() == pytest.approx(analytic)
+        observed = banked.observed_false_positive_rate()
+        assert abs(observed - analytic) < 0.05
+        probes = [0x8000_0000 + i * 64 for i in range(4000)]
+        fp = sum(banked.maybe_contains(p) for p in probes) / len(probes)
+        assert abs(fp - observed) < 0.1
+
+    def test_empty_filters_report_zero(self):
+        assert make_filter().observed_false_positive_rate() == 0.0
+        banked = BankedBloomFilter(256, 4)
+        assert banked.expected_false_positive_rate() == 0.0
+        assert banked.observed_false_positive_rate() == 0.0
 
 
 class TestValidation:

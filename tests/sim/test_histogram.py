@@ -39,6 +39,24 @@ class TestHistogram:
     def test_percentile_of_empty(self):
         assert Histogram().percentile(0.5) == 0.0
 
+    def test_percentile_of_all_zero_samples_is_zero(self):
+        """Regression: bucket 0 holds [0, 2), so an all-zero histogram used
+        to report 2.0 ns for every percentile."""
+        histogram = Histogram()
+        for _ in range(10):
+            histogram.record(0.0)
+        assert histogram.percentile(0.5) == 0.0
+        assert histogram.percentile(1.0) == 0.0
+        assert histogram.max == 0.0
+
+    def test_bucket_zero_covers_zero_to_two(self):
+        histogram = Histogram()
+        histogram.record(0.0)
+        histogram.record(1.999)
+        assert dict(histogram.nonzero_buckets()) == {0: 2}
+        # Nonzero samples in bucket 0 still report the bucket's upper bound.
+        assert histogram.percentile(1.0) == 2.0
+
     def test_validation(self):
         with pytest.raises(ValueError):
             Histogram().record(-1.0)

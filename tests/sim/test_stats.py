@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from repro.sim.stats import StatsRegistry, decompose, ratio
+from repro.sim.stats import Histogram, StatsRegistry, decompose, ratio
 
 
 class TestCounters:
@@ -65,6 +65,67 @@ class TestMerge:
         assert a.counter("n") == 3
         assert a.counter("m") == 5
         assert a.mean("s") == 2.0
+
+    def test_merge_preserves_histograms(self):
+        """Regression: merge used to silently drop every histogram of
+        ``other``, so merged worker registries lost their latency data."""
+        a = StatsRegistry()
+        b = StatsRegistry()
+        a.histogram("tx.latency_ns").record(4.0)
+        b.histogram("tx.latency_ns").record(100.0)
+        b.histogram("only_in_b").record(7.0)
+        a.merge(b)
+        merged = a.histogram("tx.latency_ns")
+        assert merged.count == 2
+        assert merged.mean == 52.0
+        assert merged.max == 100.0
+        assert a.histogram("only_in_b").count == 1
+        assert "only_in_b" in a.histograms()
+
+    def test_merge_matches_single_registry_run(self):
+        """Splitting samples across registries and merging must equal one
+        registry that saw everything — bucket-wise."""
+        values = [0.0, 0.5, 1.0, 3.0, 17.0, 64.0, 1e6]
+        whole = StatsRegistry()
+        left, right = StatsRegistry(), StatsRegistry()
+        for index, value in enumerate(values):
+            whole.histogram("h").record(value)
+            (left if index % 2 == 0 else right).histogram("h").record(value)
+        left.merge(right)
+        merged = left.histogram("h")
+        reference = whole.histogram("h")
+        assert merged.nonzero_buckets() == reference.nonzero_buckets()
+        assert merged.count == reference.count
+        assert merged.mean == reference.mean
+        assert merged.max == reference.max
+        assert merged.percentile(0.5) == reference.percentile(0.5)
+
+
+class TestHistogramMerge:
+    def test_bucket_wise_addition(self):
+        a, b = Histogram(), Histogram()
+        a.record(2.0)
+        b.record(3.0)
+        b.record(500.0)
+        a.merge(b)
+        assert dict(a.nonzero_buckets())[1] == 2
+        assert a.count == 3
+        assert a.max == 500.0
+
+    def test_merge_grows_to_wider_histogram(self):
+        small, big = Histogram(buckets=4), Histogram(buckets=8)
+        small.record(1e18)  # clamped into small's last bucket (index 3)
+        big.record(100.0)   # index 6
+        small.merge(big)
+        buckets = dict(small.nonzero_buckets())
+        assert buckets == {3: 1, 6: 1}
+
+    def test_merge_of_empty_is_identity(self):
+        a = Histogram()
+        a.record(5.0)
+        before = (a.count, a.mean, a.max, a.nonzero_buckets())
+        a.merge(Histogram())
+        assert (a.count, a.mean, a.max, a.nonzero_buckets()) == before
 
 
 class TestHelpers:
