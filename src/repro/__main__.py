@@ -68,6 +68,10 @@ def main(argv=None) -> int:
         from .obs.cli import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "profile":
+        from .perf.cli import main as profile_main
+
+        return profile_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables and figures.",

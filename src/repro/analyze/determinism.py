@@ -49,8 +49,13 @@ BANNED_MODULES = frozenset({"random", "secrets"})
 #: Files allowed to import the banned entropy sources (posix path suffixes).
 SANCTIONED_RANDOM_FILES = ("repro/sim/rng.py",)
 
-#: Files allowed to read the wall clock.
-SANCTIONED_CLOCK_FILES = ("repro/harness/timer.py",)
+#: Files allowed to read the wall clock: the harness stopwatch, and the
+#: phase timers — profiling is inherently a wall-clock activity, and its
+#: readings only ever describe the host, never the simulation.
+SANCTIONED_CLOCK_FILES = (
+    "repro/harness/timer.py",
+    "repro/perf/phases.py",
+)
 
 #: ``module -> attribute names`` whose call reads wall-clock or OS entropy.
 NONDETERMINISTIC_CALLS: Dict[str, frozenset] = {

@@ -34,6 +34,12 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
         {"mem", "sim", "cache", "signatures", "htm", "runtime", "workloads",
          "harness"}
     ),
+    # Profiling also sits on top: it instruments hot entry points in every
+    # layer (and drives the harness), and nothing below ever imports it.
+    "perf": frozenset(
+        {"mem", "sim", "cache", "signatures", "htm", "runtime", "workloads",
+         "harness"}
+    ),
     "analyze": frozenset(),
 }
 

@@ -20,9 +20,14 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set
 
 
-@dataclass
+@dataclass(slots=True)
 class DirectoryEntry:
-    """Transactional tracking for one on-chip line."""
+    """Transactional tracking for one on-chip line.
+
+    Slotted: one entry lives per transactionally touched on-chip line, and
+    entries churn on every commit/abort/eviction, so skipping the
+    per-instance ``__dict__`` cuts allocation cost.
+    """
 
     line_addr: int
     tx_owner: Optional[int] = None
@@ -75,7 +80,8 @@ class Directory:
         """
         self.conflict_checks += 1
         entry = self._entries.get(line_addr)
-        if entry is None or not entry.tx_bit:
+        # `tx_bit` inlined: this runs once per coherence request.
+        if entry is None or (entry.tx_owner is None and not entry.tx_sharers):
             return None
         victims: Set[int] = set()
         kind = ""
@@ -108,7 +114,11 @@ class Directory:
             entry.tx_owner = tx_id
         else:
             entry.tx_sharers.add(tx_id)
-        self._lines_of_tx.setdefault(tx_id, set()).add(line_addr)
+        lines = self._lines_of_tx.get(tx_id)
+        if lines is None:
+            self._lines_of_tx[tx_id] = {line_addr}
+        else:
+            lines.add(line_addr)
 
     # -- clearing ---------------------------------------------------------------
 

@@ -20,8 +20,7 @@ exist for write-back traffic accounting only.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Set
+from typing import Callable, Dict, NamedTuple, Optional, Set
 
 from ..mem.controller import MemoryController
 from ..params import MachineConfig
@@ -33,9 +32,13 @@ L1EvictCallback = Callable[[int, CacheLineMeta], None]
 LLCEvictCallback = Callable[[CacheLineMeta, Optional[DirectoryEntry]], None]
 
 
-@dataclass(frozen=True)
-class AccessResult:
-    """Timing and path information for one memory access."""
+class AccessResult(NamedTuple):
+    """Timing and path information for one memory access.
+
+    A named tuple rather than a frozen dataclass: one is allocated per
+    simulated memory operation, and tuple construction is several times
+    cheaper than ``object.__setattr__``-based frozen-dataclass init.
+    """
 
     latency_ns: float
     #: "l1", "llc", or "mem" — where the request was satisfied.
@@ -58,6 +61,11 @@ class CacheHierarchy:
         ]
         self.llc = SetAssociativeArray(machine.llc, "llc")
         self.directory = Directory()
+        # Hot-path constants: LatencyConfig is frozen, so the hit latencies
+        # can be summed once instead of per access.
+        latency = machine.latency
+        self._l1_hit_ns = latency.l1_ns
+        self._llc_hit_ns = latency.l1_ns + latency.llc_ns
         #: Which cores' L1s hold each line (avoids probing all L1s).
         self._l1_holders: Dict[int, Set[int]] = {}
         self.on_l1_evict: Optional[L1EvictCallback] = None
@@ -96,37 +104,30 @@ class CacheHierarchy:
         reports timing.  Writes invalidate other cores' L1 copies (GetM).
         ``now_ns`` (the requester's clock) feeds the optional bandwidth
         model's channel queueing.
+
+        Coherence resolution (the former ``_finish_access``) is inlined at
+        the tail: it runs exactly once per simulated memory operation, and
+        the method call was measurable.
         """
-        latency = self.machine.latency.l1_ns
         l1 = self.l1s[core_id]
-        meta = l1.lookup(line_addr)
-        if meta is not None:
-            self._finish_access(core_id, line_addr, meta, is_write, tx_id)
-            return AccessResult(latency, "l1")
-
-        latency += self.machine.latency.llc_ns
-        llc_meta = self.llc.lookup(line_addr)
-        if llc_meta is not None:
-            l1_meta = self._fill_l1(core_id, line_addr)
-            self._finish_access(core_id, line_addr, l1_meta, is_write, tx_id)
-            return AccessResult(latency, "llc")
-
-        latency += self.controller.demand_access_latency(
-            line_addr, now_ns + latency
-        )
-        self._fill_llc(line_addr)
-        l1_meta = self._fill_l1(core_id, line_addr)
-        self._finish_access(core_id, line_addr, l1_meta, is_write, tx_id)
-        return AccessResult(latency, "mem")
-
-    def _finish_access(
-        self,
-        core_id: int,
-        line_addr: int,
-        l1_meta: CacheLineMeta,
-        is_write: bool,
-        tx_id: Optional[int],
-    ) -> None:
+        l1_meta = l1.lookup(line_addr)
+        if l1_meta is not None:
+            latency = self._l1_hit_ns
+            level = "l1"
+        else:
+            latency = self._llc_hit_ns
+            if self.llc.lookup(line_addr) is not None:
+                level = "llc"
+            else:
+                latency += self.controller.demand_access_latency(
+                    line_addr, now_ns + latency
+                )
+                # The LLC probe above already missed, so fill unconditionally.
+                _, llc_victims = self.llc.fill(line_addr)
+                for victim in llc_victims:
+                    self._handle_llc_eviction(victim)
+                level = "mem"
+            l1_meta = self._fill_l1_after_miss(l1, core_id, line_addr)
         if is_write:
             # GetM: invalidate every other copy; this copy goes to M (a
             # sole E holder upgrades silently).
@@ -138,33 +139,51 @@ class CacheHierarchy:
         else:
             # GetS: downgrade any M/E holder; requester takes S if the line
             # is shared, E if it is the only copy.
-            holders = self._l1_holders.get(line_addr, ())
-            others = [c for c in holders if c != core_id]
-            for other in others:
-                other_meta = self.l1s[other].peek(line_addr)
-                if other_meta is not None:
-                    other_meta.mesi = next_state_for_holder(
-                        CoherenceRequest.GET_S, other_meta.mesi
-                    )
-            if others:
+            holders = self._l1_holders.get(line_addr)
+            shared = False
+            if holders:
+                l1s = self.l1s
+                for other in holders:
+                    if other == core_id:
+                        continue
+                    shared = True
+                    other_meta = l1s[other].peek(line_addr)
+                    if other_meta is not None:
+                        other_meta.mesi = next_state_for_holder(
+                            CoherenceRequest.GET_S, other_meta.mesi
+                        )
+            if shared:
                 l1_meta.mesi = MesiState.SHARED
             elif l1_meta.mesi is not MesiState.MODIFIED:
                 l1_meta.mesi = MesiState.EXCLUSIVE
             if tx_id is not None:
-                l1_meta.tx_readers.add(tx_id)
+                readers = l1_meta.tx_readers
+                if readers is None:
+                    l1_meta.tx_readers = {tx_id}
+                else:
+                    readers.add(tx_id)
+        return AccessResult(latency, level)
 
     # -- fills and evictions -----------------------------------------------------
 
-    def _fill_l1(self, core_id: int, line_addr: int) -> CacheLineMeta:
-        l1 = self.l1s[core_id]
-        existing = l1.peek(line_addr)
-        if existing is not None:
-            return existing
-        victims = l1.install(line_addr)
-        self._l1_holders.setdefault(line_addr, set()).add(core_id)
+    def _fill_l1_after_miss(
+        self, l1: SetAssociativeArray, core_id: int, line_addr: int
+    ) -> CacheLineMeta:
+        """Install a line whose L1 probe already missed this access.
+
+        The access path probes the L1 first and LLC evictions only ever
+        *remove* L1 lines, so the residency re-check the old ``_fill_l1``
+        did here was always a miss — it is omitted.
+        """
+        meta, victims = l1.fill(line_addr)
+        holders = self._l1_holders.get(line_addr)
+        if holders is None:
+            self._l1_holders[line_addr] = {core_id}
+        else:
+            holders.add(core_id)
         for victim in victims:
             self._handle_l1_eviction(core_id, victim)
-        return l1.peek(line_addr)  # type: ignore[return-value]
+        return meta
 
     def _handle_l1_eviction(self, core_id: int, victim: CacheLineMeta) -> None:
         holders = self._l1_holders.get(victim.line_addr)
@@ -179,16 +198,14 @@ class CacheHierarchy:
             llc_meta.dirty = llc_meta.dirty or victim.dirty
             if victim.tx_writer is not None:
                 llc_meta.tx_writer = victim.tx_writer
-            llc_meta.tx_readers.update(victim.tx_readers)
+            if victim.tx_readers:
+                readers = llc_meta.tx_readers
+                if readers is None:
+                    llc_meta.tx_readers = set(victim.tx_readers)
+                else:
+                    readers.update(victim.tx_readers)
         if victim.tx_writer is not None and self.on_l1_evict is not None:
             self.on_l1_evict(core_id, victim)
-
-    def _fill_llc(self, line_addr: int) -> None:
-        if self.llc.peek(line_addr) is not None:
-            return
-        victims = self.llc.install(line_addr)
-        for victim in victims:
-            self._handle_llc_eviction(victim)
 
     def _handle_llc_eviction(self, victim: CacheLineMeta) -> None:
         # Back-invalidate L1 copies, folding their freshest state in.
@@ -200,16 +217,21 @@ class CacheHierarchy:
                     victim.dirty = victim.dirty or l1_meta.dirty
                     if l1_meta.tx_writer is not None:
                         victim.tx_writer = l1_meta.tx_writer
-                    victim.tx_readers.update(l1_meta.tx_readers)
+                    if l1_meta.tx_readers:
+                        readers = victim.tx_readers
+                        if readers is None:
+                            victim.tx_readers = set(l1_meta.tx_readers)
+                        else:
+                            readers.update(l1_meta.tx_readers)
         entry = self.directory.evict_line(victim.line_addr)
         if victim.dirty and victim.tx_writer is None:
             # Non-speculative dirty data: the backing store already holds
             # the values (non-transactional stores write through); count the
             # write-back for bandwidth accounting only.
             self.writebacks += 1
-        if victim.transactional or entry is not None:
+        if victim.tx_writer is not None or victim.tx_readers or entry is not None:
             if self.tracer is not None:
-                readers = set(victim.tx_readers)
+                readers = set(victim.tx_readers or ())
                 if entry is not None:
                     readers.update(entry.tx_sharers)
                 self.tracer.emit(
@@ -225,13 +247,19 @@ class CacheHierarchy:
         holders = self._l1_holders.get(line_addr)
         if not holders:
             return
-        for other in list(holders):
-            if other == core_id:
-                continue
-            self.l1s[other].remove(line_addr)
-            holders.discard(other)
-        if not holders:
-            self._l1_holders.pop(line_addr, None)
+        if core_id in holders:
+            if len(holders) > 1:
+                l1s = self.l1s
+                for other in holders:
+                    if other != core_id:
+                        l1s[other].remove(line_addr)
+                holders.clear()
+                holders.add(core_id)
+        else:
+            l1s = self.l1s
+            for other in holders:
+                l1s[other].remove(line_addr)
+            del self._l1_holders[line_addr]
 
     def flush_private_cache(self, core_id: int) -> int:
         """Flush one core's L1 into the LLC (context switch, Section IV-E).

@@ -2,17 +2,24 @@
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..params import CacheGeometry, LINE_SIZE
 from .coherence import MesiState
 
+#: Set-index shift for the fixed simulator line size (64 B -> 6).
+_LINE_SHIFT = LINE_SIZE.bit_length() - 1
 
-@dataclass
+
+@dataclass(slots=True)
 class CacheLineMeta:
-    """Metadata for one resident line."""
+    """Metadata for one resident line.
+
+    Slotted: hundreds of thousands of these are allocated per run (one per
+    fill), so skipping the per-instance ``__dict__`` measurably cuts both
+    allocation time and memory traffic.
+    """
 
     line_addr: int
     dirty: bool = False
@@ -22,63 +29,129 @@ class CacheLineMeta:
     #: Transaction that speculatively wrote this line (None if none).
     tx_writer: Optional[int] = None
     #: Transactions that transactionally read this line while resident.
-    tx_readers: Set[int] = field(default_factory=set)
+    #: Lazily allocated: ``None`` means the empty set — most lines are never
+    #: transactionally read, and skipping the per-fill ``set()`` allocation
+    #: is measurable on the fill path.
+    tx_readers: Optional[Set[int]] = None
 
     @property
     def transactional(self) -> bool:
         return self.tx_writer is not None or bool(self.tx_readers)
 
+    def add_reader(self, tx_id: int) -> None:
+        readers = self.tx_readers
+        if readers is None:
+            self.tx_readers = {tx_id}
+        else:
+            readers.add(tx_id)
+
     def clear_tx(self, tx_id: int) -> None:
         if self.tx_writer == tx_id:
             self.tx_writer = None
-        self.tx_readers.discard(tx_id)
+        readers = self.tx_readers
+        if readers is not None:
+            readers.discard(tx_id)
 
 
 class SetAssociativeArray:
-    """Tag storage for one cache level (or one core's slice of it)."""
+    """Tag storage for one cache level (or one core's slice of it).
+
+    Buckets are plain insertion-ordered dicts used as LRU queues: the first
+    key is the LRU line, a touch is delete + reinsert (skipped when the line
+    is already most-recent), and eviction pops the first key.  Set indexing
+    is a shift-and-mask when the set count is a power of two (the common
+    geometry), falling back to divide/modulo otherwise.
+    """
 
     def __init__(self, geometry: CacheGeometry, name: str) -> None:
         self.geometry = geometry
         self.name = name
-        self._sets: List["OrderedDict[int, CacheLineMeta]"] = [
-            OrderedDict() for _ in range(geometry.num_sets)
+        num_sets = geometry.num_sets
+        self._sets: List[Dict[int, CacheLineMeta]] = [
+            {} for _ in range(num_sets)
         ]
-        self._set_mask = geometry.num_sets
+        self._num_sets = num_sets
+        #: ``num_sets - 1`` when the geometry allows true bitmask indexing,
+        #: else ``None`` (modulo fallback).  Earlier revisions stored the raw
+        #: set *count* here, which only worked because it was used as a
+        #: modulus — it was never a mask.
+        self._set_mask: Optional[int] = (
+            num_sets - 1 if num_sets & (num_sets - 1) == 0 else None
+        )
+        self._ways = geometry.ways
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
-    def _set_of(self, line_addr: int) -> "OrderedDict[int, CacheLineMeta]":
-        index = (line_addr // LINE_SIZE) % self._set_mask
-        return self._sets[index]
+    def _set_of(self, line_addr: int) -> Dict[int, CacheLineMeta]:
+        mask = self._set_mask
+        if mask is not None:
+            return self._sets[(line_addr >> _LINE_SHIFT) & mask]
+        return self._sets[(line_addr // LINE_SIZE) % self._num_sets]
 
     def lookup(self, line_addr: int, touch: bool = True) -> Optional[CacheLineMeta]:
         """Probe for a line; refresh its LRU position on a hit."""
-        bucket = self._set_of(line_addr)
+        mask = self._set_mask
+        if mask is not None:
+            bucket = self._sets[(line_addr >> _LINE_SHIFT) & mask]
+        else:
+            bucket = self._sets[(line_addr // LINE_SIZE) % self._num_sets]
         meta = bucket.get(line_addr)
         if meta is None:
             self.misses += 1
             return None
-        if touch:
-            bucket.move_to_end(line_addr)
+        if touch and next(reversed(bucket)) != line_addr:
+            del bucket[line_addr]
+            bucket[line_addr] = meta
         self.hits += 1
         return meta
 
     def peek(self, line_addr: int) -> Optional[CacheLineMeta]:
         """Probe without touching LRU state or hit/miss counters."""
-        return self._set_of(line_addr).get(line_addr)
+        mask = self._set_mask
+        if mask is not None:
+            return self._sets[(line_addr >> _LINE_SHIFT) & mask].get(line_addr)
+        return self._sets[(line_addr // LINE_SIZE) % self._num_sets].get(
+            line_addr
+        )
+
+    def fill(
+        self, line_addr: int
+    ) -> Tuple[CacheLineMeta, Sequence[CacheLineMeta]]:
+        """Insert a line (must not be resident); returns (meta, victims).
+
+        The fused form of :meth:`install` + a follow-up probe: fill paths
+        need the fresh metadata immediately, and re-probing the set for a
+        line just installed was pure overhead.  Callers fill only after a
+        probe missed, so residency is not re-checked here; :meth:`install`
+        keeps the guard for direct users.  The no-eviction common case
+        returns a shared empty tuple instead of allocating a list.
+        """
+        mask = self._set_mask
+        if mask is not None:
+            bucket = self._sets[(line_addr >> _LINE_SHIFT) & mask]
+        else:
+            bucket = self._sets[(line_addr // LINE_SIZE) % self._num_sets]
+        ways = self._ways
+        if len(bucket) < ways:
+            meta = CacheLineMeta(line_addr)
+            bucket[line_addr] = meta
+            return meta, ()
+        evicted: List[CacheLineMeta] = []
+        while len(bucket) >= ways:
+            victim_addr = next(iter(bucket))  # LRU end
+            evicted.append(bucket.pop(victim_addr))
+            self.evictions += 1
+        meta = CacheLineMeta(line_addr)
+        bucket[line_addr] = meta
+        return meta, evicted
 
     def install(self, line_addr: int) -> List[CacheLineMeta]:
         """Insert a line (must not be resident); returns evicted victims."""
-        bucket = self._set_of(line_addr)
-        assert line_addr not in bucket, f"{self.name}: double install {line_addr:#x}"
-        evicted: List[CacheLineMeta] = []
-        while len(bucket) >= self.geometry.ways:
-            _, victim = bucket.popitem(last=False)  # LRU end
-            evicted.append(victim)
-            self.evictions += 1
-        bucket[line_addr] = CacheLineMeta(line_addr)
-        return evicted
+        assert (
+            self.peek(line_addr) is None
+        ), f"{self.name}: double install {line_addr:#x}"
+        return list(self.fill(line_addr)[1])
 
     def remove(self, line_addr: int) -> Optional[CacheLineMeta]:
         """Invalidate a line, returning its metadata if present."""

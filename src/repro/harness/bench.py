@@ -14,6 +14,19 @@ spec (or the cache version stamp) changed.
 
 ``--verify`` re-runs one pooled point serially and asserts the bit-identical
 parallelism contract before any result is published to the cache.
+
+``-m smoke`` is the perf-gate tier: the quick grids at scale 1/64, small
+enough to run on every change.  ``--compare`` turns the run into a
+regression gate — each simulated point is checked against the matching
+point of a baseline ``BENCH_<figure>.json`` (the committed baselines by
+default) and the run exits non-zero if any point got more than 15%
+slower::
+
+    python -m repro bench -m smoke --compare          # gate vs committed
+    python -m repro bench fig7 --compare old/          # gate vs a directory
+
+Baselines are machine-specific: reseed them (``-m smoke --out-dir .``) on
+the machine that will run the gate.
 """
 
 from __future__ import annotations
@@ -30,6 +43,75 @@ from .figures import FIGURE_GRIDS
 from .parallel import GridOutcome, run_grid_detailed
 from .report import format_table
 from .timer import Stopwatch
+
+#: The smoke tier's machine scale: quick grids shrunk far enough that the
+#: whole dynamic-figure sweep runs in well under a minute.
+SMOKE_SCALE = 1 / 64
+
+#: Default allowed per-point slowdown before the ``--compare`` gate fails.
+DEFAULT_TOLERANCE = 0.15
+
+#: Baseline points faster than this are below the host timing noise floor
+#: and never gate.
+MIN_COMPARABLE_S = 0.05
+
+#: Absolute slack added on top of the relative tolerance: host noise on a
+#: 0.15 s point routinely exceeds 15%, so small points only gate on
+#: slowdowns that are large in absolute terms too.
+ABS_SLACK_S = 0.1
+
+
+def compare_to_baseline(
+    artifact: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> List[str]:
+    """Per-point perf gate: current vs baseline elapsed seconds.
+
+    Returns human-readable violation lines (empty means the gate passes).
+    A point participates only when it matches a baseline point by
+    ``(label, key)``, was simulated (not cache-served) in both runs, and
+    the baseline time is above :data:`MIN_COMPARABLE_S`; it fails when it
+    exceeds ``baseline * (1 + tolerance) + ABS_SLACK_S``.
+    """
+
+    def point_id(point: dict) -> tuple:
+        return (point.get("label"), json.dumps(point.get("key")))
+
+    base_points = {point_id(p): p for p in baseline.get("points", ())}
+    violations = []
+    for point in artifact.get("points", ()):
+        base = base_points.get(point_id(point))
+        if base is None:
+            continue
+        if point.get("cached") or base.get("cached"):
+            continue
+        base_s = base.get("elapsed_s", 0.0)
+        if base_s < MIN_COMPARABLE_S:
+            continue
+        elapsed_s = point["elapsed_s"]
+        if elapsed_s > base_s * (1.0 + tolerance) + ABS_SLACK_S:
+            violations.append(
+                f"{artifact.get('figure', '?')}: {point['label']} "
+                f"{point.get('key')} took {elapsed_s:.3f}s vs baseline "
+                f"{base_s:.3f}s (more than {tolerance:.0%} slower)"
+            )
+    return violations
+
+
+def _load_baseline(compare_arg: str, figure: str):
+    """Resolve and load the baseline artifact for ``figure``.
+
+    ``compare_arg`` may be a directory holding ``BENCH_<figure>.json``
+    files or one artifact file; returns ``(artifact_or_None, path)``.
+    """
+    path = Path(compare_arg)
+    if path.is_dir():
+        path = path / f"BENCH_{figure}.json"
+    if not path.is_file():
+        return None, path
+    data = json.loads(path.read_text(encoding="utf-8"))
+    if data.get("figure") != figure:
+        return None, path
+    return data, path
 
 
 def _artifact(
@@ -110,7 +192,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="re-run one pooled point serially and assert the bit-identical "
         "parallelism contract",
     )
+    parser.add_argument(
+        "-m",
+        "--tier",
+        choices=("smoke",),
+        help="preset tier: 'smoke' benches the quick grids at scale "
+        f"{SMOKE_SCALE:g} (overrides --full/--scale)",
+    )
+    parser.add_argument(
+        "--compare",
+        nargs="?",
+        const=".",
+        metavar="PATH",
+        help="perf-regression gate: exit non-zero if any simulated point is "
+        "slower than the matching point of a baseline BENCH_<figure>.json "
+        "by more than the tolerance; PATH is a baseline file or a directory "
+        "of them (default: the committed baselines in the current directory)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        metavar="FRACTION",
+        help="allowed per-point slowdown for --compare "
+        f"(default {DEFAULT_TOLERANCE:g})",
+    )
     args = parser.parse_args(argv)
+    if args.tier == "smoke":
+        args.full = False
+        args.scale = SMOKE_SCALE
 
     names = args.figures or sorted(FIGURE_GRIDS)
     unknown = [name for name in names if name not in FIGURE_GRIDS]
@@ -124,6 +234,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     out_dir.mkdir(parents=True, exist_ok=True)
 
     summary_rows = []
+    violations: List[str] = []
     for name in names:
         points = FIGURE_GRIDS[name](
             quick=not args.full, scale=args.scale, seed=args.seed
@@ -133,11 +244,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             points, jobs=args.jobs, cache=cache, verify_sample=args.verify
         )
         total_s = stopwatch.elapsed_s
+        artifact = _artifact(name, outcome, args, total_s)
+        if args.compare is not None:
+            baseline, baseline_path = _load_baseline(args.compare, name)
+            if baseline is None:
+                print(f"[{name}] no baseline at {baseline_path}; not gated")
+            else:
+                found = compare_to_baseline(artifact, baseline, args.tolerance)
+                violations.extend(found)
+                verdict = (
+                    "ok" if not found else f"{len(found)} regression(s)"
+                )
+                print(f"[{name}] compared against {baseline_path}: {verdict}")
         artifact_path = out_dir / f"BENCH_{name}.json"
         artifact_path.write_text(
-            json.dumps(_artifact(name, outcome, args, total_s), indent=2)
-            + "\n",
-            encoding="utf-8",
+            json.dumps(artifact, indent=2) + "\n", encoding="utf-8"
         )
         slowest = max(outcome.runs, key=lambda run: run.elapsed_s, default=None)
         summary_rows.append(
@@ -169,4 +290,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{stats.stores} stores, {stats.simulations} simulations"
             + (f", {stats.corrupt} corrupt entries skipped" if stats.corrupt else "")
         )
+    if violations:
+        print(f"\nperf gate FAILED ({len(violations)} regression(s)):")
+        for line in violations:
+            print(f"  {line}")
+        return 1
+    if args.compare is not None:
+        print("\nperf gate passed")
     return 0

@@ -33,9 +33,9 @@ from ..errors import (
     TransactionAborted,
     TransactionStateError,
 )
-from ..mem.address import line_of, word_of
+from ..mem.address import NVM_BASE
 from ..mem.controller import MemoryController
-from ..params import DramLogPolicy, HTMConfig, MachineConfig
+from ..params import DramLogPolicy, HTMConfig, LINE_SIZE, MachineConfig, WORD_SIZE
 from ..sim.engine import SimThread
 from ..sim.stats import StatsRegistry
 from ..signatures.isolation import ConflictDomainRegistry
@@ -48,6 +48,11 @@ from .conflict import (
 )
 from .tss import TransactionStatusStructure, TxStatus
 from .txid import TxIdAllocator
+
+#: Inlined forms of :func:`line_of` / :func:`word_of` for the access paths,
+#: which run once per simulated memory operation.
+_LINE_MASK = ~(LINE_SIZE - 1)
+_WORD_MASK = ~(WORD_SIZE - 1)
 
 
 @dataclass
@@ -86,13 +91,19 @@ class TxHandle:
         )
 
     def buffered_value(self, addr: int) -> Optional[int]:
-        words = self.write_buffer.get(line_of(addr))
+        words = self.write_buffer.get(addr & _LINE_MASK)
         if words is None:
             return None
-        return words.get(word_of(addr))
+        return words.get(addr & _WORD_MASK)
 
     def buffer_write(self, addr: int, value: int) -> None:
-        self.write_buffer.setdefault(line_of(addr), {})[word_of(addr)] = value
+        buffer = self.write_buffer
+        line_addr = addr & _LINE_MASK
+        words = buffer.get(line_addr)
+        if words is None:
+            buffer[line_addr] = {addr & _WORD_MASK: value}
+        else:
+            words[addr & _WORD_MASK] = value
 
 
 class HTMSystem:
@@ -125,6 +136,20 @@ class HTMSystem:
         self.tracer = None
         hierarchy.on_l1_evict = self._handle_l1_evict
         hierarchy.on_llc_evict = self._handle_llc_evict
+        # The off-chip trigger is a pure policy function of the miss bit, so
+        # sample it once: the access paths can then skip the two-level cache
+        # probe in ``would_miss_llc`` entirely for designs that either never
+        # check (LLC-bounded) or always check (signature-only).
+        trigger_on_hit = self._offchip_trigger(False)
+        trigger_on_miss = self._offchip_trigger(True)
+        self._offchip_always = trigger_on_hit and trigger_on_miss
+        self._offchip_on_miss_only = trigger_on_miss and not trigger_on_hit
+        # Per-access invariants, hoisted: the address-space split and the
+        # configured log policy never change after construction.
+        self._nvm_base = NVM_BASE
+        self._nvm_end = controller.address_space.nvm_end
+        self._nvm_write_ns = machine.latency.nvm_write_ns
+        self._dram_redo = config.dram_log_policy == DramLogPolicy.REDO
 
     # ---------------------------------------------------------------- hooks
 
@@ -211,23 +236,27 @@ class HTMSystem:
 
     def tx_read(self, tx: TxHandle, addr: int) -> int:
         self._check_doomed(tx)
-        line_addr = line_of(addr)
+        line_addr = addr & _LINE_MASK
+        hierarchy = self.hierarchy
+        thread = tx.thread
         self._onchip_conflict_check(tx, line_addr, is_write=False)
-        llc_miss = self.hierarchy.would_miss_llc(tx.core_id, line_addr)
-        if self._offchip_trigger(llc_miss):
+        if self._offchip_always or (
+            self._offchip_on_miss_only
+            and hierarchy.would_miss_llc(tx.core_id, line_addr)
+        ):
             self._offchip_conflict_check(
                 requester=tx,
                 domain_id=tx.domain_id,
                 line_addr=line_addr,
                 is_write=False,
             )
-        result = self.hierarchy.access(
-            tx.core_id, line_addr, False, tx.tx_id, now_ns=tx.thread.clock_ns
+        result = hierarchy.access(
+            tx.core_id, line_addr, False, tx.tx_id, now_ns=thread.clock_ns
         )
-        tx.thread.advance(result.latency_ns)
+        thread.advance(result.latency_ns)
         self._check_doomed(tx)  # the access may have overflowed us to death
         if self.USES_DIRECTORY:
-            self.hierarchy.directory.record_access(line_addr, tx.tx_id, False)
+            hierarchy.directory.record_access(line_addr, tx.tx_id, False)
             if (
                 line_addr in tx.dram_overflowed_lines
                 or line_addr in tx.nvm_overflowed_lines
@@ -235,55 +264,60 @@ class HTMSystem:
                 # Re-fetching one's own spilled line brings *speculative*
                 # data back on-chip; ownership must be re-established or a
                 # later reader would see it as innocent shared data.
-                self.hierarchy.directory.record_access(line_addr, tx.tx_id, True)
+                hierarchy.directory.record_access(line_addr, tx.tx_id, True)
         tx.read_lines.add(line_addr)
         tx.reads += 1
         if self.capture is not None:
             self.capture.op(tx.tx_id, False, addr)
         self._on_access_recorded(tx, line_addr, is_write=False)
-        if (
-            self.config.dram_log_policy == DramLogPolicy.REDO
-            and line_addr in tx.dram_overflowed_lines
-        ):
+        if self._dram_redo and line_addr in tx.dram_overflowed_lines:
             # Read indirection: the new value lives in the redo log.
-            tx.thread.advance(self.controller.redo_dram_indirection_latency())
+            thread.advance(self.controller.redo_dram_indirection_latency())
             self.stats.incr("dram.redo_read_indirections")
-        buffered = tx.buffered_value(addr)
-        if buffered is not None:
-            return buffered
+        words = tx.write_buffer.get(line_addr)
+        if words is not None:
+            buffered = words.get(addr & _WORD_MASK)
+            if buffered is not None:
+                return buffered
         return self.controller.load_word(addr)
 
     def tx_write(self, tx: TxHandle, addr: int, value: int) -> None:
         self._check_doomed(tx)
-        line_addr = line_of(addr)
+        line_addr = addr & _LINE_MASK
+        hierarchy = self.hierarchy
+        thread = tx.thread
         self._onchip_conflict_check(tx, line_addr, is_write=True)
-        llc_miss = self.hierarchy.would_miss_llc(tx.core_id, line_addr)
-        if self._offchip_trigger(llc_miss):
+        if self._offchip_always or (
+            self._offchip_on_miss_only
+            and hierarchy.would_miss_llc(tx.core_id, line_addr)
+        ):
             self._offchip_conflict_check(
                 requester=tx,
                 domain_id=tx.domain_id,
                 line_addr=line_addr,
                 is_write=True,
             )
-        result = self.hierarchy.access(
-            tx.core_id, line_addr, True, tx.tx_id, now_ns=tx.thread.clock_ns
+        result = hierarchy.access(
+            tx.core_id, line_addr, True, tx.tx_id, now_ns=thread.clock_ns
         )
-        tx.thread.advance(result.latency_ns)
+        thread.advance(result.latency_ns)
         self._check_doomed(tx)
         if self.USES_DIRECTORY:
-            self.hierarchy.directory.record_access(line_addr, tx.tx_id, True)
+            hierarchy.directory.record_access(line_addr, tx.tx_id, True)
         tx.written_lines.add(line_addr)
         tx.writes += 1
         if self.capture is not None:
             self.capture.op(tx.tx_id, True, addr)
         self._on_access_recorded(tx, line_addr, is_write=True)
-        if self.controller.address_space.is_nvm(addr):
-            if line_addr not in tx.nvm_logged_lines:
-                # Hardware redo logging streams the record out at store time;
-                # ADR makes it durable once the controller accepts it.
-                tx.nvm_logged_lines.add(line_addr)
-                tx.thread.advance(self.machine.latency.nvm_write_ns)
-                self.stats.incr("nvm.log_appends")
+        if (
+            self._nvm_base <= addr < self._nvm_end
+            and line_addr not in tx.nvm_logged_lines
+        ):
+            # Hardware redo logging streams the record out at store time;
+            # ADR makes it durable once the controller accepts it.
+            tx.nvm_logged_lines.add(line_addr)
+            thread.advance(self._nvm_write_ns)
+            self.stats.incr("nvm.log_appends")
         tx.buffer_write(addr, value)
 
     # ------------------------------------------------------- context switches
@@ -320,24 +354,34 @@ class HTMSystem:
         Non-transactional requests cannot be nacked, so any transaction they
         collide with aborts (Section IV-D's "Optimization" discussion).
         """
-        line_addr = line_of(addr)
-        if self.USES_DIRECTORY:
-            conflict = self.hierarchy.directory.check_access(line_addr, None, is_write)
-            if conflict is not None:
-                for victim_id in sorted(conflict.victims):
-                    self._abort_tx_id(
-                        victim_id, AbortReason.NON_TX_CONFLICT, line_addr=line_addr
-                    )
-        llc_miss = self.hierarchy.would_miss_llc(core_id, line_addr)
-        if self._offchip_trigger(llc_miss):
-            # Check before the fill: the victims' rollback must restore the
-            # in-place data this request is about to read.
-            self._offchip_conflict_check(
-                requester=None,
-                domain_id=domain_id,
-                line_addr=line_addr,
-                is_write=is_write,
-            )
+        line_addr = addr & _LINE_MASK
+        # Fast path: with no transaction active anywhere there is nothing to
+        # conflict with — the directory holds no Tx fields and the domain
+        # registry holds no signatures, so both checks are vacuous.
+        if self._active:
+            if self.USES_DIRECTORY:
+                conflict = self.hierarchy.directory.check_access(
+                    line_addr, None, is_write
+                )
+                if conflict is not None:
+                    for victim_id in sorted(conflict.victims):
+                        self._abort_tx_id(
+                            victim_id,
+                            AbortReason.NON_TX_CONFLICT,
+                            line_addr=line_addr,
+                        )
+            if self._offchip_always or (
+                self._offchip_on_miss_only
+                and self.hierarchy.would_miss_llc(core_id, line_addr)
+            ):
+                # Check before the fill: the victims' rollback must restore
+                # the in-place data this request is about to read.
+                self._offchip_conflict_check(
+                    requester=None,
+                    domain_id=domain_id,
+                    line_addr=line_addr,
+                    is_write=is_write,
+                )
         result = self.hierarchy.access(
             core_id, line_addr, is_write, None, now_ns=thread.clock_ns
         )
@@ -489,7 +533,8 @@ class HTMSystem:
         readers: Set[int] = set()
         if meta.tx_writer is not None:
             writers.add(meta.tx_writer)
-        readers.update(meta.tx_readers)
+        if meta.tx_readers:
+            readers.update(meta.tx_readers)
         if entry is not None:
             if entry.tx_owner is not None:
                 writers.add(entry.tx_owner)

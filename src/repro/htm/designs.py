@@ -10,6 +10,7 @@ from ..mem.controller import MemoryController
 from ..params import HTMConfig, HTMDesign, MachineConfig
 from ..sim.stats import StatsRegistry
 from ..signatures.addresssig import SignaturePair
+from ..signatures.bloom import BloomFilter
 from .base import HTMSystem, TxHandle
 
 
@@ -204,10 +205,10 @@ class IdealHTM(HTMSystem):
         requester_overflowed: Optional[bool] = None,
     ) -> List[Tuple[int, bool]]:
         hits: List[Tuple[int, bool]] = []
-        for tx_id, signature in self.domains.signatures_to_check(
-            domain_id, exclude_tx
-        ):
-            if signature.is_empty():
+        for tx_id, signature in self.domains.members(domain_id).items():
+            if tx_id == exclude_tx or (
+                not signature.exact_read and not signature.exact_write
+            ):
                 continue
             self.stats.incr("sig.checks")
             if signature.truly_conflicts_with_access(line_addr, is_write):
@@ -234,21 +235,68 @@ def _signature_hits(
     requesters: under Table II the requester survives a hit only when it is
     overflowed and the victim is not, so the first hit that dooms it makes
     further probing pointless — the outcome is already decided.
+
+    The probe hashes the line once per hash *family*, not once per filter:
+    all of a run's signatures share their families (see
+    ``shared_multiplicative``), so the write-key and read-key are computed
+    for the first populated signature and every subsequent filter test is a
+    single AND-compare against the cached key.  A family-identity check
+    guards the cache, so heterogeneous signatures still probe correctly.
     """
     hits: List[Tuple[int, bool]] = []
     checks = 0
-    for tx_id, signature in system.domains.signatures_to_check(domain_id, exclude_tx):
-        if signature.is_empty():
+    tracer = system.tracer
+    wfam = rfam = None
+    wkey = rkey = None
+    flat = False
+    for tx_id, signature in system.domains.members(domain_id).items():
+        if tx_id == exclude_tx or (
+            not signature.exact_read and not signature.exact_write
+        ):
             # An unpopulated filter is all-zero and can never hit; the
             # hardware comparators short out, and so do we (hot path).
             continue
         checks += 1
-        if signature.conflicts_with_access(line_addr, is_write):
+        write_filter = signature.write_filter
+        # Direct slot access: the `family` property's descriptor call is
+        # measurable at this call frequency.
+        family = write_filter._family
+        if family is not wfam:
+            wfam = family
+            flat = type(write_filter) is BloomFilter
+            wkey = (
+                family.or_mask(line_addr)
+                if flat
+                else write_filter.probe_key(line_addr)
+            )
+        if flat:
+            # Flat filters are single big-ints; test them inline rather
+            # than paying a method call per member (the dominant case).
+            conflicts = write_filter._array & wkey == wkey
+            if not conflicts and is_write:
+                read_filter = signature.read_filter
+                family = read_filter._family
+                if family is not rfam:
+                    rfam = family
+                    rkey = family.or_mask(line_addr)
+                conflicts = read_filter._array & rkey == rkey
+        elif write_filter.contains_key(wkey):
+            conflicts = True
+        elif is_write:
+            read_filter = signature.read_filter
+            family = read_filter._family
+            if family is not rfam:
+                rfam = family
+                rkey = read_filter.probe_key(line_addr)
+            conflicts = read_filter.contains_key(rkey)
+        else:
+            conflicts = False
+        if conflicts:
             truly = signature.truly_conflicts_with_access(line_addr, is_write)
             hits.append((tx_id, truly))
             system.stats.incr("sig.hits.true" if truly else "sig.hits.false")
-            if system.tracer is not None:
-                system.tracer.emit(
+            if tracer is not None:
+                tracer.emit(
                     "sig.hit",
                     tx_id=exclude_tx,
                     victim=tx_id,
@@ -262,8 +310,8 @@ def _signature_hits(
                 break  # the requester is already doomed
     if checks:
         system.stats.incr("sig.checks", checks)
-        if system.tracer is not None:
-            system.tracer.emit(
+        if tracer is not None:
+            tracer.emit(
                 "sig.check",
                 tx_id=exclude_tx,
                 line_addr=line_addr,

@@ -85,8 +85,11 @@ class AddressSpace:
         self.nvm_log = Region(
             MemoryKind.NVM, NVM_BASE + heap_nvm, config.nvm_log_bytes
         )
-        self._dram_end = DRAM_BASE + config.dram_bytes
-        self._nvm_end = NVM_BASE + config.nvm_bytes
+        #: Public end-of-region bounds: hot callers (the controller, the
+        #: HTM access path) inline the range compares instead of paying a
+        #: method call per access, so the bounds are part of the API.
+        self.dram_end = DRAM_BASE + config.dram_bytes
+        self.nvm_end = NVM_BASE + config.nvm_bytes
 
     @property
     def config(self) -> MemoryConfig:
@@ -94,17 +97,17 @@ class AddressSpace:
 
     def kind_of(self, addr: int) -> MemoryKind:
         """Classify a byte address; raises :class:`AddressError` if unmapped."""
-        if DRAM_BASE <= addr < self._dram_end:
+        if DRAM_BASE <= addr < self.dram_end:
             return MemoryKind.DRAM
-        if NVM_BASE <= addr < self._nvm_end:
+        if NVM_BASE <= addr < self.nvm_end:
             return MemoryKind.NVM
         raise AddressError(f"address {addr:#x} is not mapped")
 
     def is_dram(self, addr: int) -> bool:
-        return DRAM_BASE <= addr < self._dram_end
+        return DRAM_BASE <= addr < self.dram_end
 
     def is_nvm(self, addr: int) -> bool:
-        return NVM_BASE <= addr < self._nvm_end
+        return NVM_BASE <= addr < self.nvm_end
 
     def is_log(self, addr: int) -> bool:
         """True if ``addr`` lies in a reserved, controller-only log area."""

@@ -14,8 +14,12 @@ from __future__ import annotations
 from typing import Dict, Iterator, Tuple
 
 from ..errors import AddressError
-from ..params import LatencyConfig
-from .address import MemoryKind, word_of
+from ..params import LatencyConfig, WORD_SIZE
+from .address import MemoryKind
+
+#: Word-alignment mask, inlined on the load/store hot path (``word_of`` as a
+#: function call was measurable at access frequency).
+_WORD_MASK = ~(WORD_SIZE - 1)
 
 
 class BackingStore:
@@ -24,30 +28,32 @@ class BackingStore:
     def __init__(self, kind: MemoryKind, latency: LatencyConfig) -> None:
         self.kind = kind
         self._words: Dict[int, int] = {}
+        # Plain attributes, not properties: read on every memory access.
         if kind is MemoryKind.DRAM:
-            self._read_ns = latency.dram_ns
-            self._write_ns = latency.dram_ns
+            self.read_ns = latency.dram_ns
+            self.write_ns = latency.dram_ns
         else:
-            self._read_ns = latency.nvm_read_ns
-            self._write_ns = latency.nvm_write_ns
-
-    @property
-    def read_ns(self) -> float:
-        return self._read_ns
-
-    @property
-    def write_ns(self) -> float:
-        return self._write_ns
+            self.read_ns = latency.nvm_read_ns
+            self.write_ns = latency.nvm_write_ns
 
     def load(self, addr: int) -> int:
         """Read the 64-bit word containing ``addr``."""
-        return self._words.get(word_of(addr), 0)
+        return self._words.get(addr & _WORD_MASK, 0)
 
     def store(self, addr: int, value: int) -> None:
         """Write the 64-bit word containing ``addr``."""
         if not isinstance(value, int):
             raise AddressError(f"stores take int values, got {type(value).__name__}")
-        self._words[word_of(addr)] = value
+        self._words[addr & _WORD_MASK] = value
+
+    def store_line(self, words: Dict[int, int]) -> None:
+        """Bulk store of already word-aligned, validated (addr, value) pairs.
+
+        The DRAM-cache drain path writes whole line images whose keys came
+        through :meth:`store`-validated write buffers, so the per-word
+        alignment and type checks would be pure overhead.
+        """
+        self._words.update(words)
 
     def words(self) -> Iterator[Tuple[int, int]]:
         """Iterate over (word address, value) pairs that were written."""

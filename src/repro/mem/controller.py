@@ -11,8 +11,11 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
-from ..params import LatencyConfig, MemoryConfig
-from .address import AddressSpace, MemoryKind, line_of
+from ..params import LINE_SIZE, LatencyConfig, MemoryConfig
+from .address import AddressSpace, DRAM_BASE, MemoryKind, NVM_BASE, line_of
+
+#: Inlined :func:`line_of` for the per-access controller entry points.
+_LINE_MASK = ~(LINE_SIZE - 1)
 from .backend import BackingStore
 from .channel import MemoryChannel
 from .dram_cache import DramCache
@@ -30,6 +33,15 @@ class MemoryController:
         self.dram_log = HardwareLog(self.address_space.dram_log, "dram")
         self.nvm_log = HardwareLog(self.address_space.nvm_log, "nvm")
         self.dram_cache = DramCache(config, self.nvm)
+        # Hot-path hoists: the address-space bounds are immutable after
+        # construction (the range compares are inlined below instead of
+        # calling is_dram/is_nvm per access), and the DRAM-cache probes are
+        # invariant bound methods (wipe() mutates the cache in place, never
+        # replaces it).  Every LLC miss goes through them.
+        self._dram_end = self.address_space.dram_end
+        self._nvm_end = self.address_space.nvm_end
+        self._dc_contains = self.dram_cache.contains
+        self._dc_lookup = self.dram_cache.lookup
         if config.model_bandwidth:
             self.dram_channel: Optional[MemoryChannel] = MemoryChannel(
                 "dram", latency.dram_line_transfer_ns
@@ -83,31 +95,41 @@ class MemoryController:
         """Latency of a demand read that reached this controller.
 
         A persistent line resident in the DRAM cache is served at DRAM-cache
-        speed instead of NVM speed.
+        speed instead of NVM speed.  Classified once — every LLC miss lands
+        here, so the DRAM case pays a single range compare.
         """
-        backend = self.backend_for(addr)
-        if backend is self.nvm and self.dram_cache.contains(line_of(addr)):
+        if DRAM_BASE <= addr < self._dram_end:
+            return self.dram.read_ns
+        if self._dc_contains(addr & _LINE_MASK):
             return self.latency.dram_cache_ns
-        return backend.read_ns
+        return self.nvm.read_ns
 
     def demand_access_latency(self, addr: int, now_ns: float) -> float:
         """Device latency plus channel queueing (if bandwidth is modelled)."""
-        base = self.read_latency(addr)
-        if self.dram_channel is None:
+        if DRAM_BASE <= addr < self._dram_end:
+            base = self.dram.read_ns
+            channel = self.dram_channel
+        elif self._dc_contains(addr & _LINE_MASK):
+            # Served from the DRAM cache, so over the DRAM channel.
+            base = self.latency.dram_cache_ns
+            channel = self.dram_channel
+        else:
+            base = self.nvm.read_ns
+            channel = self.nvm_channel
+        if channel is None:
             return base
-        serving_nvm = self.address_space.is_nvm(addr) and not (
-            base == self.latency.dram_cache_ns
-        )
-        channel = self.nvm_channel if serving_nvm else self.dram_channel
         return base + channel.request(now_ns)
 
     def load_word(self, addr: int) -> int:
         """Architecturally visible value of a word, honouring the DRAM cache."""
-        if self.address_space.is_nvm(addr):
-            entry = self.dram_cache.lookup(line_of(addr))
+        if NVM_BASE <= addr < self._nvm_end:
+            entry = self._dc_lookup(addr & _LINE_MASK)
             if entry is not None and addr in entry.words:
                 return entry.words[addr]
-        return self.backend_for(addr).load(addr)
+            return self.nvm.load(addr)
+        if DRAM_BASE <= addr < self._dram_end:
+            return self.dram.load(addr)
+        return self.nvm.load(addr)
 
     def store_word(self, addr: int, value: int) -> None:
         """Non-transactional in-place store.
@@ -116,14 +138,19 @@ class MemoryController:
         backing NVM, or the stale cached copy would shadow the new value
         until it drained.
         """
-        if self.address_space.is_nvm(addr):
+        if NVM_BASE <= addr < self._nvm_end:
             if self.on_nontx_nvm_store is not None:
                 self.on_nontx_nvm_store(addr)
-            entry = self.dram_cache.lookup(line_of(addr))
+            entry = self._dc_lookup(addr & _LINE_MASK)
             if entry is not None:
                 entry.words[addr] = value
                 return
-        self.backend_for(addr).store(addr, value)
+            self.nvm.store(addr, value)
+            return
+        if self.address_space.is_dram(addr):
+            self.dram.store(addr, value)
+            return
+        self.nvm.store(addr, value)
 
     # -- undo logging (LLC-overflowed DRAM lines) ----------------------------
 

@@ -14,6 +14,7 @@ aborting a transaction just sets invalidate bits via the overflow list
 
 from __future__ import annotations
 
+import heapq
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -22,22 +23,37 @@ from ..params import LINE_SIZE, MemoryConfig
 from .backend import BackingStore
 
 
-@dataclass
+@dataclass(slots=True)
 class DramCacheEntry:
     line_addr: int
     words: Dict[int, int] = field(default_factory=dict)
     tx_id: Optional[int] = None
     committed: bool = False
     invalid: bool = False
+    #: LRU stamp: strictly increases on every insert or LRU refresh, so
+    #: ascending ``lru_seq`` is exactly the cache's LRU order.
+    lru_seq: int = 0
 
 
 class DramCache:
-    """An LRU-managed buffer of NVM-bound lines, with invalidate bits."""
+    """An LRU-managed buffer of NVM-bound lines, with invalidate bits.
+
+    Victim selection — the least-recently-used entry that is invalid or
+    committed — used to be a front-to-back scan of the whole LRU list, which
+    went quadratic whenever the front filled up with uncommitted lines.  It
+    is now a lazy min-heap of ``(lru_seq, line)`` candidates: entries are
+    pushed whenever they become (or are refreshed while) evictable, and
+    stale items (removed lines, reordered lines, lines no longer evictable)
+    are skipped by validity checks at pop time.  Since ascending ``lru_seq``
+    equals LRU order, the heap minimum is the same victim the scan found.
+    """
 
     def __init__(self, config: MemoryConfig, nvm: BackingStore) -> None:
         self._capacity_lines = max(1, config.dram_cache_bytes // LINE_SIZE)
         self._nvm = nvm
         self._entries: "OrderedDict[int, DramCacheEntry]" = OrderedDict()
+        self._seq = 0
+        self._evictable: List[Tuple[int, int]] = []
         self.fills = 0
         self.hits = 0
         self.drains = 0
@@ -53,6 +69,13 @@ class DramCache:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def _stamp(self, entry: DramCacheEntry) -> None:
+        """Give ``entry`` the freshest LRU stamp; queue it if evictable."""
+        self._seq += 1
+        entry.lru_seq = self._seq
+        if entry.invalid or entry.committed:
+            heapq.heappush(self._evictable, (entry.lru_seq, entry.line_addr))
+
     # -- lookups -----------------------------------------------------------
 
     def lookup(self, line_addr: int) -> Optional[DramCacheEntry]:
@@ -61,6 +84,7 @@ class DramCache:
         if entry is None or entry.invalid:
             return None
         self._entries.move_to_end(line_addr)
+        self._stamp(entry)
         self.hits += 1
         return entry
 
@@ -90,11 +114,16 @@ class DramCache:
             entry.tx_id = tx_id
             entry.committed = committed
             self._entries.move_to_end(line_addr)
+            self._stamp(entry)
             return 0
-        self._entries[line_addr] = DramCacheEntry(
-            line_addr, dict(words), tx_id, committed
-        )
-        self._entries.move_to_end(line_addr)
+        replacing_invalid = entry is not None
+        entry = DramCacheEntry(line_addr, dict(words), tx_id, committed)
+        self._entries[line_addr] = entry
+        if replacing_invalid:
+            # Assignment over an existing (invalid) key keeps its position
+            # in the OrderedDict; a fresh key already lands at the MRU end.
+            self._entries.move_to_end(line_addr)
+        self._stamp(entry)
         return self._enforce_capacity()
 
     def mark_committed(self, line_addr: int, tx_id: int) -> bool:
@@ -103,6 +132,9 @@ class DramCache:
         if entry is None or entry.invalid or entry.tx_id != tx_id:
             return False
         entry.committed = True
+        # Became evictable in place: keeps its LRU position, so queue it
+        # under its *current* stamp.
+        heapq.heappush(self._evictable, (entry.lru_seq, line_addr))
         return True
 
     def invalidate(self, line_addr: int, tx_id: int) -> bool:
@@ -113,6 +145,7 @@ class DramCache:
         if not entry.invalid:
             entry.invalid = True
             self.invalidations += 1
+            heapq.heappush(self._evictable, (entry.lru_seq, line_addr))
         return True
 
     # -- draining ------------------------------------------------------------
@@ -129,17 +162,26 @@ class DramCache:
         return drained
 
     def _pick_victim(self) -> Optional[int]:
-        for line_addr, entry in self._entries.items():  # LRU order
-            if entry.invalid or entry.committed:
-                return line_addr
+        heap = self._evictable
+        entries = self._entries
+        while heap:
+            seq, line_addr = heap[0]
+            entry = entries.get(line_addr)
+            if (
+                entry is None
+                or entry.lru_seq != seq
+                or not (entry.invalid or entry.committed)
+            ):
+                heapq.heappop(heap)  # stale candidate
+                continue
+            return line_addr
         return None
 
     def _drain(self, line_addr: int) -> int:
         entry = self._entries.pop(line_addr)
         if entry.invalid:
             return 0
-        for word_addr, value in entry.words.items():
-            self._nvm.store(word_addr, value)
+        self._nvm.store_line(entry.words)
         self.drains += 1
         return 1
 
@@ -157,6 +199,7 @@ class DramCache:
     def wipe(self) -> None:
         """Lose all contents (the DRAM cache is volatile)."""
         self._entries.clear()
+        self._evictable.clear()
 
     def resident_lines(self) -> List[Tuple[int, bool, bool]]:
         """(line, committed, invalid) triples, LRU order — for tests."""

@@ -13,8 +13,7 @@ recovery genuinely restore data, making consistency a testable property.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterator, List, NamedTuple, Optional, Tuple
 
 from ..errors import LogOverflowError
 from ..params import LINE_SIZE
@@ -24,6 +23,8 @@ from .address import Region
 HEADER_BYTES = 16
 #: Bytes of payload in a data record (one cache line image).
 PAYLOAD_BYTES = LINE_SIZE
+#: Full size of a data record, precomputed for the append hot path.
+_DATA_RECORD_BYTES = HEADER_BYTES + PAYLOAD_BYTES
 
 
 class RecordKind(enum.Enum):
@@ -33,12 +34,14 @@ class RecordKind(enum.Enum):
     ABORT = "abort"
 
 
-@dataclass(frozen=True)
-class LogRecord:
+class LogRecord(NamedTuple):
     """One appended record.
 
     ``words`` maps word addresses inside the line to their logged values —
     old values for UNDO, new values for REDO; empty for marks.
+
+    A named tuple rather than a frozen dataclass: one is allocated per log
+    append, and frozen-dataclass init pays ``object.__setattr__`` per field.
     """
 
     kind: RecordKind
@@ -49,7 +52,7 @@ class LogRecord:
 
     @property
     def size_bytes(self) -> int:
-        if self.kind in (RecordKind.COMMIT, RecordKind.ABORT):
+        if self.kind is RecordKind.COMMIT or self.kind is RecordKind.ABORT:
             return HEADER_BYTES
         return HEADER_BYTES + PAYLOAD_BYTES
 
@@ -138,13 +141,15 @@ class HardwareLog:
     ) -> LogRecord:
         self._sequence += 1
         record = LogRecord(kind, tx_id, line_addr, words, self._sequence)
-        if self._cursor_bytes + record.size_bytes > self._capacity_bytes:
+        is_data = kind is RecordKind.UNDO or kind is RecordKind.REDO
+        size = _DATA_RECORD_BYTES if is_data else HEADER_BYTES
+        if self._cursor_bytes + size > self._capacity_bytes:
             # Reclaim completed transactions' records first; if live data
             # alone still exceeds the area, trap the OS for more space.
             if self.pre_compact is not None:
                 self.pre_compact()
             self._compact()
-            while self._cursor_bytes + record.size_bytes > self._capacity_bytes:
+            while self._cursor_bytes + size > self._capacity_bytes:
                 if not self._allow_expansion:
                     raise LogOverflowError(
                         f"{self._name} log exhausted "
@@ -153,11 +158,15 @@ class HardwareLog:
                 self._capacity_bytes *= 2
                 self.expansions += 1
         self._records.append(record)
-        self._cursor_bytes += record.size_bytes
-        if kind in (RecordKind.UNDO, RecordKind.REDO):
+        self._cursor_bytes += size
+        if is_data:
             # Index before notifying observers: an observer may model a
             # power failure by raising, and the record is already durable.
-            self._by_tx.setdefault(tx_id, []).append(len(self._records) - 1)
+            positions = self._by_tx.get(tx_id)
+            if positions is None:
+                self._by_tx[tx_id] = [len(self._records) - 1]
+            else:
+                positions.append(len(self._records) - 1)
         if self.tracer is not None:
             self.tracer.emit(
                 "log.append",

@@ -40,6 +40,7 @@ class WearTracker:
             raise RuntimeError("tracker already attached")
         self._controller = controller
         nvm_store = controller.nvm.store
+        nvm_store_line = controller.nvm.store_line
         log_append = controller.nvm_log.append_data
 
         def tracked_store(addr: int, value: int) -> None:
@@ -47,13 +48,27 @@ class WearTracker:
             self.payload_bytes += 8
             nvm_store(addr, value)
 
+        def tracked_store_line(words) -> None:
+            # The DRAM-cache drain path writes whole line images through
+            # this bulk entry point; count each word like tracked_store.
+            line_writes = self.line_writes
+            for addr in words:
+                line_writes[line_of(addr)] += 1
+            self.payload_bytes += 8 * len(words)
+            nvm_store_line(words)
+
         def tracked_append(kind, tx_id, line_addr, words):
             record = log_append(kind, tx_id, line_addr, words)
             self.log_bytes += record.size_bytes
             return record
 
-        self._originals = {"store": nvm_store, "append": log_append}
+        self._originals = {
+            "store": nvm_store,
+            "store_line": nvm_store_line,
+            "append": log_append,
+        }
         controller.nvm.store = tracked_store
+        controller.nvm.store_line = tracked_store_line
         controller.nvm_log.append_data = tracked_append
         return self
 
@@ -61,6 +76,7 @@ class WearTracker:
         if self._controller is None:
             return
         self._controller.nvm.store = self._originals["store"]
+        self._controller.nvm.store_line = self._originals["store_line"]
         self._controller.nvm_log.append_data = self._originals["append"]
         self._controller = None
         self._originals = {}

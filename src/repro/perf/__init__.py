@@ -1,0 +1,22 @@
+"""Profiling and performance tooling (``python -m repro profile``).
+
+cProfile answers "which Python function burns time"; the manual phase
+timers answer the coarser reproduction question "which *simulator phase*
+burns it" — memory access, signature probing, coherence bookkeeping,
+commits, statistics.  Both feed one machine-readable hot-spot report so
+performance work on the simulator starts from measurements, not hunches.
+
+Wall-clock readings here only ever describe the *host*; simulated time is
+untouched, and nothing below this layer imports it.
+"""
+
+from .phases import PHASES, PhaseTimers
+from .profiler import SORT_KEYS, HotSpot, profile_callable
+
+__all__ = [
+    "PHASES",
+    "PhaseTimers",
+    "SORT_KEYS",
+    "HotSpot",
+    "profile_callable",
+]

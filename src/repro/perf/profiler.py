@@ -1,0 +1,96 @@
+"""A thin cProfile wrapper producing machine-readable hot-spot rows.
+
+``pstats`` prints for humans; the bench gate and the ``--json`` report want
+plain data.  :func:`profile_callable` runs a callable under
+:class:`cProfile.Profile` and returns the top functions as
+:class:`HotSpot` records, sorted by cumulative or total time.
+
+cProfile's tracing hook inflates call overhead (a few hundred
+nanoseconds per call, which is comparable to the simulator's hottest
+functions), so *ratios between Python-level functions* are trustworthy
+while absolute times are not; the bench gate therefore times uninstrumented
+runs and this module is only for locating hot spots.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Tuple
+
+#: Accepted ``sort`` values (mirroring the pstats names).
+SORT_KEYS = ("cumtime", "tottime")
+
+
+@dataclass(frozen=True)
+class HotSpot:
+    """One function's profile totals."""
+
+    function: str
+    file: str
+    line: int
+    ncalls: int
+    tottime_s: float
+    cumtime_s: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "function": self.function,
+            "file": self.file,
+            "line": self.line,
+            "ncalls": self.ncalls,
+            "tottime_s": self.tottime_s,
+            "cumtime_s": self.cumtime_s,
+        }
+
+
+def _short_path(path: str) -> str:
+    """Trim an absolute source path down to its ``repro/``-relative tail."""
+    marker = "/repro/"
+    index = path.rfind(marker)
+    if index >= 0:
+        return "repro/" + path[index + len(marker):]
+    return path
+
+
+def hotspots_from(
+    profiler: cProfile.Profile, sort: str = "cumtime", top: int = 20
+) -> List[HotSpot]:
+    """Extract the ``top`` functions from a finished profiler run."""
+    if sort not in SORT_KEYS:
+        raise ValueError(f"sort must be one of {SORT_KEYS}, got {sort!r}")
+    rows: List[HotSpot] = []
+    stats = pstats.Stats(profiler)
+    for (file, line, func), row in stats.stats.items():  # type: ignore[attr-defined]
+        _cc, ncalls, tottime, cumtime, _callers = row
+        rows.append(
+            HotSpot(
+                function=func,
+                file=_short_path(file),
+                line=line,
+                ncalls=ncalls,
+                tottime_s=round(tottime, 6),
+                cumtime_s=round(cumtime, 6),
+            )
+        )
+    if sort == "cumtime":
+        rows.sort(key=lambda h: (-h.cumtime_s, -h.tottime_s, h.function))
+    else:
+        rows.sort(key=lambda h: (-h.tottime_s, -h.cumtime_s, h.function))
+    return rows[:top]
+
+
+def profile_callable(
+    fn: Callable[[], Any], sort: str = "cumtime", top: int = 20
+) -> Tuple[Any, List[HotSpot]]:
+    """Run ``fn`` under cProfile; return its result and the hot spots."""
+    if sort not in SORT_KEYS:
+        raise ValueError(f"sort must be one of {SORT_KEYS}, got {sort!r}")
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn()
+    finally:
+        profiler.disable()
+    return result, hotspots_from(profiler, sort=sort, top=top)

@@ -14,7 +14,7 @@ from typing import Optional, Set
 
 from ..params import SignatureConfig
 from .bloom import BankedBloomFilter, BloomFilter
-from .hashing import HashFamily, MultiplicativeHashFamily
+from .hashing import HashFamily, shared_multiplicative
 
 
 class SignaturePair:
@@ -26,6 +26,9 @@ class SignaturePair:
         scale: float = 1.0,
         family: Optional[HashFamily] = None,
     ) -> None:
+        # Families are shared per (functions, buckets, seed): one transaction
+        # begins per retry attempt, and re-deriving multipliers (plus a cold
+        # hash memo) each time was a measurable share of the begin path.
         bits = config.effective_bits(scale)
         if config.banked:
             bits -= bits % config.hash_functions or 0
@@ -35,7 +38,7 @@ class SignaturePair:
                 bits,
                 config.hash_functions,
                 family
-                or MultiplicativeHashFamily(
+                or shared_multiplicative(
                     config.hash_functions, bank_bits, seed=0x5EED
                 ),
             )
@@ -43,7 +46,7 @@ class SignaturePair:
                 bits,
                 config.hash_functions,
                 family
-                or MultiplicativeHashFamily(
+                or shared_multiplicative(
                     config.hash_functions, bank_bits, seed=0xC0FFEE
                 ),
             )
@@ -51,10 +54,10 @@ class SignaturePair:
             if family is not None:
                 read_family = write_family = family
             else:
-                read_family = MultiplicativeHashFamily(
+                read_family = shared_multiplicative(
                     config.hash_functions, bits, seed=0x5EED
                 )
-                write_family = MultiplicativeHashFamily(
+                write_family = shared_multiplicative(
                     config.hash_functions, bits, seed=0xC0FFEE
                 )
             self.read_filter = BloomFilter(

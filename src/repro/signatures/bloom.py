@@ -11,10 +11,12 @@ from .hashing import HashFamily, MultiplicativeHashFamily
 class BloomFilter:
     """A fixed-width Bloom filter backed by a Python big-int bit array.
 
-    Big-int bit operations keep membership tests at a couple of shifts per
-    hash function, which matters because signature checks sit on the
-    simulator's hottest path (every LLC miss in UHTM; every access in
-    signature-only designs).
+    Big-int bit operations keep membership tests cheap, which matters
+    because signature checks sit on the simulator's hottest path (every LLC
+    miss in UHTM; every access in signature-only designs).  Both insert and
+    probe go through the hash family's memoised per-value OR-mask, so a warm
+    operation is a single big-int OR (insert) or AND-compare (probe) instead
+    of ``k`` hash computations and shifts.
     """
 
     def __init__(
@@ -40,7 +42,7 @@ class BloomFilter:
     @property
     def popcount(self) -> int:
         """Number of set bits (occupancy)."""
-        return bin(self._array).count("1")
+        return self._array.bit_count()
 
     @property
     def saturation(self) -> float:
@@ -48,20 +50,38 @@ class BloomFilter:
         return self.popcount / self.bits
 
     def insert(self, value: int) -> None:
-        for index in self._family.indices(value):
-            self._array |= 1 << index
+        self._array |= self._family.or_mask(value)
         self._inserted += 1
 
     def insert_all(self, values: Iterable[int]) -> None:
+        insert = self.insert
         for value in values:
-            self.insert(value)
+            insert(value)
 
     def maybe_contains(self, value: int) -> bool:
-        array = self._array
-        for index in self._family.indices(value):
-            if not (array >> index) & 1:
-                return False
-        return True
+        mask = self._family.or_mask(value)
+        return self._array & mask == mask
+
+    # -- key-based probing --------------------------------------------------
+    #
+    # When one value is probed against *many* filters sharing a hash family
+    # (the off-chip conflict sweep checks every active transaction in a
+    # domain), the hash work can be done once and the per-filter test
+    # reduced to a single AND-compare.  ``probe_key`` computes the reusable
+    # key; ``contains_key`` applies it.  The ``family`` property lets the
+    # caller verify key compatibility by identity.
+
+    @property
+    def family(self) -> HashFamily:
+        return self._family
+
+    def probe_key(self, value: int) -> int:
+        """The reusable probe token for ``value`` under this filter's family."""
+        return self._family.or_mask(value)
+
+    def contains_key(self, key: int) -> bool:
+        """Membership test with a precomputed :meth:`probe_key` token."""
+        return self._array & key == key
 
     def clear(self) -> None:
         self._array = 0
@@ -133,24 +153,44 @@ class BankedBloomFilter:
 
     @property
     def popcount(self) -> int:
-        return sum(bin(a).count("1") for a in self._arrays)
+        return sum(a.bit_count() for a in self._arrays)
 
     @property
     def saturation(self) -> float:
         return self.popcount / (self._bank_bits * self.banks)
 
     def insert(self, value: int) -> None:
-        for bank, index in enumerate(self._family.indices(value)):
-            self._arrays[bank] |= 1 << index
+        arrays = self._arrays
+        for bank, index in enumerate(self._family.indices_for(value)):
+            arrays[bank] |= 1 << index
         self._inserted += 1
 
     def insert_all(self, values: Iterable[int]) -> None:
+        insert = self.insert
         for value in values:
-            self.insert(value)
+            insert(value)
 
     def maybe_contains(self, value: int) -> bool:
-        for bank, index in enumerate(self._family.indices(value)):
-            if not (self._arrays[bank] >> index) & 1:
+        arrays = self._arrays
+        for bank, index in enumerate(self._family.indices_for(value)):
+            if not (arrays[bank] >> index) & 1:
+                return False
+        return True
+
+    # -- key-based probing (see BloomFilter) --------------------------------
+
+    @property
+    def family(self) -> HashFamily:
+        return self._family
+
+    def probe_key(self, value: int):
+        """The reusable probe token: one bit index per bank."""
+        return self._family.indices_for(value)
+
+    def contains_key(self, key) -> bool:
+        arrays = self._arrays
+        for bank, index in enumerate(key):
+            if not (arrays[bank] >> index) & 1:
                 return False
         return True
 
@@ -183,5 +223,5 @@ class BankedBloomFilter:
             return 0.0
         rate = 1.0
         for array in self._arrays:
-            rate *= bin(array).count("1") / self._bank_bits
+            rate *= array.bit_count() / self._bank_bits
         return rate

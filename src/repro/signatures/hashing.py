@@ -9,19 +9,40 @@ Two implementations of the same interface:
 * :class:`MultiplicativeHashFamily` — Fibonacci-style multiplicative mixing
   with per-function odd constants.  Statistically equivalent uniformity for
   line addresses at a fraction of the cost; the default in simulations.
+
+Signature checks sit on the simulator's hottest path (every LLC miss in
+UHTM; every access in signature-only designs), and the same few thousand
+line addresses recur across transactions.  Each family therefore memoises,
+per input value, both the index tuple and the flat OR-mask of those indices
+(an LRU memo, capped at :data:`MEMO_CAPACITY` entries), so a warm probe is
+one dict hit instead of ``k`` multiply/mix/mod rounds.  A family's outputs
+are a pure function of ``(functions, buckets, seed)``, which also makes the
+instances themselves shareable: :func:`shared_multiplicative` hands out one
+memoised family per parameter triple instead of re-deriving multipliers for
+every transaction's signature pair.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from functools import lru_cache
+from typing import Dict, List, Sequence, Tuple
 
 from ..sim.rng import RngStreams
 
 _MASK64 = (1 << 64) - 1
 
+#: Per-family LRU memo capacity (entries are ~100 bytes; 64Ki entries bound
+#: each memo to a few MB while covering any realistic working set).
+MEMO_CAPACITY = 1 << 16
+
 
 class HashFamily:
-    """Interface: k independent functions from 64-bit ints to [0, buckets)."""
+    """Interface: k independent functions from 64-bit ints to [0, buckets).
+
+    Subclasses implement :meth:`indices`; the base class layers the memoised
+    fast paths :meth:`indices_for` (tuple of k indices) and :meth:`or_mask`
+    (the flat big-int mask with those k bits set) on top of it.
+    """
 
     def __init__(self, functions: int, buckets: int) -> None:
         if functions < 1:
@@ -30,9 +51,22 @@ class HashFamily:
             raise ValueError("need at least one bucket")
         self.functions = functions
         self.buckets = buckets
+        # Bound methods wrapped in per-instance LRU memos: the hot path pays
+        # one cache probe per value instead of k hash computations.
+        self.indices_for = lru_cache(maxsize=MEMO_CAPACITY)(self._indices_tuple)
+        self.or_mask = lru_cache(maxsize=MEMO_CAPACITY)(self._or_mask)
 
     def indices(self, value: int) -> Sequence[int]:
         raise NotImplementedError
+
+    def _indices_tuple(self, value: int) -> Tuple[int, ...]:
+        return tuple(self.indices(value))
+
+    def _or_mask(self, value: int) -> int:
+        mask = 0
+        for index in self.indices_for(value):
+            mask |= 1 << index
+        return mask
 
 
 class H3HashFamily(HashFamily):
@@ -76,10 +110,30 @@ class MultiplicativeHashFamily(HashFamily):
     def indices(self, value: int) -> Sequence[int]:
         out = []
         v = value & _MASK64
+        buckets = self.buckets
         for multiplier in self._multipliers:
             h = (v * multiplier) & _MASK64
             h ^= h >> 33
             h = (h * 0xFF51AFD7ED558CCD) & _MASK64
             h ^= h >> 33
-            out.append(h % self.buckets)
+            out.append(h % buckets)
         return out
+
+
+#: Shared multiplicative families, one per (functions, buckets, seed).  A
+#: family's multipliers — and hence every output — are derived solely from
+#: these three parameters, so sharing an instance (and its warm memo) across
+#: the thousands of per-transaction signature pairs is behaviour-neutral.
+_SHARED_FAMILIES: Dict[Tuple[int, int, int], MultiplicativeHashFamily] = {}
+
+
+def shared_multiplicative(
+    functions: int, buckets: int, seed: int
+) -> MultiplicativeHashFamily:
+    """The process-wide memoised family for ``(functions, buckets, seed)``."""
+    key = (functions, buckets, seed)
+    family = _SHARED_FAMILIES.get(key)
+    if family is None:
+        family = MultiplicativeHashFamily(functions, buckets, seed=seed)
+        _SHARED_FAMILIES[key] = family
+    return family

@@ -20,6 +20,9 @@ from .addresssig import SignaturePair
 #: Domain ID used for every transaction when isolation is disabled.
 GLOBAL_DOMAIN = 0
 
+#: Shared empty result for :meth:`ConflictDomainRegistry.members` misses.
+_NO_MEMBERS: Dict[int, SignaturePair] = {}
+
 
 class ConflictDomainRegistry:
     """Tracks which active transactions' signatures live in which domain."""
@@ -49,6 +52,17 @@ class ConflictDomainRegistry:
             members.pop(tx_id, None)
             if not members:
                 del self._domains[domain]
+
+    def members(self, domain_id: int) -> Dict[int, SignaturePair]:
+        """The registered signatures an access from ``domain_id`` can hit.
+
+        Hot-path variant of :meth:`signatures_to_check`: returns the
+        internal per-domain dict (insertion-ordered, never to be mutated by
+        callers) so the probe loop pays no generator machinery.  The caller
+        is responsible for skipping its own transaction.
+        """
+        members = self._domains.get(self.effective_domain(domain_id))
+        return members if members is not None else _NO_MEMBERS
 
     def signatures_to_check(
         self, domain_id: int, exclude_tx: Optional[int] = None

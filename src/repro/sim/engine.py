@@ -142,57 +142,81 @@ class Engine:
         Stops when all threads are done, when every runnable thread's clock
         exceeds ``until_ns``, or after ``max_steps`` thread steps.  Raises
         :class:`SimulationError` on deadlock (live threads, none runnable).
+
+        The pop and step logic is inlined here: this loop runs once per
+        workload operation and is the simulator's outermost hot path.  The
+        step counter lives in a local and is written back in ``finally`` so
+        it stays correct when a fault injector's ``PowerFailure`` (or a
+        workload exception) propagates out mid-run.  ``self._push`` stays a
+        method call because components woken during ``next(body)`` push
+        through it concurrently with this loop.
         """
-        while True:
-            if max_steps is not None and self._steps >= max_steps:
-                break
-            thread = self._pop_runnable()
-            if thread is None:
-                if any(t.state is ThreadState.BLOCKED for t in self._threads):
-                    raise SimulationError(
-                        "deadlock: blocked threads remain but none are runnable"
-                    )
-                break
-            if until_ns is not None and thread.clock_ns >= until_ns:
-                # Smallest clock already past the horizon: everyone is.
-                self._push(thread)
-                break
-            self._step(thread)
-        return self.now()
-
-    def _pop_runnable(self) -> Optional[SimThread]:
-        while self._heap:
-            clock_ns, sequence, thread = heapq.heappop(self._heap)
-            if thread.state is not ThreadState.RUNNABLE:
-                continue  # stale entry for a blocked/done thread
-            if sequence != thread._sequence:
-                continue  # superseded by a later push
-            if thread.clock_ns > clock_ns:
-                # The thread's clock moved while it was queued (e.g. it was
-                # charged rollback latency by a conflict winner); re-sort it
-                # at its new time instead of running it early.
-                self._push(thread)
-                continue
-            return thread
-        return None
-
-    def _step(self, thread: SimThread) -> None:
-        self._steps += 1
-        if self.fault_injector is not None:
-            self.fault_injector.on_engine_step(thread.clock_ns)
-        body = thread._ensure_body()
+        heap = self._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        runnable = ThreadState.RUNNABLE
+        steps = self._steps
         try:
-            next(body)
-        except StopIteration:
-            thread.state = ThreadState.DONE
-            if self.tracer is not None:
-                self.tracer.emit(
-                    "thread.done", ts_ns=thread.clock_ns, thread_id=thread.thread_id
-                )
-            return
-        if thread.state is ThreadState.RUNNABLE:
-            self._push(thread)
-        # A blocked thread is re-queued by wake().
+            while True:
+                if max_steps is not None and steps >= max_steps:
+                    break
+                # Skip-scan pop: drop stale lazy-deleted entries (blocked,
+                # done, or superseded threads) without touching them.
+                thread = None
+                while heap:
+                    clock_ns, sequence, candidate = heappop(heap)
+                    if candidate.state is not runnable:
+                        continue  # stale entry for a blocked/done thread
+                    if sequence != candidate._sequence:
+                        continue  # superseded by a later push
+                    if candidate.clock_ns > clock_ns:
+                        # The thread's clock moved while it was queued (e.g.
+                        # it was charged rollback latency by a conflict
+                        # winner); re-sort it at its new time instead of
+                        # running it early.
+                        self._push(candidate)
+                        continue
+                    thread = candidate
+                    break
+                if thread is None:
+                    if any(t.state is ThreadState.BLOCKED for t in self._threads):
+                        raise SimulationError(
+                            "deadlock: blocked threads remain but none are runnable"
+                        )
+                    break
+                if until_ns is not None and thread.clock_ns >= until_ns:
+                    # Smallest clock already past the horizon: everyone is.
+                    self._push(thread)
+                    break
+                steps += 1
+                if self.fault_injector is not None:
+                    self.fault_injector.on_engine_step(thread.clock_ns)
+                body = thread._body
+                if body is None:
+                    body = thread._ensure_body()
+                try:
+                    next(body)
+                except StopIteration:
+                    thread.state = ThreadState.DONE
+                    if self.tracer is not None:
+                        self.tracer.emit(
+                            "thread.done",
+                            ts_ns=thread.clock_ns,
+                            thread_id=thread.thread_id,
+                        )
+                    continue
+                if thread.state is runnable:
+                    # Inlined self._push: one push per step, worth skipping
+                    # the method call.  wake() calls during next(body) went
+                    # through self._push and already advanced the counter.
+                    sequence = self._push_count + 1
+                    self._push_count = sequence
+                    thread._sequence = sequence
+                    heappush(heap, (thread.clock_ns, sequence, thread))
+                # A blocked thread is re-queued by wake().
+        finally:
+            self._steps = steps
+        return self.now()
 
     def now(self) -> float:
         """The frontier of simulated time: max clock over all threads."""

@@ -12,7 +12,14 @@ from typing import Dict, Iterable, List, Mapping, Tuple
 
 
 class StatsRegistry:
-    """Named counters plus simple scalar sample series."""
+    """Named counters plus simple scalar sample series.
+
+    ``incr`` is the single hottest call in the simulator after cache probes;
+    hot loops should hoist the bound method (``incr = stats.incr``) so each
+    bump is one dict add with no attribute traversal.
+    """
+
+    __slots__ = ("_counters", "_samples", "_histograms")
 
     def __init__(self) -> None:
         self._counters: Dict[str, int] = defaultdict(int)
@@ -85,12 +92,20 @@ class Histogram:
     """A fixed-bucket latency histogram (log2 buckets by default).
 
     Bucket 0 counts samples in ``[0, 2)``; bucket ``i >= 1`` counts samples
-    in ``[2^i, 2^(i+1))`` (ns).  Cheap enough to sit on the commit path and
-    good enough for tail inspection.
+    in ``[2^i, 2^(i+1))`` (ns).
+
+    Bucketing is *deferred*: :meth:`record` — which sits on the commit and
+    abort paths — only appends the raw value to a pending list, and the
+    bit-length/min/accumulate work happens in one batch the first time any
+    aggregate is read.  Record-heavy runs that never inspect the histogram
+    until the end pay a single flush.
     """
+
+    __slots__ = ("_counts", "_pending", "_total", "_sum", "_max")
 
     def __init__(self, buckets: int = 40) -> None:
         self._counts = [0] * buckets
+        self._pending: List[float] = []
         self._total = 0
         self._sum = 0.0
         self._max = 0.0
@@ -98,25 +113,40 @@ class Histogram:
     def record(self, value: float) -> None:
         if value < 0:
             raise ValueError("histogram samples must be >= 0")
-        index = 0 if value < 1 else min(
-            len(self._counts) - 1, int(value).bit_length() - 1
-        )
-        self._counts[index] += 1
-        self._total += 1
-        self._sum += value
-        if value > self._max:
-            self._max = value
+        self._pending.append(value)
+
+    def _flush(self) -> None:
+        pending = self._pending
+        if not pending:
+            return
+        counts = self._counts
+        top = len(counts) - 1
+        total_sum = 0.0
+        maximum = self._max
+        for value in pending:
+            index = 0 if value < 1 else min(top, int(value).bit_length() - 1)
+            counts[index] += 1
+            total_sum += value
+            if value > maximum:
+                maximum = value
+        self._total += len(pending)
+        self._sum += total_sum
+        self._max = maximum
+        pending.clear()
 
     @property
     def count(self) -> int:
+        self._flush()
         return self._total
 
     @property
     def mean(self) -> float:
+        self._flush()
         return self._sum / self._total if self._total else 0.0
 
     @property
     def max(self) -> float:
+        self._flush()
         return self._max
 
     def merge(self, other: "Histogram") -> None:
@@ -127,6 +157,8 @@ class Histogram:
         the two maxes — so a merged registry reports the same aggregate
         statistics a single-registry run would have.
         """
+        self._flush()
+        other._flush()
         if len(other._counts) > len(self._counts):
             self._counts.extend([0] * (len(other._counts) - len(self._counts)))
         for index, count in enumerate(other._counts):
@@ -145,6 +177,7 @@ class Histogram:
         """
         if not 0 < fraction <= 1:
             raise ValueError("fraction must be in (0, 1]")
+        self._flush()
         if self._total == 0 or self._max == 0:
             return 0.0
         threshold = fraction * self._total
@@ -156,6 +189,7 @@ class Histogram:
         return float(2 ** len(self._counts))
 
     def nonzero_buckets(self) -> List[Tuple[int, int]]:
+        self._flush()
         return [(i, c) for i, c in enumerate(self._counts) if c]
 
 

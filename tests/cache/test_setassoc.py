@@ -81,7 +81,8 @@ class TestMeta:
     def test_meta_transactional_flag(self):
         meta = CacheLineMeta(0)
         assert not meta.transactional
-        meta.tx_readers.add(4)
+        assert meta.tx_readers is None  # lazily allocated
+        meta.add_reader(4)
         assert meta.transactional
         meta.tx_readers.clear()
         meta.tx_writer = 9
@@ -89,10 +90,17 @@ class TestMeta:
 
     def test_clear_tx(self):
         meta = CacheLineMeta(0, tx_writer=3)
-        meta.tx_readers.update({3, 4})
+        meta.add_reader(3)
+        meta.add_reader(4)
         meta.clear_tx(3)
         assert meta.tx_writer is None
         assert meta.tx_readers == {4}
+
+    def test_clear_tx_without_readers(self):
+        meta = CacheLineMeta(0, tx_writer=3)
+        meta.clear_tx(3)
+        assert meta.tx_writer is None
+        assert not meta.transactional
 
     def test_resident_introspection(self):
         array = make_array()

@@ -1,0 +1,73 @@
+"""End-to-end tests for ``python -m repro profile``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf.cli import build_report, main
+from repro.perf.phases import PHASES
+from repro.sim.stats import StatsRegistry
+
+
+class TestProfileCli:
+    def test_figure_json_report(self, capsys):
+        rc = main(["fig2", "--json", "--points", "1", "--top", "5"])
+        assert rc == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["target"] == "fig2"
+        assert report["kind"] == "figure"
+        assert report["points"] == 1
+        assert report["wall_s"] > 0
+        assert set(report["phases"]) == set(PHASES)
+        assert report["phases"]["access"]["calls"] > 0
+        assert len(report["hotspots"]) == 5
+        for spot in report["hotspots"]:
+            assert {"function", "file", "line", "ncalls", "tottime_s",
+                    "cumtime_s"} <= set(spot)
+
+    def test_human_report_prints_tables(self, capsys):
+        rc = main(["fig2", "--points", "1", "--top", "3"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "phases: fig2" in out
+        assert "top 3 by cumtime" in out
+        for phase in PHASES:
+            assert phase in out
+
+    def test_unknown_target_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["not-a-figure"])
+        assert "unknown profile target" in capsys.readouterr().err
+
+    def test_corunners_are_not_targets(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["membound"])
+
+    def test_detaches_after_run(self):
+        original = StatsRegistry.incr
+        build_report("fig2", points=1, top=3)
+        assert StatsRegistry.incr is original
+
+
+class TestWorkloadTarget:
+    def test_workload_report(self):
+        report = build_report(
+            "hashmap", sort="tottime", top=8, scale=1 / 128, seed=7
+        )
+        assert report["kind"] == "workload"
+        assert report["points"] == 1
+        assert report["seed"] == 7
+        assert report["phases"]["commit"]["calls"] > 0
+        tottimes = [s["tottime_s"] for s in report["hotspots"]]
+        assert tottimes == sorted(tottimes, reverse=True)
+
+
+def test_dispatch_from_package_main(capsys):
+    from repro.__main__ import main as repro_main
+
+    rc = repro_main(["profile", "fig2", "--json", "--points", "1", "--top", "3"])
+    assert rc == 0
+    report = json.loads(capsys.readouterr().out)
+    assert report["target"] == "fig2"

@@ -1,0 +1,85 @@
+"""Tests for the cProfile wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.profiler import (
+    HotSpot,
+    SORT_KEYS,
+    _short_path,
+    profile_callable,
+)
+
+
+def _busy_leaf():
+    return sum(i * i for i in range(5000))
+
+
+def _busy_caller():
+    return [_busy_leaf() for _ in range(20)]
+
+
+class TestProfileCallable:
+    def test_returns_result_and_hotspots(self):
+        result, spots = profile_callable(_busy_caller, top=50)
+        assert len(result) == 20
+        assert spots
+        names = {spot.function for spot in spots}
+        assert "_busy_leaf" in names
+        assert "_busy_caller" in names
+
+    def test_hotspot_fields(self):
+        _, spots = profile_callable(_busy_caller, top=50)
+        leaf = next(s for s in spots if s.function == "_busy_leaf")
+        assert leaf.ncalls == 20
+        assert leaf.file.endswith("test_profiler.py")
+        assert leaf.line > 0
+        assert 0.0 <= leaf.tottime_s <= leaf.cumtime_s
+        as_dict = leaf.to_dict()
+        assert as_dict["function"] == "_busy_leaf"
+        assert as_dict["ncalls"] == 20
+
+    def test_cumtime_sort_descends(self):
+        _, spots = profile_callable(_busy_caller, sort="cumtime", top=10)
+        times = [s.cumtime_s for s in spots]
+        assert times == sorted(times, reverse=True)
+
+    def test_tottime_sort_descends(self):
+        _, spots = profile_callable(_busy_caller, sort="tottime", top=10)
+        times = [s.tottime_s for s in spots]
+        assert times == sorted(times, reverse=True)
+
+    def test_top_limits_row_count(self):
+        _, spots = profile_callable(_busy_caller, top=3)
+        assert len(spots) == 3
+
+    def test_unknown_sort_rejected(self):
+        with pytest.raises(ValueError):
+            profile_callable(_busy_caller, sort="ncalls")
+        assert SORT_KEYS == ("cumtime", "tottime")
+
+    def test_exception_propagates(self):
+        def broken():
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            profile_callable(broken)
+
+
+class TestShortPath:
+    def test_trims_to_repro_tail(self):
+        assert (
+            _short_path("/x/y/src/repro/cache/setassoc.py")
+            == "repro/cache/setassoc.py"
+        )
+
+    def test_leaves_foreign_paths_alone(self):
+        assert _short_path("/usr/lib/python3/heapq.py") == "/usr/lib/python3/heapq.py"
+        assert _short_path("~") == "~"
+
+
+def test_hotspot_is_frozen():
+    spot = HotSpot("f", "x.py", 1, 2, 0.1, 0.2)
+    with pytest.raises(AttributeError):
+        spot.ncalls = 3
