@@ -6,7 +6,9 @@ Usage::
     python -m repro fig6
     python -m repro fig9 --full
     python -m repro all --seed 7 --jobs 4 --cache-dir .repro-cache
+    python -m repro fig2 --serve spool/     # execute via the job service
     python -m repro bench fig6 --jobs 4
+    python -m repro serve submit fig2 --smoke
     python -m repro faults --workload hashmap --crashes 50 --seed 1
     python -m repro trace fig7 --report
 """
@@ -14,7 +16,9 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import importlib
 import sys
+from typing import Optional
 
 from .harness.cache import ResultCache
 from .harness.export import to_json, to_markdown
@@ -25,6 +29,18 @@ from .harness.timer import Stopwatch
 #: Figures that accept (quick, scale, seed); tables take no arguments.
 _STATIC = {"table1", "table2", "table4"}
 
+#: Every tool that is not a figure name: ``subcommand -> (module, help)``.
+#: Each module exposes ``main(argv) -> int``.  ``python -m repro list``
+#: prints this table, so a new tool registers here and nowhere else.
+SUBCOMMANDS = {
+    "bench": ("repro.harness.bench", "benchmark figure grids; perf gate"),
+    "faults": ("repro.faults.cli", "crash-consistency fault campaigns"),
+    "lint": ("repro.analyze.cli", "static layering/determinism gates"),
+    "profile": ("repro.perf.cli", "phase-level profiling reports"),
+    "serve": ("repro.serve.cli", "sharded job service with checkpoint/resume"),
+    "trace": ("repro.obs.cli", "transaction tracing and abort forensics"),
+}
+
 
 def _run_one(
     name: str,
@@ -32,14 +48,23 @@ def _run_one(
     scale: float,
     seed: int,
     jobs: int = 1,
-    cache: ResultCache = None,
+    cache: Optional[ResultCache] = None,
+    serve_spool: Optional[str] = None,
 ) -> list:
     driver = ALL_FIGURES[name]
     stopwatch = Stopwatch()
     if name in _STATIC:
         results = driver()
     else:
-        results = driver(quick=quick, scale=scale, seed=seed, jobs=jobs, cache=cache)
+        executor = None
+        if serve_spool is not None:
+            from .serve.client import ServiceExecutor
+
+            executor = ServiceExecutor(serve_spool, title=name)
+        results = driver(
+            quick=quick, scale=scale, seed=seed, jobs=jobs, cache=cache,
+            executor=executor,
+        )
     if not isinstance(results, tuple):
         results = (results,)
     for result in results:
@@ -49,29 +74,22 @@ def _run_one(
     return list(results)
 
 
+def _print_listing() -> None:
+    print("figures:")
+    for name in sorted(ALL_FIGURES):
+        print(f"  {name}")
+    print("subcommands:")
+    for name in sorted(SUBCOMMANDS):
+        _, description = SUBCOMMANDS[name]
+        print(f"  {name:<10}{description}")
+
+
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
-    if argv and argv[0] == "faults":
-        from .faults.cli import main as faults_main
-
-        return faults_main(argv[1:])
-    if argv and argv[0] == "lint":
-        from .analyze.cli import main as lint_main
-
-        return lint_main(argv[1:])
-    if argv and argv[0] == "bench":
-        from .harness.bench import main as bench_main
-
-        return bench_main(argv[1:])
-    if argv and argv[0] == "trace":
-        from .obs.cli import main as trace_main
-
-        return trace_main(argv[1:])
-    if argv and argv[0] == "profile":
-        from .perf.cli import main as profile_main
-
-        return profile_main(argv[1:])
+    if argv and argv[0] in SUBCOMMANDS:
+        module_path, _ = SUBCOMMANDS[argv[0]]
+        return importlib.import_module(module_path).main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the paper's tables and figures.",
@@ -79,7 +97,7 @@ def main(argv=None) -> int:
     parser.add_argument(
         "figure",
         help="one of: " + ", ".join(sorted(ALL_FIGURES)) + ", all, list"
-        " (or the 'faults' subcommand: python -m repro faults --help)",
+        " (or a subcommand: " + ", ".join(sorted(SUBCOMMANDS)) + ")",
     )
     parser.add_argument(
         "--full",
@@ -106,6 +124,12 @@ def main(argv=None) -> int:
         help="on-disk result cache; unchanged points are not re-simulated",
     )
     parser.add_argument(
+        "--serve",
+        metavar="SPOOL",
+        help="execute grids through the job service spool instead of a "
+        "local pool (attach workers with 'python -m repro serve daemon')",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", help="also write the results as JSON"
     )
     parser.add_argument(
@@ -114,8 +138,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.figure == "list":
-        for name in sorted(ALL_FIGURES):
-            print(name)
+        _print_listing()
         return 0
     if args.figure == "all":
         names = sorted(ALL_FIGURES)
@@ -131,7 +154,7 @@ def main(argv=None) -> int:
         collected.extend(
             _run_one(
                 name, not args.full, args.scale, args.seed,
-                jobs=args.jobs, cache=cache,
+                jobs=args.jobs, cache=cache, serve_spool=args.serve,
             )
         )
     if args.json:

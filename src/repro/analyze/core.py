@@ -52,6 +52,7 @@ KNOWN_PACKAGES = frozenset(
         "faults",
         "obs",
         "runtime",
+        "serve",
         "analyze",
     }
 )

@@ -49,12 +49,14 @@ BANNED_MODULES = frozenset({"random", "secrets"})
 #: Files allowed to import the banned entropy sources (posix path suffixes).
 SANCTIONED_RANDOM_FILES = ("repro/sim/rng.py",)
 
-#: Files allowed to read the wall clock: the harness stopwatch, and the
-#: phase timers — profiling is inherently a wall-clock activity, and its
-#: readings only ever describe the host, never the simulation.
+#: Files allowed to read the wall clock: the harness stopwatch, the phase
+#: timers, and the job service's clock funnel — profiling and queue lease
+#: deadlines are inherently wall-clock activities, and their readings only
+#: ever describe the host, never the simulation.
 SANCTIONED_CLOCK_FILES = (
     "repro/harness/timer.py",
     "repro/perf/phases.py",
+    "repro/serve/clock.py",
 )
 
 #: ``module -> attribute names`` whose call reads wall-clock or OS entropy.

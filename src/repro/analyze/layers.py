@@ -40,6 +40,11 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
         {"mem", "sim", "cache", "signatures", "htm", "runtime", "workloads",
          "harness"}
     ),
+    # The job service drives the harness (grids, cache, figures) from
+    # separate processes; nothing below ever imports it.
+    "serve": frozenset(
+        {"mem", "sim", "htm", "runtime", "workloads", "harness"}
+    ),
     "analyze": frozenset(),
 }
 

@@ -22,6 +22,14 @@ A corrupted or unreadable entry is treated as a miss (counted in
 ``stats.corrupt``) and recomputed — the cache can always be deleted safely.
 ``CacheStats.simulations`` is maintained by the grid executor so callers can
 prove a warm re-run performed zero simulations.
+
+The cache is **multi-writer safe**: any number of processes (pool workers,
+``repro serve`` fleet members on a shared filesystem) may ``put`` the same
+fingerprint concurrently.  Each writer stages into its own uniquely named
+temporary file and publishes with one atomic rename, so readers only ever
+see either no entry or one complete entry — and because results are a pure
+function of the spec, every racing writer publishes identical content, so
+"last rename wins" is indistinguishable from "first writer wins".
 """
 
 from __future__ import annotations
@@ -29,7 +37,9 @@ from __future__ import annotations
 import dataclasses
 import enum
 import hashlib
+import itertools
 import json
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Optional, Union
@@ -40,6 +50,10 @@ from .metrics import RunResult, run_result_from_dict, run_result_to_dict
 #: Stamp covering everything that can change a result besides the spec —
 #: i.e. the simulator code itself.  Bump on any behaviour-changing change.
 CACHE_VERSION = 1
+
+#: Process-local staging-file sequence: makes concurrent ``put`` calls from
+#: threads of one process stage under distinct names too.
+_put_sequence = itertools.count()
 
 
 def _canonical(value: Any) -> Any:
@@ -116,7 +130,17 @@ class ResultCache:
         self, spec: ExperimentSpec, label: Optional[str] = None
     ) -> Optional[RunResult]:
         """The cached result for this point, or ``None`` (never raises)."""
-        path = self.path_for(self.fingerprint(spec, label))
+        return self.get_fingerprint(self.fingerprint(spec, label))
+
+    def get_fingerprint(self, fingerprint: str) -> Optional[RunResult]:
+        """The cached result for a known fingerprint, or ``None``.
+
+        Same corrupt→miss semantics as :meth:`get`.  The ``repro serve``
+        client assembles campaign results through this: job records carry
+        the fingerprint, so completed points load without re-hashing (or
+        even unpickling) their specs.
+        """
+        path = self.path_for(fingerprint)
         try:
             payload = json.loads(path.read_text(encoding="utf-8"))
             result = run_result_from_dict(payload["result"])
@@ -130,6 +154,15 @@ class ResultCache:
             return None
         self.stats.hits += 1
         return result
+
+    def has_fingerprint(self, fingerprint: str) -> bool:
+        """Whether an entry exists for ``fingerprint`` (no stats, no parse).
+
+        A cheap doneness probe for progress polling; a torn entry can never
+        be observed (publication is one atomic rename), though a corrupt one
+        would only be caught by :meth:`get_fingerprint`.
+        """
+        return self.path_for(fingerprint).is_file()
 
     def put(
         self,
@@ -147,7 +180,15 @@ class ResultCache:
             "label": label,
             "result": run_result_to_dict(result),
         }
-        tmp = path.with_suffix(".tmp")
+        # Stage under a name no other writer can collide on (pid + a
+        # process-local sequence number), then publish with one atomic
+        # rename.  Concurrent writers of the same fingerprint each stage
+        # privately and the last rename wins with a complete entry — a
+        # shared ".tmp" suffix would let two writers interleave into the
+        # same staging file and publish a torn hybrid.
+        tmp = path.with_name(
+            f"{path.name}.{os.getpid()}.{next(_put_sequence)}.tmp"
+        )
         tmp.write_text(
             json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
         )

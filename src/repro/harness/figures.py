@@ -40,7 +40,7 @@ from .config import (
     consolidated,
     mixed_pmdk,
 )
-from .parallel import GridPoint, run_keyed
+from .parallel import GridExecutor, GridPoint, run_keyed
 from .report import FigureResult
 
 #: The PMDK micro-benchmarks plus Echo, as in Figure 6.
@@ -159,6 +159,7 @@ def fig2(
     seed: int = 2020,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    executor: Optional[GridExecutor] = None,
 ) -> FigureResult:
     """LLC-Bounded vs Ideal unbounded throughput, 16 threads (Section III-C).
 
@@ -169,7 +170,7 @@ def fig2(
         "Throughput of LLC-Bounded vs Ideal unbounded HTM (normalised)",
         ["benchmark", "llc_bounded", "ideal", "ideal_speedup"],
     )
-    runs = run_keyed(fig2_grid(quick, scale, seed), jobs=jobs, cache=cache)
+    runs = run_keyed(fig2_grid(quick, scale, seed), jobs=jobs, cache=cache, executor=executor)
     for name in _fig2_benchmarks(quick):
         bounded = runs[(name, "LLC-Bounded")]
         ideal = runs[(name, "Ideal")]
@@ -208,6 +209,7 @@ def fig6(
     seed: int = 2020,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    executor: Optional[GridExecutor] = None,
 ) -> FigureResult:
     """Throughput with 100 KB persistent transactions (Section VI-A).
 
@@ -220,7 +222,7 @@ def fig6(
         "Normalised throughput, 100 KB persistent transactions",
         ["benchmark"] + [c.label for c in configs],
     )
-    runs = run_keyed(fig6_grid(quick, scale, seed), jobs=jobs, cache=cache)
+    runs = run_keyed(fig6_grid(quick, scale, seed), jobs=jobs, cache=cache, executor=executor)
     for name in _fig2_benchmarks(quick):
         baseline = runs[(name, configs[0].label)]
         row: List[object] = [name]
@@ -269,6 +271,7 @@ def fig7(
     seed: int = 2020,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    executor: Optional[GridExecutor] = None,
 ) -> FigureResult:
     """Abort rates of UHTM, decomposed by cause (Section VI-A).
 
@@ -289,7 +292,7 @@ def fig7(
         ],
     )
     footprints, configs = _fig7_matrix(quick)
-    runs = run_keyed(fig7_grid(quick, scale, seed), jobs=jobs, cache=cache)
+    runs = run_keyed(fig7_grid(quick, scale, seed), jobs=jobs, cache=cache, executor=executor)
     for footprint_kb in footprints:
         for config in configs:
             run = runs[(footprint_kb, config.label)]
@@ -359,6 +362,7 @@ def fig8(
     seed: int = 2020,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    executor: Optional[GridExecutor] = None,
 ) -> FigureResult:
     """Echo with long-running read-only transactions (Section VI-B).
 
@@ -372,7 +376,7 @@ def fig8(
         ["long_tx_pct", "llc_bounded", "uhtm", "uhtm_speedup"],
     )
     ratios = _fig8_ratios(quick)
-    runs = run_keyed(fig8_grid(quick, scale, seed), jobs=jobs, cache=cache)
+    runs = run_keyed(fig8_grid(quick, scale, seed), jobs=jobs, cache=cache, executor=executor)
     bounded_base = runs[("LLC-Bounded", ratios[0])].throughput
     uhtm_base = runs[("4k_opt", ratios[0])].throughput
     for ratio in ratios:
@@ -451,6 +455,7 @@ def fig9(
     seed: int = 2020,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    executor: Optional[GridExecutor] = None,
 ) -> Tuple[FigureResult, FigureResult]:
     """Hybrid key-value stores vs transaction footprint (Section VI-C).
 
@@ -458,7 +463,7 @@ def fig9(
     operations batched per transaction; no LLC-hungry co-runners.
     """
     configs, footprints, workloads = _fig9_matrix(quick)
-    runs = run_keyed(fig9_grid(quick, scale, seed), jobs=jobs, cache=cache)
+    runs = run_keyed(fig9_grid(quick, scale, seed), jobs=jobs, cache=cache, executor=executor)
     results = []
     for figure, workload in workloads:
         result = FigureResult(
@@ -530,6 +535,7 @@ def fig10(
     seed: int = 2020,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    executor: Optional[GridExecutor] = None,
 ) -> FigureResult:
     """Undo vs redo logging for overflowed DRAM blocks (Section VI-D).
 
@@ -543,7 +549,7 @@ def fig10(
         ["footprint_kb", "undo", "redo", "undo_advantage"],
     )
     footprints, sig_sizes = _fig10_matrix(quick)
-    runs = run_keyed(fig10_grid(quick, scale, seed), jobs=jobs, cache=cache)
+    runs = run_keyed(fig10_grid(quick, scale, seed), jobs=jobs, cache=cache, executor=executor)
     for footprint_kb in footprints:
         throughput = {}
         for policy in (DramLogPolicy.UNDO, DramLogPolicy.REDO):
@@ -597,6 +603,7 @@ def abort_claim(
     seed: int = 2020,
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    executor: Optional[GridExecutor] = None,
 ) -> FigureResult:
     """The 99% -> 26% -> 9% abort-rate reduction claim (Section IV-D).
 
@@ -610,7 +617,10 @@ def abort_claim(
         ["config", "abort_rate", "false_positive_share"],
     )
     runs = run_keyed(
-        abort_claim_grid(quick, scale, seed), jobs=jobs, cache=cache
+        abort_claim_grid(quick, scale, seed),
+        jobs=jobs,
+        cache=cache,
+        executor=executor,
     )
     for label, _ in _ABORT_CLAIM_CONFIGS:
         run = runs[label]

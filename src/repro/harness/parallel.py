@@ -22,6 +22,14 @@ re-running one pooled point serially.
 A :class:`~repro.harness.cache.ResultCache` short-circuits points whose
 content hash already has a stored result, so re-running a figure only
 simulates changed points.
+
+``run_grid_detailed`` also accepts a pluggable ``executor`` — anything
+matching the :data:`GridExecutor` contract ``(points, cache) ->
+GridOutcome`` — which replaces the local pool entirely.  That is how the
+``repro serve`` job service slots in underneath every figure driver: the
+same grids, submitted to a spool and executed by a sharded worker fleet,
+assembled back in submission order with the same bit-identical contract.
+:func:`execute_point` is the shared execution core both paths run.
 """
 
 from __future__ import annotations
@@ -83,11 +91,27 @@ class GridOutcome:
         return {run.key: run.result for run in self.runs}
 
 
-def _execute_point(point: GridPoint) -> Tuple[RunResult, float]:
-    """Worker entry: must stay a module-level function (it is pickled)."""
+def execute_point(point: GridPoint) -> Tuple[RunResult, float]:
+    """The shared execution core: one grid point to one timed result.
+
+    Every execution backend funnels through here — the serial loop, the
+    process pool (it must stay a module-level function: it is pickled to
+    the workers), and each ``repro serve`` fleet worker.
+    """
     stopwatch = Stopwatch()
     result = run_experiment(point.spec, point.label)
     return result, stopwatch.elapsed_s
+
+
+#: Kept under the old private name too: external scripts picked it up.
+_execute_point = execute_point
+
+#: A pluggable grid backend: given the full point list and an optional
+#: shared cache, return a complete :class:`GridOutcome` in submission order.
+#: ``repro.serve.client.ServiceExecutor`` is the non-local implementation.
+GridExecutor = Callable[
+    [Sequence[GridPoint], Optional[ResultCache]], "GridOutcome"
+]
 
 
 def run_grid_detailed(
@@ -96,6 +120,7 @@ def run_grid_detailed(
     cache: Optional[ResultCache] = None,
     verify_sample: bool = False,
     progress: Optional[Callable[[PointRun], None]] = None,
+    executor: Optional[GridExecutor] = None,
 ) -> GridOutcome:
     """Run every point, in order, across ``jobs`` worker processes.
 
@@ -106,7 +131,20 @@ def run_grid_detailed(
     re-runs the first pooled point serially in the parent and raises
     :class:`SimulationError` if the pool produced a different result —
     a spot check of the bit-identical contract.
+
+    An ``executor`` replaces the local pool entirely (``jobs`` and
+    ``verify_sample`` then do not apply): the grid is handed to it whole
+    and its :class:`GridOutcome` — same submission order, same cache
+    semantics — is returned, after the ``progress`` callback has seen every
+    run.  Pass ``repro.serve``'s ``ServiceExecutor`` to run the grid on a
+    worker fleet instead of in-process.
     """
+    if executor is not None:
+        outcome = executor(points, cache)
+        if progress is not None:
+            for run in outcome.runs:
+                progress(run)
+        return outcome
     jobs = max(1, int(jobs))
     fingerprints = [
         cache.fingerprint(p.spec, p.label) if cache is not None
@@ -129,17 +167,17 @@ def run_grid_detailed(
     if pooled:
         workers = min(jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            outcomes = list(pool.map(_execute_point, [points[i] for i in pending]))
+            outcomes = list(pool.map(execute_point, [points[i] for i in pending]))
         executed = dict(zip(pending, outcomes))
     else:
         for index in pending:
-            executed[index] = _execute_point(points[index])
+            executed[index] = execute_point(points[index])
 
     if verify_sample and pooled:
         # Check the contract before anything is published to the cache, so a
         # broken pooled result can never poison later runs.
         sample = pending[0]
-        serial_result, _ = _execute_point(points[sample])
+        serial_result, _ = execute_point(points[sample])
         pooled_result = executed[sample][0]
         if run_result_to_dict(serial_result) != run_result_to_dict(pooled_result):
             raise SimulationError(
@@ -189,10 +227,15 @@ def run_grid(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     verify_sample: bool = False,
+    executor: Optional[GridExecutor] = None,
 ) -> List[RunResult]:
     """Like :func:`run_grid_detailed`, returning just the ordered results."""
     return run_grid_detailed(
-        points, jobs=jobs, cache=cache, verify_sample=verify_sample
+        points,
+        jobs=jobs,
+        cache=cache,
+        verify_sample=verify_sample,
+        executor=executor,
     ).results
 
 
@@ -200,12 +243,14 @@ def run_keyed(
     points: Sequence[GridPoint],
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    executor: Optional[GridExecutor] = None,
 ) -> Dict[Any, RunResult]:
     """Run a grid and index the results by each point's ``key``.
 
     Figure drivers build their grid once (attaching a tuple key per point),
     fan it out here, then assemble rows by key lookup — the same code path
-    whether ``jobs`` is 1 or 16.
+    whether ``jobs`` is 1 or 16, and whether execution is in-process or on
+    a ``repro serve`` fleet (``executor``).
     """
-    outcome = run_grid_detailed(points, jobs=jobs, cache=cache)
+    outcome = run_grid_detailed(points, jobs=jobs, cache=cache, executor=executor)
     return outcome.by_key()

@@ -1,0 +1,44 @@
+"""``repro.serve`` — the simulator as a sharded, queued job service.
+
+``run_grid`` fans a figure grid over one process pool on one host and
+blocks until the last point returns.  This package turns the same grids
+into **submit-and-watch campaigns**: a persistent on-disk job queue (the
+*spool*) holds campaigns of :class:`~repro.harness.parallel.GridPoint`s, a
+shardable worker fleet leases points and runs them through the shared
+execution core (:func:`~repro.harness.parallel.execute_point`), and the
+content-addressed :class:`~repro.harness.cache.ResultCache` is the shared
+artifact store every worker publishes into.
+
+Correctness never depends on coordination: specs are pure functions of
+their seed, so re-executing a point is idempotent, and cache publication
+is one atomic rename.  Leases (and shards) only reduce duplicate work.
+That is what makes checkpoint/resume first-class — SIGKILL any worker or
+the whole fleet, restart, and exactly the unpublished remainder is
+recomputed.
+
+See ``docs/SERVE.md`` for the queue format, the lease protocol, sharding,
+and failure semantics; ``python -m repro serve --help`` for the CLI.
+"""
+
+from __future__ import annotations
+
+from .client import ServeClient, ServiceExecutor
+from .daemon import Daemon
+from .jobstore import CampaignMeta, CampaignStore, JobRecord, ServeError
+from .queue import CampaignStatus, JobQueue, Lease
+from .worker import Worker, WorkerStats
+
+__all__ = [
+    "CampaignMeta",
+    "CampaignStatus",
+    "CampaignStore",
+    "Daemon",
+    "JobQueue",
+    "JobRecord",
+    "Lease",
+    "ServeClient",
+    "ServeError",
+    "ServiceExecutor",
+    "Worker",
+    "WorkerStats",
+]

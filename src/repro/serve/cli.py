@@ -1,0 +1,348 @@
+"""``python -m repro serve`` — drive the job service from the shell.
+
+The sub-subcommands mirror a campaign's life cycle::
+
+    # queue the fig2 smoke grid (idempotent: same content -> same id)
+    python -m repro serve submit fig2 --smoke --seed 3 --spool spool/
+
+    # attach a fleet: a daemon of 2 sharded workers (or run workers by
+    # hand, on any number of hosts sharing the spool)
+    python -m repro serve daemon --spool spool/ --workers 2 --drain &
+    python -m repro serve worker --spool spool/ --shard 1/4
+
+    # follow progress, then assemble results
+    python -m repro serve status --spool spool/
+    python -m repro serve watch  <campaign-id> --spool spool/
+    python -m repro serve results <campaign-id> --figure --json out.json
+
+``results`` emits the campaign's raw per-point results by default;
+``--figure`` re-runs the originating figure driver against the warm
+shared cache, making the export byte-identical to a direct
+``python -m repro <figure> --json`` run with the same parameters.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import List, Optional
+
+from ..harness.export import to_json
+from ..harness.metrics import run_result_to_dict
+from ..harness.report import format_table
+from .client import ServeClient
+from .daemon import Daemon
+from .jobstore import ServeError
+from .queue import DEFAULT_LEASE_TTL_S, JobQueue, parse_shard
+from .worker import DEFAULT_POLL_S, Worker
+
+#: Spool directory used when neither ``--spool`` nor ``REPRO_SPOOL`` says
+#: otherwise.
+DEFAULT_SPOOL = ".repro-spool"
+
+
+def _spool_default() -> str:
+    return os.environ.get("REPRO_SPOOL", DEFAULT_SPOOL)
+
+
+def _add_spool(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--spool",
+        metavar="PATH",
+        default=_spool_default(),
+        help="spool directory holding the queue and the shared result "
+        "cache (default: $REPRO_SPOOL or ./" + DEFAULT_SPOOL + ")",
+    )
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from ..harness.bench import SMOKE_SCALE
+    from ..harness.config import DEFAULT_SCALE
+
+    client = ServeClient(args.spool)
+    quick = not args.full
+    scale = args.scale if args.scale is not None else DEFAULT_SCALE
+    if args.smoke:
+        quick, scale = True, SMOKE_SCALE
+    for figure in args.figures:
+        meta = client.submit_figure(
+            figure,
+            quick=quick,
+            scale=scale,
+            seed=args.seed,
+            campaign_id=args.id if len(args.figures) == 1 else None,
+        )
+        status = client.status(meta.campaign_id)
+        print(
+            f"{meta.campaign_id}: {figure} "
+            f"({meta.total_points} points, {status.done} already cached)"
+        )
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    client = ServeClient(args.spool)
+    statuses = (
+        [client.status(args.campaign)] if args.campaign else client.statuses()
+    )
+    if args.json:
+        print(
+            json.dumps(
+                [
+                    {
+                        "campaign_id": s.campaign_id,
+                        "title": s.title,
+                        "total": s.total,
+                        "done": s.done,
+                        "failed": s.failed,
+                        "leased": s.leased,
+                        "pending": s.pending,
+                        "cancelled": s.cancelled,
+                    }
+                    for s in statuses
+                ],
+                indent=2,
+            )
+        )
+        return 0
+    if not statuses:
+        print(f"no campaigns in spool {args.spool}")
+        return 0
+    rows = [
+        [
+            s.campaign_id,
+            s.title,
+            s.total,
+            s.done,
+            s.failed,
+            s.leased,
+            s.pending,
+            "cancelled" if s.cancelled
+            else ("complete" if s.complete else "running"),
+        ]
+        for s in statuses
+    ]
+    print(
+        format_table(
+            ["campaign", "title", "points", "done", "failed", "leased",
+             "pending", "state"],
+            rows,
+            title=f"spool: {args.spool}",
+        )
+    )
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    client = ServeClient(args.spool)
+    campaign_ids = args.campaigns
+    if not campaign_ids:
+        campaign_ids = [
+            meta.campaign_id for meta in client.queue.campaigns()
+        ]
+        if not campaign_ids:
+            print(f"no campaigns in spool {args.spool}")
+            return 1
+    for campaign_id in campaign_ids:
+
+        def stream(status, newly, campaign_id=campaign_id):
+            for index, label in newly:
+                print(f"[{campaign_id}] point {index} done ({label})")
+            print(
+                f"[{campaign_id}] {status.done}/{status.total} done, "
+                f"{status.leased} running, {status.pending} pending"
+            )
+
+        status = client.watch(
+            campaign_id,
+            timeout_s=args.timeout,
+            poll_s=args.poll,
+            progress=stream,
+        )
+        print(f"[{campaign_id}] complete ({status.total} points)")
+    return 0
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    client = ServeClient(args.spool)
+    if args.figure:
+        text = to_json(client.figure_results(args.campaign))
+    else:
+        payload = [
+            {
+                "index": index,
+                "label": run.label,
+                "fingerprint": run.fingerprint,
+                "result": run_result_to_dict(run.result),
+            }
+            for index, run in enumerate(client.point_runs(args.campaign))
+        ]
+        text = json.dumps(payload, indent=2, sort_keys=False)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.json}")
+    else:
+        print(text)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    worker = Worker(
+        args.spool,
+        shard=parse_shard(args.shard),
+        name=args.name,
+        lease_ttl_s=args.lease_ttl,
+        progress=print,
+    )
+    try:
+        if args.drain:
+            worker.drain(poll_s=args.poll, timeout_s=args.timeout)
+        else:
+            worker.run_forever(poll_s=args.poll)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print(worker.summary())
+    return 0
+
+
+def _cmd_daemon(args: argparse.Namespace) -> int:
+    daemon = Daemon(
+        args.spool,
+        workers=args.workers,
+        drain=args.drain,
+        poll_s=args.poll,
+        lease_ttl_s=args.lease_ttl,
+        restart_limit=args.restart_limit,
+    )
+    try:
+        return daemon.run()
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    JobQueue(args.spool).cancel(args.campaign)
+    print(f"cancelled {args.campaign}")
+    return 0
+
+
+def _cmd_retry(args: argparse.Namespace) -> int:
+    cleared = JobQueue(args.spool).clear_failures(args.campaign)
+    print(f"cleared {cleared} failure marker(s) on {args.campaign}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run experiment grids as submit-and-watch jobs on a "
+        "sharded worker fleet with checkpoint/resume.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    submit = commands.add_parser(
+        "submit", help="queue one or more figure grids as campaigns"
+    )
+    submit.add_argument("figures", nargs="+", metavar="FIGURE")
+    submit.add_argument("--full", action="store_true",
+                        help="the paper's full sweep matrix")
+    submit.add_argument("--smoke", action="store_true",
+                        help="quick grids at the bench smoke scale (1/64)")
+    submit.add_argument("--scale", type=float, default=None)
+    submit.add_argument("--seed", type=int, default=2020)
+    submit.add_argument("--id", metavar="CAMPAIGN_ID", default=None,
+                        help="explicit campaign id (single figure only; "
+                        "default: content-derived)")
+    _add_spool(submit)
+    submit.set_defaults(func=_cmd_submit)
+
+    status = commands.add_parser("status", help="campaign progress table")
+    status.add_argument("campaign", nargs="?", default=None)
+    status.add_argument("--json", action="store_true",
+                        help="machine-readable output")
+    _add_spool(status)
+    status.set_defaults(func=_cmd_status)
+
+    watch = commands.add_parser(
+        "watch", help="stream per-point progress until campaigns complete"
+    )
+    watch.add_argument("campaigns", nargs="*", metavar="CAMPAIGN",
+                       help="default: every campaign in the spool")
+    watch.add_argument("--timeout", type=float, default=None, metavar="S")
+    watch.add_argument("--poll", type=float, default=0.5, metavar="S")
+    _add_spool(watch)
+    watch.set_defaults(func=_cmd_watch)
+
+    results = commands.add_parser(
+        "results", help="assemble a finished campaign's results as JSON"
+    )
+    results.add_argument("campaign", metavar="CAMPAIGN")
+    results.add_argument("--figure", action="store_true",
+                         help="re-assemble the originating figure (export "
+                         "byte-identical to a direct run)")
+    results.add_argument("--json", metavar="PATH",
+                         help="write to a file instead of stdout")
+    _add_spool(results)
+    results.set_defaults(func=_cmd_results)
+
+    worker = commands.add_parser(
+        "worker", help="run one fleet worker against the spool"
+    )
+    worker.add_argument("--shard", default="0/1", metavar="i/N",
+                        help="this worker's static shard (default 0/1)")
+    worker.add_argument("--name", default=None)
+    worker.add_argument("--drain", action="store_true",
+                        help="exit once this shard is settled instead of "
+                        "serving forever")
+    worker.add_argument("--poll", type=float, default=DEFAULT_POLL_S,
+                        metavar="S")
+    worker.add_argument("--timeout", type=float, default=None, metavar="S",
+                        help="give up draining after S idle seconds")
+    worker.add_argument("--lease-ttl", type=float,
+                        default=DEFAULT_LEASE_TTL_S, metavar="S")
+    _add_spool(worker)
+    worker.set_defaults(func=_cmd_worker)
+
+    daemon = commands.add_parser(
+        "daemon", help="supervise a local fleet of sharded workers"
+    )
+    daemon.add_argument("--workers", type=int, default=2, metavar="N")
+    daemon.add_argument("--drain", action="store_true",
+                        help="exit when the queue is drained (batch/CI mode)")
+    daemon.add_argument("--poll", type=float, default=DEFAULT_POLL_S,
+                        metavar="S")
+    daemon.add_argument("--lease-ttl", type=float,
+                        default=DEFAULT_LEASE_TTL_S, metavar="S")
+    daemon.add_argument("--restart-limit", type=int, default=3)
+    _add_spool(daemon)
+    daemon.set_defaults(func=_cmd_daemon)
+
+    cancel = commands.add_parser("cancel", help="stop a campaign")
+    cancel.add_argument("campaign", metavar="CAMPAIGN")
+    _add_spool(cancel)
+    cancel.set_defaults(func=_cmd_cancel)
+
+    retry = commands.add_parser(
+        "retry", help="clear a campaign's failure markers so workers retry"
+    )
+    retry.add_argument("campaign", metavar="CAMPAIGN")
+    _add_spool(retry)
+    retry.set_defaults(func=_cmd_retry)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,25 @@
+"""The serve layer's sanctioned wall-clock reads.
+
+DET001 bans clock calls everywhere outside this file, the harness
+stopwatch, and the perf phase timers, because simulation results must
+never depend on real time.  The job service, however, is *about* real
+time: lease deadlines must be comparable across processes and hosts, and
+workers poll the spool on wall-clock intervals.  None of these readings
+ever reaches a simulation — they only sequence the machinery around it —
+so the whole package funnels its clock use through these two helpers,
+keeping the exemption auditable at a glance.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+def wall_now() -> float:
+    """Seconds since the epoch — the cross-process lease timebase."""
+    return time.time()
+
+
+def sleep(seconds: float) -> None:
+    """Block the calling worker/client between spool polls."""
+    time.sleep(seconds)

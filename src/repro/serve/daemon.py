@@ -1,0 +1,156 @@
+"""The fleet supervisor: spawn N sharded workers, keep them alive.
+
+``python -m repro serve daemon --workers N`` launches one worker
+subprocess per shard (``0/N`` … ``N-1/N``) against a spool and babysits
+them.  Two modes:
+
+* **service** (default) — run until killed; a worker that dies is
+  restarted (bounded by ``restart_limit`` per slot, so a crash-looping
+  point cannot melt the host).  Restart is safe by construction: the
+  replacement worker resumes from the cache like any other.
+* **drain** (``--drain``) — workers exit when their shard is settled;
+  the daemon waits for all of them and exits non-zero if any did.  This
+  is the batch shape used by CI: submit, drain, compare.
+
+The daemon holds no state the workers need — killing it orphans nothing,
+and a second daemon on another host against the same (shared) spool just
+adds more shards' worth of throughput.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Union
+
+from .clock import sleep
+from .jobstore import ServeError
+from .queue import DEFAULT_LEASE_TTL_S
+from .worker import DEFAULT_POLL_S
+
+
+def worker_command(
+    spool: Union[str, Path],
+    shard_index: int,
+    shard_count: int,
+    drain: bool = False,
+    poll_s: float = DEFAULT_POLL_S,
+    lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+) -> List[str]:
+    """The argv for one fleet worker (also used by tests and examples)."""
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "worker",
+        "--spool",
+        str(spool),
+        "--shard",
+        f"{shard_index}/{shard_count}",
+        "--poll",
+        str(poll_s),
+        "--lease-ttl",
+        str(lease_ttl_s),
+    ]
+    if drain:
+        command.append("--drain")
+    return command
+
+
+@dataclass
+class _Slot:
+    shard_index: int
+    process: subprocess.Popen
+    restarts: int = 0
+
+
+class Daemon:
+    """Supervise a local worker fleet over one spool."""
+
+    def __init__(
+        self,
+        spool: Union[str, Path],
+        workers: int = 2,
+        drain: bool = False,
+        poll_s: float = DEFAULT_POLL_S,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        restart_limit: int = 3,
+    ) -> None:
+        if workers < 1:
+            raise ServeError("the daemon needs at least one worker")
+        self.spool = Path(spool)
+        self.workers = workers
+        self.drain = drain
+        self.poll_s = poll_s
+        self.lease_ttl_s = lease_ttl_s
+        self.restart_limit = restart_limit
+
+    def _spawn(self, shard_index: int) -> subprocess.Popen:
+        return subprocess.Popen(
+            worker_command(
+                self.spool,
+                shard_index,
+                self.workers,
+                drain=self.drain,
+                poll_s=self.poll_s,
+                lease_ttl_s=self.lease_ttl_s,
+            )
+        )
+
+    def run(self) -> int:
+        """Supervise until drained (drain mode) or killed (service mode).
+
+        Returns a process exit code: 0 only when every drained worker
+        exited cleanly.
+        """
+        self.spool.mkdir(parents=True, exist_ok=True)
+        slots = [_Slot(i, self._spawn(i)) for i in range(self.workers)]
+        print(
+            f"[daemon] {self.workers} worker(s) over spool {self.spool}"
+            + (" (drain mode)" if self.drain else "")
+        )
+        try:
+            if self.drain:
+                failures = 0
+                for slot in slots:
+                    code = slot.process.wait()
+                    if code != 0:
+                        failures += 1
+                        print(
+                            f"[daemon] worker {slot.shard_index}/"
+                            f"{self.workers} exited with {code}"
+                        )
+                print("[daemon] drained")
+                return 1 if failures else 0
+            while True:
+                for slot in slots:
+                    code = slot.process.poll()
+                    if code is None:
+                        continue
+                    if slot.restarts >= self.restart_limit:
+                        raise ServeError(
+                            f"worker {slot.shard_index}/{self.workers} died "
+                            f"{slot.restarts + 1} times (last exit {code}); "
+                            "giving up"
+                        )
+                    slot.restarts += 1
+                    print(
+                        f"[daemon] worker {slot.shard_index}/{self.workers} "
+                        f"exited with {code}; restarting "
+                        f"({slot.restarts}/{self.restart_limit})"
+                    )
+                    slot.process = self._spawn(slot.shard_index)
+                sleep(self.poll_s)
+        finally:
+            for slot in slots:
+                if slot.process.poll() is None:
+                    slot.process.terminate()
+            for slot in slots:
+                if slot.process.poll() is None:
+                    try:
+                        slot.process.wait(timeout=5)
+                    except subprocess.TimeoutExpired:
+                        slot.process.kill()

@@ -1,0 +1,283 @@
+"""Durable storage for the serve spool: layout, records, atomic writes.
+
+One *spool* directory is the whole service state — there is no broker
+process to lose.  Everything follows the same durability discipline as
+:meth:`repro.harness.cache.ResultCache.put`: stage under a writer-unique
+temporary name, publish with one atomic rename, treat anything unreadable
+as absent.  The layout::
+
+    <spool>/
+      cache/                      # shared ResultCache (the artifact store)
+      campaigns/<id>/
+        points.jsonl              # one JobRecord per line, submission order
+        campaign.json             # metadata; written LAST = campaign exists
+        leases/<index>.json       # best-effort work claims (queue.py)
+        failures/<index>.json     # points that died with ExperimentFailure
+        cancelled                 # marker: workers stop picking points up
+
+``points.jsonl`` is immutable after publish; all mutable state lives in
+single-purpose marker files, so no file is ever rewritten in place by two
+parties.  A campaign only *exists* once ``campaign.json`` has landed —
+writers stage the (potentially large) point list first, so a reader can
+never observe a half-submitted campaign.
+
+Specs travel as pickles (base64 in the JSONL): :class:`ExperimentSpec` is
+a frozen value type that pickles cleanly — the same property the process
+pool relies on — and the fingerprint in each record lets readers poll
+doneness without ever unpickling.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from ..errors import ReproError
+from ..harness.config import ExperimentSpec
+from ..harness.parallel import GridPoint
+
+#: Schema stamp for spool files; bump on incompatible layout changes.
+SPOOL_VERSION = 1
+
+CACHE_DIR = "cache"
+CAMPAIGNS_DIR = "campaigns"
+POINTS_FILE = "points.jsonl"
+META_FILE = "campaign.json"
+LEASES_DIR = "leases"
+FAILURES_DIR = "failures"
+CANCEL_MARKER = "cancelled"
+
+
+class ServeError(ReproError):
+    """A job-service operation failed (bad spool state, incomplete campaign)."""
+
+
+def write_json_atomic(path: Path, payload: Any) -> None:
+    """Publish ``payload`` at ``path`` via a writer-unique tmp + rename."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(
+        json.dumps(payload, indent=2, sort_keys=True), encoding="utf-8"
+    )
+    tmp.replace(path)
+
+
+def read_json(path: Path) -> Optional[Any]:
+    """The parsed payload, or ``None`` for missing/torn/corrupt files."""
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return None
+
+
+def _to_b64(value: Any) -> str:
+    return base64.b64encode(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    ).decode("ascii")
+
+
+def _from_b64(blob: str) -> Any:
+    return pickle.loads(base64.b64decode(blob.encode("ascii")))
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One queued grid point, as stored in ``points.jsonl``.
+
+    ``index`` is the submission position (and the sharding key),
+    ``fingerprint`` the point's content hash in the shared cache — the
+    doneness probe.  ``label`` is the *original* ``GridPoint.label``
+    (``None`` for most figure points): it feeds the fingerprint, so the
+    distinction from the resolved :attr:`display_label` must survive the
+    round trip byte-for-byte.  ``spec``/``key`` travel as pickles so any
+    grid the harness can build, the queue can hold.
+    """
+
+    index: int
+    fingerprint: str
+    label: Optional[str]
+    spec: ExperimentSpec
+    key: Any = None
+
+    @property
+    def display_label(self) -> str:
+        """What progress lines show (same resolution as the grid executor)."""
+        return self.label or self.spec.htm.label
+
+    def point(self) -> GridPoint:
+        return GridPoint(spec=self.spec, label=self.label, key=self.key)
+
+
+def encode_record(record: JobRecord) -> Dict[str, Any]:
+    return {
+        "index": record.index,
+        "fingerprint": record.fingerprint,
+        "label": record.label,
+        "spec_name": record.spec.name,  # human-greppable provenance
+        "spec_pickle": _to_b64(record.spec),
+        "key_pickle": _to_b64(record.key),
+    }
+
+
+def decode_record(payload: Dict[str, Any]) -> JobRecord:
+    return JobRecord(
+        index=int(payload["index"]),
+        fingerprint=payload["fingerprint"],
+        label=payload["label"],
+        spec=_from_b64(payload["spec_pickle"]),
+        key=_from_b64(payload["key_pickle"]),
+    )
+
+
+@dataclass(frozen=True)
+class CampaignMeta:
+    """The ``campaign.json`` payload: identity plus figure provenance.
+
+    ``figure``/``quick``/``scale``/``seed`` are set when the campaign was
+    submitted from a figure grid, letting ``repro serve results --figure``
+    re-assemble the exact figure export from the warm cache.
+    """
+
+    campaign_id: str
+    title: str
+    total_points: int
+    created: float
+    figure: Optional[str] = None
+    quick: bool = True
+    scale: float = 0.0
+    seed: int = 0
+
+    def to_payload(self) -> Dict[str, Any]:
+        return {
+            "spool_version": SPOOL_VERSION,
+            "campaign_id": self.campaign_id,
+            "title": self.title,
+            "total_points": self.total_points,
+            "created": self.created,
+            "figure": self.figure,
+            "quick": self.quick,
+            "scale": self.scale,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "CampaignMeta":
+        return cls(
+            campaign_id=payload["campaign_id"],
+            title=payload["title"],
+            total_points=int(payload["total_points"]),
+            created=float(payload["created"]),
+            figure=payload.get("figure"),
+            quick=bool(payload.get("quick", True)),
+            scale=float(payload.get("scale", 0.0)),
+            seed=int(payload.get("seed", 0)),
+        )
+
+
+class CampaignStore:
+    """Path discipline and IO for one spool directory."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # -- layout ------------------------------------------------------------
+
+    @property
+    def cache_dir(self) -> Path:
+        return self.root / CACHE_DIR
+
+    @property
+    def campaigns_dir(self) -> Path:
+        return self.root / CAMPAIGNS_DIR
+
+    def campaign_dir(self, campaign_id: str) -> Path:
+        return self.campaigns_dir / campaign_id
+
+    def meta_path(self, campaign_id: str) -> Path:
+        return self.campaign_dir(campaign_id) / META_FILE
+
+    def points_path(self, campaign_id: str) -> Path:
+        return self.campaign_dir(campaign_id) / POINTS_FILE
+
+    def lease_path(self, campaign_id: str, index: int) -> Path:
+        return self.campaign_dir(campaign_id) / LEASES_DIR / f"{index}.json"
+
+    def failure_path(self, campaign_id: str, index: int) -> Path:
+        return self.campaign_dir(campaign_id) / FAILURES_DIR / f"{index}.json"
+
+    def cancel_path(self, campaign_id: str) -> Path:
+        return self.campaign_dir(campaign_id) / CANCEL_MARKER
+
+    # -- campaigns ---------------------------------------------------------
+
+    def exists(self, campaign_id: str) -> bool:
+        return self.meta_path(campaign_id).is_file()
+
+    def publish(self, meta: CampaignMeta, records: Iterable[JobRecord]) -> None:
+        """Write a campaign durably: points first, metadata last.
+
+        The metadata rename is the publication point — a crash anywhere
+        earlier leaves a directory no reader considers a campaign (and a
+        resubmission with the same id simply overwrites the staging).
+        """
+        directory = self.campaign_dir(meta.campaign_id)
+        directory.mkdir(parents=True, exist_ok=True)
+        points_path = self.points_path(meta.campaign_id)
+        tmp = points_path.with_name(
+            f"{points_path.name}.{os.getpid()}.tmp"
+        )
+        with tmp.open("w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(
+                    json.dumps(encode_record(record), sort_keys=True) + "\n"
+                )
+        tmp.replace(points_path)
+        write_json_atomic(self.meta_path(meta.campaign_id), meta.to_payload())
+
+    def load_meta(self, campaign_id: str) -> CampaignMeta:
+        payload = read_json(self.meta_path(campaign_id))
+        if payload is None:
+            raise ServeError(
+                f"no campaign {campaign_id!r} in spool {self.root}"
+            )
+        return CampaignMeta.from_payload(payload)
+
+    def load_records(self, campaign_id: str) -> List[JobRecord]:
+        path = self.points_path(campaign_id)
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except OSError as exc:
+            raise ServeError(
+                f"campaign {campaign_id!r} has no readable point list: {exc}"
+            ) from exc
+        records = []
+        for line in lines:
+            if not line.strip():
+                continue
+            try:
+                records.append(decode_record(json.loads(line)))
+            except Exception as exc:  # torn line = corrupt campaign, say so
+                raise ServeError(
+                    f"campaign {campaign_id!r} has a corrupt point record: "
+                    f"{exc}"
+                ) from exc
+        return records
+
+    def list_ids(self) -> List[str]:
+        """Published campaign ids, oldest first (created, then id)."""
+        if not self.campaigns_dir.is_dir():
+            return []
+        stamped = []
+        for entry in sorted(self.campaigns_dir.iterdir()):
+            if not entry.is_dir():
+                continue
+            payload = read_json(entry / META_FILE)
+            if payload is None:
+                continue  # still being staged, or torn: not a campaign yet
+            stamped.append((float(payload.get("created", 0.0)), entry.name))
+        return [name for _, name in sorted(stamped)]

@@ -1,0 +1,188 @@
+"""A fleet worker: lease points, run them, publish into the shared cache.
+
+One worker is one shard of the fleet (``--shard i/N``).  Its loop is a
+single idempotent pass, repeated::
+
+    for each campaign, oldest first (skipping cancelled ones):
+        for each point of my shard, in submission order:
+            already in the cache?   -> skip (this IS checkpoint/resume)
+            marked failed?          -> skip
+            lease claim lost?       -> skip (someone live is on it)
+            run through execute_point(), publish via cache.put(),
+            release the lease
+
+Killing a worker at *any* instruction of that loop is recoverable:
+unpublished work is recomputed (the lease left behind is stolen instantly
+on the same host, or after the TTL elsewhere), a half-written cache entry
+is impossible (atomic rename), and a lease surviving past its published
+point is released by the next pass's skip path.
+
+A point that raises :class:`~repro.harness.runner.ExperimentFailure` is
+recorded under ``failures/`` with its label and spec hash and is not
+retried (``repro serve retry`` clears the markers).  A fingerprint
+mismatch between the job record and this worker's cache version stamp
+aborts the point loudly — submitter/worker code-version skew must never
+publish artifacts under the wrong key.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, List, Optional, Tuple, Union
+
+from ..harness.parallel import execute_point
+from ..harness.runner import ExperimentFailure
+from .clock import sleep
+from .jobstore import JobRecord, ServeError
+from .queue import DEFAULT_LEASE_TTL_S, JobQueue
+
+#: Default seconds between spool scans when a pass finds nothing to run.
+DEFAULT_POLL_S = 0.5
+
+
+@dataclass
+class WorkerStats:
+    """What one worker did — the auditable side of checkpoint/resume."""
+
+    executed: int = 0
+    cache_skips: int = 0
+    lease_skips: int = 0
+    failed: int = 0
+    elapsed_s: float = 0.0
+    #: ``(campaign_id, index, display_label)`` per executed point.
+    published: List[Tuple[str, int, str]] = field(default_factory=list)
+
+
+class Worker:
+    """One fleet member bound to a spool directory and a shard."""
+
+    def __init__(
+        self,
+        spool: Union[str, Path],
+        shard: Tuple[int, int] = (0, 1),
+        name: Optional[str] = None,
+        lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        progress: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.queue = JobQueue(spool, lease_ttl_s=lease_ttl_s)
+        self.cache = self.queue.cache
+        self.shard = shard
+        self.name = name or f"worker-{shard[0]}of{shard[1]}-pid{os.getpid()}"
+        self.stats = WorkerStats()
+        self._progress = progress
+
+    def _say(self, message: str) -> None:
+        if self._progress is not None:
+            self._progress(f"[{self.name}] {message}")
+
+    # -- one point ---------------------------------------------------------
+
+    def _run_point(self, campaign_id: str, record: JobRecord) -> bool:
+        """Lease, execute, publish, release.  True iff this worker ran it."""
+        lease = self.queue.try_claim(campaign_id, record.index, self.name)
+        if lease is None:
+            self.stats.lease_skips += 1
+            return False
+        try:
+            # Re-derive the fingerprint with *this* worker's code-version
+            # stamp: a mismatch means the submitter ran different simulator
+            # code, and publishing under its key would poison the cache.
+            expected = self.cache.fingerprint(record.spec, record.label)
+            if expected != record.fingerprint:
+                message = (
+                    "fingerprint mismatch (submitter/worker CACHE_VERSION "
+                    f"skew?): record says {record.fingerprint[:12]}, this "
+                    f"worker derives {expected[:12]}"
+                )
+                self.queue.record_failure(campaign_id, record.index, message)
+                self.stats.failed += 1
+                self._say(f"FAILED {campaign_id}[{record.index}]: {message}")
+                return False
+            try:
+                result, elapsed_s = execute_point(record.point())
+            except ExperimentFailure as exc:
+                self.queue.record_failure(campaign_id, record.index, str(exc))
+                self.stats.failed += 1
+                self._say(f"FAILED {campaign_id}[{record.index}]: {exc}")
+                return False
+            self.cache.count_simulations(1)
+            self.cache.put(record.spec, result, record.label)
+            self.stats.executed += 1
+            self.stats.elapsed_s += elapsed_s
+            self.stats.published.append(
+                (campaign_id, record.index, record.display_label)
+            )
+            self._say(
+                f"done {campaign_id}[{record.index}] "
+                f"{record.display_label} in {elapsed_s:.2f}s"
+            )
+            return True
+        finally:
+            self.queue.release(campaign_id, record.index)
+
+    # -- passes ------------------------------------------------------------
+
+    def run_once(self) -> int:
+        """One spool pass; returns how many points this worker executed."""
+        executed = 0
+        for meta in self.queue.campaigns():
+            for record in self.queue.runnable(meta.campaign_id, self.shard):
+                # Re-probe: another worker may have published while this
+                # pass was busy on earlier points.
+                if self.cache.has_fingerprint(record.fingerprint):
+                    self.stats.cache_skips += 1
+                    continue
+                if self._run_point(meta.campaign_id, record):
+                    executed += 1
+        return executed
+
+    def _shard_settled(self) -> bool:
+        """Every point of this worker's shard is published or failed."""
+        for meta in self.queue.campaigns():
+            if self.queue.cancelled(meta.campaign_id):
+                continue
+            for record in self.queue.shard_records(meta.campaign_id, self.shard):
+                if self.cache.has_fingerprint(record.fingerprint):
+                    continue
+                if self.queue.failure(meta.campaign_id, record.index) is None:
+                    return False
+        return True
+
+    def drain(
+        self,
+        poll_s: float = DEFAULT_POLL_S,
+        timeout_s: Optional[float] = None,
+    ) -> WorkerStats:
+        """Run until this shard is settled (or ``timeout_s`` passes).
+
+        Between passes the worker sleeps ``poll_s`` — the waiting case is a
+        point of this shard leased to a still-live worker from an earlier
+        fleet, which either publishes it or dies and gets stolen.
+        """
+        waited = 0.0
+        while not self._shard_settled():
+            if self.run_once() == 0:
+                if timeout_s is not None and waited >= timeout_s:
+                    raise ServeError(
+                        f"{self.name}: shard not settled after {waited:.0f}s"
+                    )
+                sleep(poll_s)
+                waited += poll_s
+        return self.stats
+
+    def run_forever(self, poll_s: float = DEFAULT_POLL_S) -> None:
+        """Service loop: keep scanning for work until killed."""
+        while True:
+            if self.run_once() == 0:
+                sleep(poll_s)
+
+    def summary(self) -> str:
+        stats = self.stats
+        return (
+            f"{self.name}: {stats.executed} simulated "
+            f"({stats.elapsed_s:.1f}s sim wall), {stats.cache_skips} "
+            f"cache-served, {stats.lease_skips} leased elsewhere, "
+            f"{stats.failed} failed"
+        )

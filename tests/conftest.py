@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import Optional
+
 import pytest
 
 from repro import HTMConfig, MachineConfig, SignatureConfig, System
@@ -22,7 +24,7 @@ def small_machine() -> MachineConfig:
 
 def make_system(
     design: str = "uhtm",
-    machine: MachineConfig = None,
+    machine: Optional[MachineConfig] = None,
     isolation: bool = True,
     signature_bits: int = 1024,
     seed: int = 2020,

@@ -1,0 +1,10 @@
+"""Shared fixtures for the job-service tests."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def spool(tmp_path):
+    return tmp_path / "spool"

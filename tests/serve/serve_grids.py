@@ -1,0 +1,35 @@
+"""Helpers shared by the job-service tests: tiny, millisecond grids."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List
+
+from repro.harness.config import ExperimentSpec, consolidated
+from repro.harness.parallel import GridPoint
+from repro.params import HTMConfig
+from repro.workloads import WorkloadParams
+
+
+def tiny_spec(**changes) -> ExperimentSpec:
+    """A spec that simulates in a few milliseconds."""
+    spec = ExperimentSpec(
+        name="serve-test",
+        htm=HTMConfig(),
+        benchmarks=consolidated(
+            "hashmap", 2,
+            WorkloadParams(threads=2, txs_per_thread=2,
+                           value_bytes=16 << 10, keys=64, initial_fill=16),
+        ),
+        scale=1 / 64,
+        cores=4,
+    )
+    return dataclasses.replace(spec, **changes) if changes else spec
+
+
+def tiny_grid(n: int = 4) -> List[GridPoint]:
+    """``n`` distinct grid points (distinct seeds -> distinct fingerprints)."""
+    return [
+        GridPoint(spec=tiny_spec(seed=2020 + i), key=("seed", 2020 + i))
+        for i in range(n)
+    ]

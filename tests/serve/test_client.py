@@ -1,0 +1,173 @@
+"""Tests for the submit-and-watch client and the ServiceExecutor backend."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from serve_grids import tiny_grid
+
+from repro.harness.cache import ResultCache
+from repro.harness.export import to_json
+from repro.harness.figures import fig2
+from repro.harness.parallel import run_grid, run_keyed
+from repro.serve.client import ServeClient, ServiceExecutor
+from repro.serve.jobstore import ServeError
+from repro.serve.worker import Worker
+
+
+def drain_in_thread(spool, **kwargs):
+    worker = Worker(spool)
+    thread = threading.Thread(
+        target=worker.drain, kwargs={"timeout_s": 60, **kwargs}, daemon=True
+    )
+    thread.start()
+    return worker, thread
+
+
+def serve_in_thread(spool):
+    """A service-mode worker thread (runs until the test process exits)."""
+    worker = Worker(spool)
+    thread = threading.Thread(
+        target=worker.run_forever, kwargs={"poll_s": 0.02}, daemon=True
+    )
+    thread.start()
+    return worker, thread
+
+
+class TestSubmission:
+    def test_unknown_figure_is_rejected(self, spool):
+        with pytest.raises(ServeError, match="fig2"):
+            ServeClient(spool).submit_figure("figNaN")
+
+    def test_submit_figure_records_provenance(self, spool):
+        client = ServeClient(spool)
+        meta = client.submit_figure("fig2", quick=True, scale=1 / 64, seed=3)
+        assert meta.figure == "fig2"
+        assert meta.scale == 1 / 64 and meta.seed == 3
+        assert meta.total_points == 6
+
+    def test_watch_timeout_without_workers(self, spool):
+        client = ServeClient(spool)
+        meta = client.submit_points(tiny_grid(2), title="t")
+        with pytest.raises(ServeError, match="worker fleet"):
+            client.watch(meta.campaign_id, timeout_s=0.2, poll_s=0.05)
+
+
+class TestResults:
+    def test_results_in_submission_order(self, spool):
+        grid = tiny_grid(4)
+        client = ServeClient(spool)
+        meta = client.submit_points(grid, title="t")
+        Worker(spool).drain(timeout_s=30)
+        served = client.results(meta.campaign_id)
+        direct = run_grid(grid)
+        assert [r.label for r in served] == [r.label for r in direct]
+        assert served == direct
+
+    def test_keyed_results_round_trip(self, spool):
+        grid = tiny_grid(3)
+        client = ServeClient(spool)
+        meta = client.submit_points(grid, title="t")
+        Worker(spool).drain(timeout_s=30)
+        keyed = client.keyed_results(meta.campaign_id)
+        assert set(keyed) == {point.key for point in grid}
+
+    def test_incomplete_campaign_names_the_missing_point(self, spool):
+        client = ServeClient(spool)
+        meta = client.submit_points(tiny_grid(2), title="t")
+        with pytest.raises(ServeError, match=r"\[0\]"):
+            client.results(meta.campaign_id)
+
+    def test_watch_streams_each_point_once(self, spool):
+        client = ServeClient(spool)
+        meta = client.submit_points(tiny_grid(3), title="t")
+        seen = []
+        worker, thread = drain_in_thread(spool)
+        client.watch(
+            meta.campaign_id,
+            timeout_s=30,
+            poll_s=0.02,
+            progress=lambda status, newly: seen.extend(newly),
+        )
+        thread.join(timeout=10)
+        assert sorted(index for index, _ in seen) == [0, 1, 2]
+
+    def test_watch_surfaces_failures(self, spool):
+        from serve_grids import tiny_spec
+        from repro.harness.parallel import GridPoint
+
+        client = ServeClient(spool)
+        meta = client.submit_points(
+            [GridPoint(spec=tiny_spec(max_steps=1))], title="t"
+        )
+        worker, thread = drain_in_thread(spool)
+        thread.join(timeout=30)
+        with pytest.raises(ServeError, match="failed point"):
+            client.watch(meta.campaign_id, timeout_s=10, poll_s=0.02)
+
+
+class TestFigureResults:
+    def test_byte_identical_to_direct_driver(self, spool):
+        client = ServeClient(spool)
+        meta = client.submit_figure("fig2", quick=True, scale=1 / 64, seed=3)
+        Worker(spool).drain(timeout_s=120)
+        served = client.figure_results(meta.campaign_id)
+        direct = fig2(quick=True, scale=1 / 64, seed=3)
+        assert to_json(served) == to_json([direct])
+
+    def test_non_figure_campaign_is_refused(self, spool):
+        client = ServeClient(spool)
+        meta = client.submit_points(tiny_grid(1), title="t")
+        Worker(spool).drain(timeout_s=30)
+        with pytest.raises(ServeError, match="not submitted from a figure"):
+            client.figure_results(meta.campaign_id)
+
+    def test_incomplete_figure_campaign_is_refused(self, spool):
+        client = ServeClient(spool)
+        meta = client.submit_figure("fig2", quick=True, scale=1 / 64, seed=3)
+        with pytest.raises(ServeError, match="not complete"):
+            client.figure_results(meta.campaign_id)
+
+
+class TestServiceExecutor:
+    def test_run_keyed_through_the_service(self, spool):
+        grid = tiny_grid(4)
+        serve_in_thread(spool)
+        executor = ServiceExecutor(spool, timeout_s=60, poll_s=0.02)
+        served = run_keyed(grid, executor=executor)
+        direct = run_keyed(grid)
+        assert served == direct
+
+    def test_figure_driver_through_the_service(self, spool):
+        serve_in_thread(spool)
+        executor = ServiceExecutor(spool, timeout_s=120, poll_s=0.02)
+        served = fig2(quick=True, scale=1 / 64, seed=3, executor=executor)
+        direct = fig2(quick=True, scale=1 / 64, seed=3)
+        assert to_json([served]) == to_json([direct])
+
+    def test_caller_cache_is_mirrored(self, spool, tmp_path):
+        grid = tiny_grid(3)
+        serve_in_thread(spool)
+        local = ResultCache(tmp_path / "local-cache")
+        executor = ServiceExecutor(spool, timeout_s=60, poll_s=0.02)
+        run_keyed(grid, cache=local, executor=executor)
+        # The caller-side cache ends up as warm as a local run would have
+        # left it, without having simulated anything itself.
+        for point in grid:
+            assert local.get(point.spec, point.label) is not None
+        assert local.stats.simulations == 0
+
+    def test_second_run_is_all_cache_hits(self, spool):
+        grid = tiny_grid(3)
+        serve_in_thread(spool)
+        executor = ServiceExecutor(spool, timeout_s=60, poll_s=0.02)
+        from repro.harness.parallel import run_grid_detailed
+
+        first = run_grid_detailed(grid, executor=executor)
+        second = run_grid_detailed(grid, executor=executor)
+        assert first.simulated == 3 and first.cache_hits == 0
+        assert second.simulated == 0 and second.cache_hits == 3
+        assert all(run.cached for run in second.runs)
+        assert first.results == second.results

@@ -1,0 +1,158 @@
+"""End-to-end service tests across real OS processes.
+
+These are the acceptance tests of the job service's two headline claims:
+
+* a fig2 smoke campaign drained by **two sharded worker processes**
+  produces byte-identical results to a serial ``run_grid``;
+* a campaign whose worker is **SIGKILLed mid-flight** resumes after
+  restart with zero recomputation of already-published points.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.harness.export import to_json
+from repro.harness.figures import FIGURE_GRIDS, fig2
+from repro.harness.metrics import run_result_to_dict
+from repro.harness.parallel import run_grid
+from repro.serve.client import ServeClient
+from repro.serve.daemon import worker_command
+from repro.serve.worker import Worker
+
+
+def worker_env():
+    env = dict(os.environ)
+    src = str(Path(repro.__file__).resolve().parents[1])
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src + (os.pathsep + existing if existing else "")
+    return env
+
+
+class TestShardedFleet:
+    def test_two_worker_processes_match_serial_run_grid(self, spool):
+        points = FIGURE_GRIDS["fig2"](quick=True, scale=1 / 64, seed=3)
+        client = ServeClient(spool)
+        meta = client.submit_figure("fig2", quick=True, scale=1 / 64, seed=3)
+
+        procs = [
+            subprocess.Popen(
+                worker_command(spool, shard, 2, drain=True, poll_s=0.1),
+                env=worker_env(),
+                stdout=subprocess.PIPE,
+                text=True,
+            )
+            for shard in range(2)
+        ]
+        outputs = []
+        for proc in procs:
+            out, _ = proc.communicate(timeout=180)
+            outputs.append(out)
+            assert proc.returncode == 0, out
+
+        # Both shards actually simulated (3 points each for a 6-point grid).
+        for out in outputs:
+            assert "3 simulated" in out, out
+
+        status = client.status(meta.campaign_id)
+        assert status.complete
+
+        served = client.results(meta.campaign_id)
+        direct = run_grid(points)
+        a = json.dumps([run_result_to_dict(r) for r in served], sort_keys=True)
+        b = json.dumps([run_result_to_dict(r) for r in direct], sort_keys=True)
+        assert a == b
+
+        # And the figure-level export is byte-identical to a direct run.
+        assert to_json(client.figure_results(meta.campaign_id)) == \
+            to_json([fig2(quick=True, scale=1 / 64, seed=3)])
+
+
+class TestSigkillResume:
+    def test_sigkilled_campaign_resumes_with_zero_recompute(self, spool):
+        client = ServeClient(spool)
+        meta = client.submit_figure("fig2", quick=True, scale=1 / 64, seed=3)
+        records = client.queue.records(meta.campaign_id)
+        total = len(records)
+
+        # Service-mode worker (no --drain): it must be killed, not exit.
+        proc = subprocess.Popen(
+            worker_command(spool, 0, 1, drain=False, poll_s=0.05),
+            env=worker_env(),
+            stdout=subprocess.DEVNULL,
+        )
+        try:
+            # Wait until at least one artifact is published, then SIGKILL.
+            deadline = 120.0
+            while client.status(meta.campaign_id).done == 0:
+                if proc.poll() is not None:
+                    pytest.fail("worker died before publishing anything")
+                deadline -= 0.05
+                assert deadline > 0, "no artifact appeared in time"
+                time.sleep(0.05)
+        finally:
+            proc.send_signal(signal.SIGKILL)
+            proc.wait(timeout=30)
+
+        published = client.status(meta.campaign_id).done
+        assert published >= 1
+        if published == total:
+            pytest.skip("worker finished the whole grid before the kill")
+
+        # Second life, in-process so the simulations counter is observable:
+        # exactly the remainder is simulated, nothing is recomputed.
+        worker = Worker(spool)
+        stats = worker.drain(timeout_s=120)
+        assert stats.executed == total - published
+        assert worker.cache.stats.simulations == total - published
+        assert client.status(meta.campaign_id).complete
+
+        served = client.results(meta.campaign_id)
+        direct = run_grid(
+            FIGURE_GRIDS["fig2"](quick=True, scale=1 / 64, seed=3)
+        )
+        a = json.dumps([run_result_to_dict(r) for r in served], sort_keys=True)
+        b = json.dumps([run_result_to_dict(r) for r in direct], sort_keys=True)
+        assert a == b
+
+
+class TestCliSurface:
+    def test_serve_cli_round_trip(self, spool, tmp_path):
+        """submit / status / worker --drain / results through the real CLI."""
+        env = worker_env()
+
+        def cli(*args):
+            return subprocess.run(
+                [sys.executable, "-m", "repro", "serve", *args,
+                 "--spool", str(spool)],
+                env=env, capture_output=True, text=True, timeout=180,
+            )
+
+        submitted = cli("submit", "fig2", "--smoke", "--seed", "3",
+                        "--id", "fig2smoke")
+        assert submitted.returncode == 0, submitted.stderr
+        assert "fig2smoke" in submitted.stdout
+
+        drained = cli("worker", "--drain", "--poll", "0.1")
+        assert drained.returncode == 0, drained.stderr
+
+        status = cli("status", "fig2smoke", "--json")
+        assert status.returncode == 0, status.stderr
+        payload = json.loads(status.stdout)
+        assert payload[0]["done"] == payload[0]["total"] == 6
+
+        out_path = tmp_path / "served.json"
+        results = cli("results", "fig2smoke", "--figure",
+                      "--json", str(out_path))
+        assert results.returncode == 0, results.stderr
+        direct = to_json([fig2(quick=True, scale=1 / 64, seed=3)])
+        assert out_path.read_text(encoding="utf-8") == direct

@@ -1,0 +1,168 @@
+"""Tests for the spool's on-disk formats and their durability discipline."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.serve.jobstore import (
+    CampaignMeta,
+    CampaignStore,
+    JobRecord,
+    ServeError,
+    decode_record,
+    encode_record,
+    read_json,
+    write_json_atomic,
+)
+
+from serve_grids import tiny_grid, tiny_spec
+
+
+class TestAtomicJson:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "a" / "b.json"
+        write_json_atomic(path, {"x": 1, "nested": [1, 2]})
+        assert read_json(path) == {"x": 1, "nested": [1, 2]}
+
+    def test_missing_is_none(self, tmp_path):
+        assert read_json(tmp_path / "nope.json") is None
+
+    def test_corrupt_is_none(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{truncated", encoding="utf-8")
+        assert read_json(path) is None
+
+    def test_no_tmp_left_behind(self, tmp_path):
+        write_json_atomic(tmp_path / "c.json", {})
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix == ".tmp"]
+        assert leftovers == []
+
+
+class TestJobRecord:
+    def test_round_trip(self):
+        spec = tiny_spec(seed=7)
+        record = JobRecord(
+            index=3, fingerprint="f" * 64, label=None, spec=spec,
+            key=("hashmap", "Ideal"),
+        )
+        back = decode_record(encode_record(record))
+        assert back.index == 3
+        assert back.fingerprint == record.fingerprint
+        assert back.label is None
+        assert back.key == ("hashmap", "Ideal")
+        assert back.spec == spec
+
+    def test_display_label_resolves_like_the_runner(self):
+        spec = tiny_spec()
+        assert JobRecord(0, "f" * 64, None, spec).display_label == \
+            spec.htm.label
+        assert JobRecord(0, "f" * 64, "custom", spec).display_label == \
+            "custom"
+
+    def test_point_preserves_original_label(self):
+        record = JobRecord(0, "f" * 64, None, tiny_spec(), key="k")
+        point = record.point()
+        # The *original* (None) label must travel, not the resolved one:
+        # fingerprints are computed from it.
+        assert point.label is None
+        assert point.key == "k"
+
+    def test_encoded_record_greps(self):
+        payload = encode_record(JobRecord(0, "f" * 64, None, tiny_spec()))
+        # The spec name rides along in clear text so spool files are
+        # debuggable with grep, even though the spec itself is pickled.
+        assert payload["spec_name"] == "serve-test"
+
+
+def _records(n=3):
+    return [
+        JobRecord(index=i, fingerprint=f"{i:064x}", label=None,
+                  spec=tiny_spec(seed=i))
+        for i in range(n)
+    ]
+
+
+def _meta(campaign_id="camp-000000000000", total=3):
+    return CampaignMeta(
+        campaign_id=campaign_id, title="camp", total_points=total,
+        created=1.0,
+    )
+
+
+class TestCampaignStore:
+    def test_publish_then_load(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.publish(_meta(), _records())
+        assert store.exists("camp-000000000000")
+        records = store.load_records("camp-000000000000")
+        assert [r.index for r in records] == [0, 1, 2]
+        meta = store.load_meta("camp-000000000000")
+        assert meta.total_points == 3
+
+    def test_meta_is_the_publication_point(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        directory = store.campaign_dir("half")
+        directory.mkdir(parents=True)
+        # points.jsonl exists but campaign.json does not: the campaign is
+        # not yet published and must be invisible.
+        (directory / "points.jsonl").write_text("{}\n", encoding="utf-8")
+        assert "half" not in store.list_ids()
+        assert not store.exists("half")
+
+    def test_listing_is_submission_ordered(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.publish(_meta("bbb-000000000000"), _records())
+        newer = CampaignMeta(
+            campaign_id="aaa-000000000000", title="aaa", total_points=3,
+            created=2.0,
+        )
+        store.publish(newer, _records())
+        assert store.list_ids() == ["bbb-000000000000", "aaa-000000000000"]
+
+    def test_missing_campaign_raises(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        with pytest.raises(ServeError):
+            store.load_meta("ghost")
+        with pytest.raises(ServeError):
+            store.load_records("ghost")
+
+    def test_corrupt_points_raise(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.publish(_meta(), _records())
+        path = store.points_path("camp-000000000000")
+        path.write_text("not json\n", encoding="utf-8")
+        with pytest.raises(ServeError):
+            store.load_records("camp-000000000000")
+
+    def test_torn_tmp_sibling_is_invisible(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.publish(_meta(), _records())
+        directory = store.campaign_dir("camp-000000000000")
+        (directory / "points.jsonl.999.0.tmp").write_text(
+            "garbage", encoding="utf-8"
+        )
+        assert len(store.load_records("camp-000000000000")) == 3
+
+    def test_points_lines_are_one_json_object_each(self, tmp_path):
+        store = CampaignStore(tmp_path)
+        store.publish(_meta(), _records())
+        lines = store.points_path("camp-000000000000").read_text(
+            encoding="utf-8"
+        ).splitlines()
+        assert len(lines) == 3
+        for line in lines:
+            json.loads(line)
+
+
+class TestRealGridRoundTrip:
+    def test_grid_points_survive_encoding(self):
+        for i, point in enumerate(tiny_grid(3)):
+            record = JobRecord(
+                index=i, fingerprint="a" * 64, label=point.label,
+                spec=point.spec, key=point.key,
+            )
+            back = decode_record(encode_record(record))
+            assert back.spec == point.spec
+            assert back.key == point.key

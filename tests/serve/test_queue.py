@@ -1,0 +1,184 @@
+"""Tests for the persistent queue: submission, leases, shards, status."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from serve_grids import tiny_grid
+
+from repro.serve.jobstore import ServeError
+from repro.serve.queue import (
+    JobQueue,
+    Lease,
+    campaign_id_for,
+    parse_shard,
+)
+
+
+class TestSubmit:
+    def test_submit_publishes_all_points(self, spool):
+        queue = JobQueue(spool)
+        meta = queue.submit(tiny_grid(4), title="t")
+        assert meta.total_points == 4
+        records = queue.records(meta.campaign_id)
+        assert [r.index for r in records] == [0, 1, 2, 3]
+        assert all(len(r.fingerprint) == 64 for r in records)
+
+    def test_submit_is_idempotent(self, spool):
+        queue = JobQueue(spool)
+        first = queue.submit(tiny_grid(4), title="t")
+        second = queue.submit(tiny_grid(4), title="t")
+        assert first.campaign_id == second.campaign_id
+        assert len(queue.campaigns()) == 1
+
+    def test_campaign_id_is_content_derived(self, spool):
+        queue = JobQueue(spool)
+        a = queue.submit(tiny_grid(4), title="t")
+        b = queue.submit(tiny_grid(3), title="t")
+        assert a.campaign_id != b.campaign_id
+
+    def test_campaign_id_is_deterministic(self):
+        fingerprints = ["a" * 64, "b" * 64]
+        assert campaign_id_for(fingerprints, "My Grid!") == \
+            campaign_id_for(fingerprints, "My Grid!")
+        assert campaign_id_for(fingerprints, "My Grid!").startswith("my-grid")
+
+    def test_empty_campaign_rejected(self, spool):
+        with pytest.raises(ServeError):
+            JobQueue(spool).submit([], title="t")
+
+    def test_explicit_id_wins(self, spool):
+        queue = JobQueue(spool)
+        meta = queue.submit(tiny_grid(2), title="t", campaign_id="mine")
+        assert meta.campaign_id == "mine"
+        assert queue.status("mine").total == 2
+
+
+class TestStatus:
+    def test_fresh_campaign_is_all_pending(self, spool):
+        queue = JobQueue(spool)
+        meta = queue.submit(tiny_grid(4), title="t")
+        status = queue.status(meta.campaign_id)
+        assert (status.total, status.done, status.failed) == (4, 0, 0)
+        assert status.pending == 4
+        assert not status.complete and not status.settled
+
+    def test_failures_count_and_settle(self, spool):
+        queue = JobQueue(spool)
+        meta = queue.submit(tiny_grid(2), title="t")
+        queue.record_failure(meta.campaign_id, 0, "boom")
+        queue.record_failure(meta.campaign_id, 1, "boom")
+        status = queue.status(meta.campaign_id)
+        assert status.failed == 2
+        assert status.settled and not status.complete
+        assert queue.failures(meta.campaign_id) == {0: "boom", 1: "boom"}
+
+    def test_clear_failures_unsettles(self, spool):
+        queue = JobQueue(spool)
+        meta = queue.submit(tiny_grid(2), title="t")
+        queue.record_failure(meta.campaign_id, 1, "boom")
+        assert queue.clear_failures(meta.campaign_id) == 1
+        assert queue.status(meta.campaign_id).failed == 0
+
+    def test_cancel_marks_settled(self, spool):
+        queue = JobQueue(spool)
+        meta = queue.submit(tiny_grid(2), title="t")
+        queue.cancel(meta.campaign_id)
+        assert queue.cancelled(meta.campaign_id)
+        assert queue.status(meta.campaign_id).settled
+        assert list(queue.runnable(meta.campaign_id)) == []
+
+    def test_cancel_unknown_raises(self, spool):
+        with pytest.raises(ServeError):
+            JobQueue(spool).cancel("ghost")
+
+
+class TestLeases:
+    def test_claim_conflict_release(self, spool):
+        queue = JobQueue(spool)
+        meta = queue.submit(tiny_grid(2), title="t")
+        lease = queue.try_claim(meta.campaign_id, 0, "w1")
+        assert lease is not None
+        # A live lease from this very process blocks a second claim.
+        assert queue.try_claim(meta.campaign_id, 0, "w2") is None
+        assert queue.status(meta.campaign_id).leased == 1
+        queue.release(meta.campaign_id, 0)
+        assert queue.try_claim(meta.campaign_id, 0, "w2") is not None
+
+    def test_release_is_idempotent(self, spool):
+        queue = JobQueue(spool)
+        meta = queue.submit(tiny_grid(1), title="t")
+        queue.release(meta.campaign_id, 0)  # nothing to release: fine
+
+    def test_expired_lease_is_stolen(self, spool):
+        expired = JobQueue(spool, lease_ttl_s=-1.0)
+        meta = expired.submit(tiny_grid(1), title="t")
+        assert expired.try_claim(meta.campaign_id, 0, "old") is not None
+        fresh = JobQueue(spool)
+        stolen = fresh.try_claim(meta.campaign_id, 0, "new")
+        assert stolen is not None
+        assert fresh.peek_lease(meta.campaign_id, 0).worker == "new"
+
+    def test_dead_owner_lease_is_stolen_instantly(self, spool):
+        """A SIGKILLed worker's lease is reclaimed without waiting the TTL."""
+        queue = JobQueue(spool)
+        meta = queue.submit(tiny_grid(1), title="t")
+        # A pid that existed a moment ago and is now certainly gone.
+        probe = subprocess.Popen([sys.executable, "-c", "pass"])
+        probe.wait()
+        dead = Lease(
+            token="tok", host=queue._host, pid=probe.pid, worker="ghost",
+            deadline=queue.lease_ttl_s + 10 ** 9,
+        )
+        path = queue.store.lease_path(meta.campaign_id, 0)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            __import__("json").dumps(dead.to_payload()), encoding="utf-8"
+        )
+        lease = queue.try_claim(meta.campaign_id, 0, "successor")
+        assert lease is not None
+        assert queue.peek_lease(meta.campaign_id, 0).worker == "successor"
+
+    def test_torn_lease_is_claimable(self, spool):
+        queue = JobQueue(spool)
+        meta = queue.submit(tiny_grid(1), title="t")
+        path = queue.store.lease_path(meta.campaign_id, 0)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{torn", encoding="utf-8")
+        assert queue.try_claim(meta.campaign_id, 0, "w") is not None
+
+
+class TestSharding:
+    def test_shards_partition_the_campaign(self, spool):
+        queue = JobQueue(spool)
+        meta = queue.submit(tiny_grid(5), title="t")
+        shard0 = queue.shard_records(meta.campaign_id, (0, 2))
+        shard1 = queue.shard_records(meta.campaign_id, (1, 2))
+        assert [r.index for r in shard0] == [0, 2, 4]
+        assert [r.index for r in shard1] == [1, 3]
+        # Disjoint and covering.
+        indices = {r.index for r in shard0} | {r.index for r in shard1}
+        assert indices == {0, 1, 2, 3, 4}
+
+    def test_runnable_skips_done_and_failed(self, spool):
+        queue = JobQueue(spool)
+        grid = tiny_grid(3)
+        meta = queue.submit(grid, title="t")
+        records = queue.records(meta.campaign_id)
+        from repro.harness.parallel import execute_point
+
+        result, _ = execute_point(records[0].point())
+        queue.cache.put(records[0].spec, result, records[0].label)
+        queue.record_failure(meta.campaign_id, 1, "boom")
+        remaining = [r.index for r in queue.runnable(meta.campaign_id)]
+        assert remaining == [2]
+
+    def test_parse_shard(self):
+        assert parse_shard("0/1") == (0, 1)
+        assert parse_shard("3/8") == (3, 8)
+        for bad in ("", "3", "3/", "/8", "8/3", "-1/2", "a/b", "1/0"):
+            with pytest.raises(ServeError):
+                parse_shard(bad)

@@ -1,0 +1,162 @@
+"""Tests for the fleet worker: drain, sharding, resume, failure handling."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from serve_grids import tiny_grid, tiny_spec
+
+from repro.harness.metrics import run_result_to_dict
+from repro.harness.parallel import GridPoint, run_grid
+from repro.serve.jobstore import ServeError
+from repro.serve.queue import JobQueue
+from repro.serve.worker import Worker
+
+
+def as_json(results):
+    return json.dumps(
+        [run_result_to_dict(r) for r in results], sort_keys=True
+    )
+
+
+class TestDrain:
+    def test_drain_matches_run_grid_byte_identically(self, spool):
+        grid = tiny_grid(4)
+        queue = JobQueue(spool)
+        meta = queue.submit(grid, title="t")
+        worker = Worker(spool)
+        stats = worker.drain(timeout_s=30)
+        assert stats.executed == 4
+        assert queue.status(meta.campaign_id).complete
+
+        served = [
+            queue.cache.get_fingerprint(record.fingerprint)
+            for record in queue.records(meta.campaign_id)
+        ]
+        direct = run_grid(grid)
+        assert as_json(served) == as_json(direct)
+
+    def test_empty_spool_drains_immediately(self, spool):
+        stats = Worker(spool).drain(timeout_s=5)
+        assert stats.executed == 0
+
+    def test_drain_covers_every_campaign(self, spool):
+        queue = JobQueue(spool)
+        queue.submit(tiny_grid(2), title="a")
+        queue.submit(tiny_grid(3), title="b")
+        stats = Worker(spool).drain(timeout_s=30)
+        # tiny_grid(2) is a prefix of tiny_grid(3): the shared cache dedups
+        # the two overlapping points across campaigns, so only 3 distinct
+        # specs are ever simulated — yet both campaigns complete.
+        assert stats.executed == 3
+        assert all(
+            queue.status(meta.campaign_id).complete
+            for meta in queue.campaigns()
+        )
+
+    def test_cancelled_campaign_is_not_run(self, spool):
+        queue = JobQueue(spool)
+        meta = queue.submit(tiny_grid(3), title="t")
+        queue.cancel(meta.campaign_id)
+        stats = Worker(spool).drain(timeout_s=5)
+        assert stats.executed == 0
+
+
+class TestSharding:
+    def test_two_shards_split_the_work(self, spool):
+        queue = JobQueue(spool)
+        meta = queue.submit(tiny_grid(5), title="t")
+        w0 = Worker(spool, shard=(0, 2))
+        w1 = Worker(spool, shard=(1, 2))
+        s0 = w0.drain(timeout_s=30)
+        s1 = w1.drain(timeout_s=30)
+        assert s0.executed == 3 and s1.executed == 2
+        done0 = {index for _, index, _ in s0.published}
+        done1 = {index for _, index, _ in s1.published}
+        assert done0 == {0, 2, 4} and done1 == {1, 3}
+        assert queue.status(meta.campaign_id).complete
+
+    def test_shard_drain_ignores_other_shards_points(self, spool):
+        queue = JobQueue(spool)
+        meta = queue.submit(tiny_grid(4), title="t")
+        Worker(spool, shard=(0, 2)).drain(timeout_s=30)
+        status = queue.status(meta.campaign_id)
+        assert status.done == 2 and status.pending == 2
+
+
+class TestResume:
+    def test_restart_only_recomputes_the_remainder(self, spool):
+        """The checkpoint/resume contract, in-process: pre-published points
+        are cache-served and the simulations counter moves by exactly the
+        unfinished remainder."""
+        grid = tiny_grid(5)
+        queue = JobQueue(spool)
+        meta = queue.submit(grid, title="t")
+
+        # "First life": a worker publishes two points, then dies.
+        records = queue.records(meta.campaign_id)
+        from repro.harness.parallel import execute_point
+
+        for record in records[:2]:
+            result, _ = execute_point(record.point())
+            queue.cache.put(record.spec, result, record.label)
+
+        # "Second life": a fresh worker drains the spool.
+        worker = Worker(spool)
+        stats = worker.drain(timeout_s=30)
+        # Exactly the unfinished remainder is simulated; the two points the
+        # first life published are served from the cache untouched.
+        assert stats.executed == 3
+        assert worker.cache.stats.simulations == 3
+        assert queue.status(meta.campaign_id).complete
+
+        served = [
+            queue.cache.get_fingerprint(record.fingerprint)
+            for record in queue.records(meta.campaign_id)
+        ]
+        assert as_json(served) == as_json(run_grid(grid))
+
+    def test_stale_lease_from_dead_run_does_not_block(self, spool):
+        queue = JobQueue(spool, lease_ttl_s=-1.0)
+        meta = queue.submit(tiny_grid(1), title="t")
+        assert queue.try_claim(meta.campaign_id, 0, "casualty") is not None
+        stats = Worker(spool).drain(timeout_s=30)
+        assert stats.executed == 1
+
+
+class TestFailures:
+    def test_experiment_failure_is_recorded_not_fatal(self, spool):
+        queue = JobQueue(spool)
+        doomed = GridPoint(spec=tiny_spec(max_steps=1))
+        meta = queue.submit([doomed] + tiny_grid(2), title="t")
+        worker = Worker(spool)
+        stats = worker.drain(timeout_s=30)
+        assert stats.failed == 1 and stats.executed == 2
+        status = queue.status(meta.campaign_id)
+        assert status.failed == 1 and status.settled
+        assert "step cap" in queue.failure(meta.campaign_id, 0)
+
+    def test_fingerprint_skew_fails_loudly_without_publishing(self, spool):
+        queue = JobQueue(spool)
+        meta = queue.submit(tiny_grid(1), title="t")
+        record = queue.records(meta.campaign_id)[0]
+        tampered = dataclasses.replace(record, fingerprint="0" * 64)
+        worker = Worker(spool)
+        ran = worker._run_point(meta.campaign_id, tampered)
+        assert ran is False
+        assert worker.stats.failed == 1
+        assert "mismatch" in queue.failure(meta.campaign_id, 0)
+        # Nothing was published under either key.
+        assert not queue.cache.has_fingerprint(record.fingerprint)
+        assert not queue.cache.has_fingerprint(tampered.fingerprint)
+
+    def test_drain_timeout_raises(self, spool):
+        queue = JobQueue(spool)
+        meta = queue.submit(tiny_grid(1), title="t")
+        # Another (live) worker holds the lease, so ours can never settle.
+        assert queue.try_claim(meta.campaign_id, 0, "other") is not None
+        with pytest.raises(ServeError):
+            Worker(spool).drain(poll_s=0.01, timeout_s=0.05)

@@ -12,6 +12,9 @@ class TestCli:
         assert main(["list"]) == 0
         out = capsys.readouterr().out
         assert "fig6" in out and "table1" in out
+        # The listing covers the subcommand table too, so every tool is
+        # discoverable from one place.
+        assert "serve" in out and "bench" in out and "trace" in out
 
     def test_static_table(self, capsys):
         assert main(["table1"]) == 0
