@@ -63,6 +63,12 @@ _SUPPRESS_FILE = re.compile(
 )
 
 
+#: Finding severities, most severe first.  ``error`` findings are protocol
+#: violations; ``warning`` findings are blanket-net heuristics (e.g.
+#: ATOM005's non-atomic-write catch-all) a reviewer should look at.
+SEVERITIES = ("error", "warning")
+
+
 @dataclass(frozen=True)
 class Finding:
     """One rule violation at one source location."""
@@ -72,6 +78,7 @@ class Finding:
     line: int
     col: int
     message: str
+    severity: str = "error"
 
     def location(self) -> str:
         return f"{self.path}:{self.line}:{self.col}"
@@ -83,6 +90,7 @@ class Finding:
             "line": self.line,
             "col": self.col,
             "message": self.message,
+            "severity": self.severity,
         }
 
 
@@ -205,12 +213,17 @@ class Checker:
 
     rule = "XXX000"
     description = ""
+    severity = "error"
 
     def check(self, source: SourceFile, project: Project) -> Iterable[Finding]:
         return ()
 
     def finding(
-        self, source: SourceFile, node: ast.AST, message: str
+        self,
+        source: SourceFile,
+        node: ast.AST,
+        message: str,
+        severity: Optional[str] = None,
     ) -> Finding:
         return Finding(
             rule=self.rule,
@@ -218,6 +231,7 @@ class Checker:
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0),
             message=message,
+            severity=severity or self.severity,
         )
 
 
@@ -236,7 +250,16 @@ def register(checker_cls):
 def registered_checkers() -> Dict[str, Checker]:
     # Import the rule modules on first use so the registry is populated
     # without import-order games.
-    from . import determinism, fsm, hooks, layering  # noqa: F401
+    from . import (  # noqa: F401
+        atomic,
+        clockflow,
+        determinism,
+        fsm,
+        hooks,
+        layering,
+        pickles,
+        tracing,
+    )
 
     return dict(_REGISTRY)
 
@@ -256,9 +279,16 @@ class AnalysisReport:
 
 
 def run_analysis(
-    paths: Sequence[Path], rules: Optional[Sequence[str]] = None
+    paths: Sequence[Path],
+    rules: Optional[Sequence[str]] = None,
+    report_paths: Optional[Sequence[Path]] = None,
 ) -> AnalysisReport:
-    """Run the registered checkers over every ``.py`` file under ``paths``."""
+    """Run the registered checkers over every ``.py`` file under ``paths``.
+
+    With ``report_paths`` (the ``--changed`` fast path), the whole tree is
+    still loaded — the cross-file checkers need full symbol tables and call
+    graphs — but only findings in those files are reported.
+    """
     checkers = registered_checkers()
     if rules is not None:
         unknown = sorted(set(rules) - set(checkers))
@@ -266,8 +296,16 @@ def run_analysis(
             raise ValueError(f"unknown rule(s): {', '.join(unknown)}")
         checkers = {rule: checkers[rule] for rule in rules}
     project, findings = Project.load(paths)
+    reported: Optional[Set[str]] = None
+    if report_paths is not None:
+        reported = {str(p.resolve()) for p in _collect_py_files(report_paths)}
+        findings = [
+            f for f in findings if str(Path(f.path).resolve()) in reported
+        ]
     suppressed = 0
     for source in project.files:
+        if reported is not None and str(source.path.resolve()) not in reported:
+            continue
         for checker in checkers.values():
             for finding in checker.check(source, project):
                 if source.suppressed(finding.rule, finding.line):
@@ -289,7 +327,10 @@ def run_analysis(
 def render_text(report: AnalysisReport) -> str:
     out: List[str] = []
     for finding in report.findings:
-        out.append(f"{finding.location()}: {finding.rule} {finding.message}")
+        tag = "" if finding.severity == "error" else f" [{finding.severity}]"
+        out.append(
+            f"{finding.location()}: {finding.rule}{tag} {finding.message}"
+        )
     noun = "file" if report.files_checked == 1 else "files"
     summary = (
         f"{len(report.findings)} finding(s) in {report.files_checked} {noun} "

@@ -42,6 +42,7 @@ from .core import (
     parent_of,
     register,
 )
+from .layers import CLOCK_FUNNEL_FILES
 
 #: Modules whose import is itself a finding.
 BANNED_MODULES = frozenset({"random", "secrets"})
@@ -49,15 +50,10 @@ BANNED_MODULES = frozenset({"random", "secrets"})
 #: Files allowed to import the banned entropy sources (posix path suffixes).
 SANCTIONED_RANDOM_FILES = ("repro/sim/rng.py",)
 
-#: Files allowed to read the wall clock: the harness stopwatch, the phase
-#: timers, and the job service's clock funnel — profiling and queue lease
-#: deadlines are inherently wall-clock activities, and their readings only
-#: ever describe the host, never the simulation.
-SANCTIONED_CLOCK_FILES = (
-    "repro/harness/timer.py",
-    "repro/perf/phases.py",
-    "repro/serve/clock.py",
-)
+#: Files allowed to read the wall clock — the declared funnel set from the
+#: layers registry (CLK008 enforces the stronger call-graph property over
+#: the same list).
+SANCTIONED_CLOCK_FILES = CLOCK_FUNNEL_FILES
 
 #: ``module -> attribute names`` whose call reads wall-clock or OS entropy.
 NONDETERMINISTIC_CALLS: Dict[str, frozenset] = {

@@ -57,6 +57,79 @@ def _own_statements(scope: ast.AST) -> List[ast.stmt]:
     return list(getattr(scope, "body", []))
 
 
+# -- shared guard machinery (also used by TRC009's tracer-emit checks) -------
+
+
+def scope_nodes(scope: ast.AST) -> List[ast.AST]:
+    """One scope's nodes, minus nested function bodies (those get their
+    own pass with their own aliases)."""
+    nodes: List[ast.AST] = []
+    stack: List[ast.AST] = list(getattr(scope, "body", []))
+    while stack:
+        node = stack.pop()
+        nodes.append(node)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            stack.append(child)
+    return nodes
+
+
+def statement_in(scope: ast.AST, node: ast.AST) -> Optional[ast.stmt]:
+    """The scope-level statement containing ``node``."""
+    own = _own_statements(scope)
+    current: Optional[ast.AST] = node
+    while current is not None:
+        if current in own:
+            return current  # type: ignore[return-value]
+        current = parent_of(current)
+    return None
+
+
+def is_bailout(statement: ast.stmt, root_text: str) -> bool:
+    """``if <root> is None: return/raise/continue/break`` (or similar)."""
+    if not isinstance(statement, ast.If):
+        return False
+    if root_text not in ast.unparse(statement.test):
+        return False
+    last = statement.body[-1] if statement.body else None
+    return isinstance(last, (ast.Return, ast.Raise, ast.Continue, ast.Break))
+
+
+def is_guarded(node: ast.AST, scope: ast.AST, root_text: str) -> bool:
+    """Is a use of ``root_text`` None-guarded within ``scope``?
+
+    True when an enclosing ``if``/ternary/``while`` test mentions the
+    expression, an earlier scope-level statement bails out on it, or it is
+    asserted first — the same convention HOOK003 enforces for fault hooks.
+    """
+    for ancestor in ancestors(node):
+        if ancestor is scope:
+            break
+        test = None
+        if isinstance(ancestor, ast.If):
+            test = ancestor.test
+        elif isinstance(ancestor, ast.IfExp):
+            # Only the chosen branches are guarded, not the test itself.
+            if node is not ancestor.test:
+                test = ancestor.test
+        elif isinstance(ancestor, ast.While):
+            test = ancestor.test
+        if test is not None and root_text in ast.unparse(test):
+            return True
+    containing = statement_in(scope, node)
+    for statement in _own_statements(scope):
+        if statement is containing:
+            break
+        if is_bailout(statement, root_text):
+            return True
+        if isinstance(statement, ast.Assert) and root_text in ast.unparse(
+            statement.test
+        ):
+            return True
+    return False
+
+
 @register
 class HookGuardChecker(Checker):
     rule = "HOOK003"
@@ -92,18 +165,7 @@ class HookGuardChecker(Checker):
 
     @staticmethod
     def _scope_nodes(scope: ast.AST) -> List[ast.AST]:
-        """One scope's nodes, minus nested function bodies (those get their
-        own pass with their own aliases)."""
-        nodes: List[ast.AST] = []
-        stack: List[ast.AST] = list(getattr(scope, "body", []))
-        while stack:
-            node = stack.pop()
-            nodes.append(node)
-            for child in ast.iter_child_nodes(node):
-                if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
-                    continue
-                stack.append(child)
-        return nodes
+        return scope_nodes(scope)
 
     @staticmethod
     def _collect_aliases(nodes: Iterable[ast.AST]) -> Dict[str, str]:
@@ -141,51 +203,12 @@ class HookGuardChecker(Checker):
         return None
 
     def _is_guarded(self, node: ast.AST, scope: ast.AST, root_text: str) -> bool:
-        # 1. An enclosing conditional mentions the hook expression.
-        for ancestor in ancestors(node):
-            if ancestor is scope:
-                break
-            test = None
-            if isinstance(ancestor, ast.If):
-                test = ancestor.test
-            elif isinstance(ancestor, ast.IfExp):
-                # Only the chosen branches are guarded, not the test itself.
-                if node is not ancestor.test:
-                    test = ancestor.test
-            elif isinstance(ancestor, ast.While):
-                test = ancestor.test
-            if test is not None and root_text in ast.unparse(test):
-                return True
-        # 2. An earlier top-level statement bails out on None, or asserts.
-        containing = self._statement_in(scope, node)
-        for statement in _own_statements(scope):
-            if statement is containing:
-                break
-            if self._is_bailout(statement, root_text):
-                return True
-            if (
-                isinstance(statement, ast.Assert)
-                and root_text in ast.unparse(statement.test)
-            ):
-                return True
-        return False
+        return is_guarded(node, scope, root_text)
 
     @staticmethod
     def _statement_in(scope: ast.AST, node: ast.AST) -> Optional[ast.stmt]:
-        """The scope-level statement containing ``node``."""
-        own = _own_statements(scope)
-        current: Optional[ast.AST] = node
-        while current is not None:
-            if current in own:
-                return current  # type: ignore[return-value]
-            current = parent_of(current)
-        return None
+        return statement_in(scope, node)
 
     @staticmethod
     def _is_bailout(statement: ast.stmt, root_text: str) -> bool:
-        if not isinstance(statement, ast.If):
-            return False
-        if root_text not in ast.unparse(statement.test):
-            return False
-        last = statement.body[-1] if statement.body else None
-        return isinstance(last, (ast.Return, ast.Raise, ast.Continue, ast.Break))
+        return is_bailout(statement, root_text)

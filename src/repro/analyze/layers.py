@@ -52,6 +52,19 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
 #: above the standard library).
 UNLAYERED_MODULES: FrozenSet[str] = frozenset({"errors", "params"})
 
+#: The wall-clock funnels (posix path suffixes): the only modules that may
+#: call ``time.*``/``datetime.now`` directly.  DET001 exempts them from its
+#: per-file clock ban and CLK008 enforces the stronger funnel property —
+#: no sim-critical function may even *reach* a clock read through the call
+#: graph except through these.  Profiling and queue lease deadlines are
+#: inherently wall-clock activities; their readings only ever describe the
+#: host, never the simulation.
+CLOCK_FUNNEL_FILES: tuple = (
+    "repro/harness/timer.py",
+    "repro/perf/phases.py",
+    "repro/serve/clock.py",
+)
+
 #: Attribute names that are the memory layer's *internals*: the backing
 #: stores, hardware logs, and the DRAM cache.  Section IV-B makes the
 #: controller "the only component allowed to touch the reserved log areas";

@@ -27,6 +27,7 @@ import argparse
 import json
 import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from ..harness.export import to_json
@@ -34,7 +35,7 @@ from ..harness.metrics import run_result_to_dict
 from ..harness.report import format_table
 from .client import ServeClient
 from .daemon import Daemon
-from .jobstore import ServeError
+from .jobstore import ServeError, write_text_atomic
 from .queue import DEFAULT_LEASE_TTL_S, JobQueue, parse_shard
 from .worker import DEFAULT_POLL_S, Worker
 
@@ -181,8 +182,9 @@ def _cmd_results(args: argparse.Namespace) -> int:
         ]
         text = json.dumps(payload, indent=2, sort_keys=False)
     if args.json:
-        with open(args.json, "w", encoding="utf-8") as handle:
-            handle.write(text)
+        # Results files are read by downstream tooling while we write;
+        # publish them atomically like every other spool artifact.
+        write_text_atomic(Path(args.json), text)
         print(f"wrote {args.json}")
     else:
         print(text)

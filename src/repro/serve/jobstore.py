@@ -67,6 +67,15 @@ def write_json_atomic(path: Path, payload: Any) -> None:
     tmp.replace(path)
 
 
+def write_text_atomic(path: Path, text: str) -> None:
+    """Publish already-rendered ``text`` at ``path`` the same way."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+    tmp.write_text(text, encoding="utf-8")
+    tmp.replace(path)
+
+
 def read_json(path: Path) -> Optional[Any]:
     """The parsed payload, or ``None`` for missing/torn/corrupt files."""
     try:

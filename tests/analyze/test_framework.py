@@ -8,17 +8,24 @@ from pathlib import Path
 import pytest
 
 from repro.analyze import registered_checkers, render_json, render_text, run_analysis
-from repro.analyze.cli import main as lint_main
+from repro.analyze.cli import _merge_allow_marker, main as lint_main
 from repro.analyze.layers import assert_acyclic
 
 FIXTURES = Path(__file__).parent.parent / "analyze_fixtures"
 
 
 class TestRegistry:
-    def test_all_four_rules_registered(self):
-        assert {"DET001", "LAY002", "HOOK003", "FSM004"} <= set(
-            registered_checkers()
-        )
+    def test_all_rules_registered(self):
+        assert {
+            "DET001",
+            "LAY002",
+            "HOOK003",
+            "FSM004",
+            "ATOM005",
+            "PKL006",
+            "CLK008",
+            "TRC009",
+        } <= set(registered_checkers())
 
     def test_rules_filter_unknown_rejected(self):
         with pytest.raises(ValueError, match="unknown rule"):
@@ -81,6 +88,10 @@ class TestCli:
             "fsm004_unreachable.py",
             "fsm004_bad_directory.py",
             "repro/htm/import_bad.py",
+            "atom005_bad.py",
+            "pkl006_bad.py",
+            "trc009_bad.py",
+            "repro/htm/clock_bad.py",
         ):
             assert lint_main([str(FIXTURES / name)]) == 1, name
 
@@ -101,8 +112,48 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule in ("DET001", "LAY002", "HOOK003", "FSM004"):
+        for rule in (
+            "DET001",
+            "LAY002",
+            "HOOK003",
+            "FSM004",
+            "ATOM005",
+            "PKL006",
+            "CLK008",
+            "TRC009",
+        ):
             assert rule in out
+
+    def test_fail_on_error_lets_warnings_pass(self, capsys):
+        blanket = str(FIXTURES / "repro" / "serve" / "blanket_bad.py")
+        assert lint_main(["--rules", "ATOM005", blanket]) == 1
+        assert (
+            lint_main(["--rules", "ATOM005", "--fail-on", "error", blanket])
+            == 0
+        )
+
+    def test_sarif_export(self, tmp_path, capsys):
+        out = tmp_path / "lint.sarif"
+        lint_main(
+            [
+                "--rules",
+                "DET001",
+                "--sarif",
+                str(out),
+                str(FIXTURES / "det001_bad.py"),
+            ]
+        )
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["version"] == "2.1.0"
+        run = payload["runs"][0]
+        rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+        assert "DET001" in rule_ids
+        assert run["results"]
+        result = run["results"][0]
+        assert result["ruleId"] == "DET001"
+        assert result["level"] == "error"
+        location = result["locations"][0]["physicalLocation"]
+        assert location["region"]["startColumn"] >= 1
 
     def test_fix_suppress_silences_a_bad_file(self, tmp_path, capsys):
         scratch = tmp_path / "scratch.py"
@@ -116,3 +167,87 @@ class TestCli:
         )
         assert lint_main(["--rules", "DET001", str(scratch)]) == 0
         assert "repro: allow[DET001]" in scratch.read_text(encoding="utf-8")
+
+
+class TestFixSuppressIdempotency:
+    def test_second_pass_rewrites_nothing(self, tmp_path, capsys):
+        scratch = tmp_path / "scratch.py"
+        scratch.write_text(
+            (FIXTURES / "det001_bad.py").read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        lint_main(["--rules", "DET001", "--fix-suppress", str(scratch)])
+        once = scratch.read_text(encoding="utf-8")
+        # A second pass (running ALL rules) must merge into the existing
+        # markers, never stack a duplicate after them.
+        lint_main(["--fix-suppress", str(scratch)])
+        twice = scratch.read_text(encoding="utf-8")
+        for line in twice.splitlines():
+            assert line.count("repro: allow[") <= 1, line
+        lint_main(["--fix-suppress", str(scratch)])
+        assert scratch.read_text(encoding="utf-8") == twice
+
+    def test_marker_merge_unions_rule_ids(self):
+        line = "x = 1  # repro: allow[DET001]\n"
+        merged = _merge_allow_marker(line, {"ATOM005", "DET001"})
+        assert merged == "x = 1  # repro: allow[ATOM005,DET001]\n"
+        # Merging again with the same rules is a no-op.
+        assert _merge_allow_marker(merged, {"ATOM005"}) == merged
+
+
+class TestChangedScope:
+    def _git(self, *args, cwd):
+        import subprocess
+
+        subprocess.run(
+            ["git", *args],
+            cwd=str(cwd),
+            check=True,
+            capture_output=True,
+            env={
+                "GIT_AUTHOR_NAME": "t",
+                "GIT_AUTHOR_EMAIL": "t@t",
+                "GIT_COMMITTER_NAME": "t",
+                "GIT_COMMITTER_EMAIL": "t@t",
+                "HOME": str(cwd),
+                "PATH": "/usr/bin:/bin:/usr/local/bin",
+            },
+        )
+
+    def test_changed_reports_only_new_files(self, tmp_path, monkeypatch, capsys):
+        bad = (FIXTURES / "det001_bad.py").read_text(encoding="utf-8")
+        self._git("init", "-b", "main", cwd=tmp_path)
+        committed = tmp_path / "old_bad.py"
+        committed.write_text(bad, encoding="utf-8")
+        self._git("add", "old_bad.py", cwd=tmp_path)
+        self._git("commit", "-m", "seed", cwd=tmp_path)
+        fresh = tmp_path / "new_bad.py"
+        fresh.write_text(bad, encoding="utf-8")
+
+        monkeypatch.chdir(tmp_path)
+        code = lint_main(
+            ["--rules", "DET001", "--changed", "main", "--json", str(tmp_path)]
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 1
+        paths = {f["path"] for f in payload["findings"]}
+        assert all(p.endswith("new_bad.py") for p in paths), paths
+        assert paths  # the untracked file IS reported
+
+    def test_changed_without_git_falls_back_to_full_lint(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        scratch = tmp_path / "scratch.py"
+        scratch.write_text(
+            (FIXTURES / "det001_bad.py").read_text(encoding="utf-8"),
+            encoding="utf-8",
+        )
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "nope"))
+        code = lint_main(
+            ["--rules", "DET001", "--changed", "--json", str(scratch)]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "falling back to a full lint" in captured.err
+        assert json.loads(captured.out)["findings"]

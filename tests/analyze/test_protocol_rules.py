@@ -1,0 +1,193 @@
+"""The protocol rules (ATOM005/PKL006/CLK008/TRC009) over fixtures and
+mutations of the real tree."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import repro
+from repro.analyze import run_analysis
+
+FIXTURES = Path(__file__).parent.parent / "analyze_fixtures"
+REPRO_ROOT = Path(repro.__file__).parent
+
+
+def findings_for(name: str, rule: str):
+    report = run_analysis([FIXTURES / name], rules=[rule])
+    return report.findings
+
+
+class TestAtom005:
+    def test_bad_fixture_flags_every_class(self):
+        messages = [f.message for f in findings_for("atom005_bad.py", "ATOM005")]
+        assert len(messages) == 4
+        assert any("direct write to the published path" in m for m in messages)
+        assert any("never renamed into place" in m for m in messages)
+        assert any("rename-before-flush" in m for m in messages)
+        assert any("without a token read-back" in m for m in messages)
+
+    def test_good_fixture_is_clean(self):
+        assert findings_for("atom005_good.py", "ATOM005") == []
+
+    def test_blanket_net_is_warning_tier(self):
+        findings = findings_for("repro/serve/blanket_bad.py", "ATOM005")
+        assert [f.severity for f in findings] == ["warning"]
+        assert "durability-critical scope" in findings[0].message
+
+    def test_cross_file_propagation_flags_the_helper(self, tmp_path):
+        pkg = tmp_path / "repro" / "spool"
+        pkg.mkdir(parents=True)
+        (pkg / "helper.py").write_text(
+            "def save(path, payload):\n"
+            "    path.write_text(payload)\n",
+            encoding="utf-8",
+        )
+        (pkg / "caller.py").write_text(
+            "from .helper import save\n"
+            "\n"
+            "\n"
+            "def publish(store, campaign_id):\n"
+            "    save(store.points_path(campaign_id), 'records')\n",
+            encoding="utf-8",
+        )
+        report = run_analysis([tmp_path / "repro"], rules=["ATOM005"])
+        assert len(report.findings) == 1
+        finding = report.findings[0]
+        assert finding.path.endswith("helper.py")
+        assert "points_path()" in finding.message
+
+
+class TestAtom005Mutations:
+    """The acceptance-criteria mutations: break the real protocol, watch
+    the rule catch it."""
+
+    def test_real_jobstore_is_clean(self, tmp_path):
+        source = (REPRO_ROOT / "serve" / "jobstore.py").read_text(
+            encoding="utf-8"
+        )
+        copy = tmp_path / "jobstore.py"
+        copy.write_text(source, encoding="utf-8")
+        assert run_analysis([copy], rules=["ATOM005"]).findings == []
+
+    def test_deleting_the_publish_rename_fires(self, tmp_path):
+        source = (REPRO_ROOT / "serve" / "jobstore.py").read_text(
+            encoding="utf-8"
+        )
+        needle = "        tmp.replace(points_path)\n"
+        assert needle in source
+        mutated = tmp_path / "jobstore.py"
+        mutated.write_text(source.replace(needle, ""), encoding="utf-8")
+        messages = [
+            f.message
+            for f in run_analysis([mutated], rules=["ATOM005"]).findings
+        ]
+        assert any(
+            "'tmp' stages a published path but is never renamed" in m
+            for m in messages
+        )
+
+    def test_dropping_the_steal_read_back_fires(self, tmp_path):
+        source = (REPRO_ROOT / "serve" / "queue.py").read_text(
+            encoding="utf-8"
+        )
+        needle = "        current = self.peek_lease(campaign_id, index)\n"
+        assert needle in source
+        mutated = tmp_path / "queue.py"
+        mutated.write_text(
+            source.replace(needle, "        current = lease\n"),
+            encoding="utf-8",
+        )
+        messages = [
+            f.message
+            for f in run_analysis([mutated], rules=["ATOM005"]).findings
+        ]
+        assert any("without a token read-back" in m for m in messages)
+
+    def test_unmutated_queue_is_clean(self, tmp_path):
+        source = (REPRO_ROOT / "serve" / "queue.py").read_text(
+            encoding="utf-8"
+        )
+        copy = tmp_path / "queue.py"
+        copy.write_text(source, encoding="utf-8")
+        assert run_analysis([copy], rules=["ATOM005"]).findings == []
+
+
+class TestPkl006:
+    def test_bad_fixture_flags_every_class(self):
+        messages = [f.message for f in findings_for("pkl006_bad.py", "PKL006")]
+        assert len(messages) == 5
+        assert any(
+            "a lambda flows into ProcessPoolExecutor.map" in m
+            for m in messages
+        )
+        assert any(
+            "the nested function 'execute' flows into "
+            "ProcessPoolExecutor.submit" in m
+            for m in messages
+        )
+        assert any("an open file handle flows into dumps()" in m for m in messages)
+        assert any("a threading.Lock flows into _to_b64()" in m for m in messages)
+        assert any(
+            "a tracer reference flows into the pickled field JobRecord.spec"
+            in m
+            for m in messages
+        )
+
+    def test_good_fixture_is_clean(self):
+        assert findings_for("pkl006_good.py", "PKL006") == []
+
+
+class TestClk008:
+    def test_direct_and_transitive_reads_flagged(self):
+        messages = [
+            f.message
+            for f in findings_for("repro/htm/clock_bad.py", "CLK008")
+        ]
+        assert any("direct wall-clock read" in m for m in messages)
+        assert any(
+            "'step' reaches time.time()" in m
+            and "via clock_bad.py:step -> clock_bad.py:_now" in m
+            for m in messages
+        )
+
+    def test_cross_file_chain_is_reported(self):
+        report = run_analysis(
+            [
+                FIXTURES / "repro" / "htm" / "clock_xfile_bad.py",
+                FIXTURES / "repro" / "harness" / "hostinfo.py",
+            ],
+            rules=["CLK008"],
+        )
+        messages = [f.message for f in report.findings]
+        assert any(
+            "clock_xfile_bad.py:stamp -> hostinfo.py:host_seconds" in m
+            for m in messages
+        )
+        # The finding lands in the sim-critical caller, not the harness file.
+        assert all(
+            f.path.endswith("clock_xfile_bad.py") for f in report.findings
+        )
+
+    def test_funnel_absorbs_the_taint(self):
+        report = run_analysis(
+            [
+                FIXTURES / "repro" / "htm" / "clock_ok.py",
+                FIXTURES / "repro" / "harness" / "timer.py",
+            ],
+            rules=["CLK008"],
+        )
+        assert report.findings == []
+
+
+class TestTrc009:
+    def test_bad_fixture_flags_both_classes(self):
+        messages = [f.message for f in findings_for("trc009_bad.py", "TRC009")]
+        assert len(messages) == 3
+        assert any("is not None-guarded" in m for m in messages)
+        assert any(
+            "emit('tx.commit') has no adjacent incr('tx.commits')" in m
+            for m in messages
+        )
+
+    def test_good_fixture_is_clean(self):
+        assert findings_for("trc009_good.py", "TRC009") == []

@@ -1,0 +1,48 @@
+"""Good: every published path goes through stage-then-rename (or "x")."""
+
+import dataclasses
+import json
+import os
+
+
+def write_json_atomic(path, payload):
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(json.dumps(payload))
+    tmp.replace(path)
+
+
+def peek_lease(path):
+    return None
+
+
+def publish_points(store, meta, payload):
+    points = store.points_path(meta.campaign_id)
+    tmp = points.with_name(points.name + ".tmp")
+    tmp.write_text(json.dumps(payload))
+    tmp.replace(points)
+
+
+def publish_meta_via_os_replace(store, meta, payload):
+    target = store.meta_path(meta.campaign_id)
+    tmp = target.with_suffix(".tmp")
+    tmp.write_text(json.dumps(payload))
+    os.replace(tmp, target)
+
+
+def claim(store, campaign_id, index, lease):
+    path = store.lease_path(campaign_id, index)
+    with path.open("x") as handle:  # exclusive create IS the atomic claim
+        handle.write(json.dumps(lease))
+
+
+def steal_with_read_back(store, campaign_id, index, lease):
+    path = store.lease_path(campaign_id, index)
+    write_json_atomic(path, lease)
+    current = peek_lease(path)  # whose token actually landed?
+    return current
+
+
+def replace_decoys(spec, text):
+    renamed = text.replace("old", "new")  # str.replace: not a publication
+    tweaked = dataclasses.replace(spec, seed=1)
+    return renamed, tweaked

@@ -1,0 +1,43 @@
+"""Bad: process-local values shipped across the pickle boundary."""
+
+import pickle
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _to_b64(value):
+    return pickle.dumps(value)
+
+
+def map_a_lambda(points):
+    transform = lambda point: point.spec  # noqa: E731
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(transform, points))
+
+
+def submit_a_nested_function(points):
+    def execute(point):
+        return point.spec
+
+    with ProcessPoolExecutor() as pool:
+        return [pool.submit(execute, point) for point in points]
+
+
+def pickle_an_open_handle(path):
+    handle = open(path)
+    return pickle.dumps(handle)
+
+
+def pickle_a_lock():
+    guard = threading.Lock()
+    return _to_b64(guard)
+
+
+class JobRecord:
+    def __init__(self, spec, key):
+        self.spec = spec
+        self.key = key
+
+
+def record_capturing_a_tracer(system, fingerprint):
+    return JobRecord(spec=system.tracer, key=fingerprint)

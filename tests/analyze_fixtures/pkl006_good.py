@@ -1,0 +1,29 @@
+"""Good: only module-level functions and plain data cross the boundary."""
+
+import json
+import pickle
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+
+def execute_point(point):
+    return point.spec
+
+
+def run_grid(points):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(execute_point, [p for p in points]))
+
+
+def encode_record(record):
+    return pickle.dumps((record.spec, record.key))
+
+
+def threads_share_the_process(path):
+    handle = open(path)
+    with ThreadPoolExecutor() as pool:  # threads: no pickle boundary
+        future = pool.submit(lambda: handle.read())
+    return future
+
+
+def json_dumps_is_not_pickle(payload):
+    return json.dumps({"ok": payload})

@@ -1,0 +1,7 @@
+"""A non-funnel harness helper that reads the clock (CLK008 fixture prop)."""
+
+import time
+
+
+def host_seconds():
+    return time.time()

@@ -1,0 +1,11 @@
+"""A fixture stand-in for the harness stopwatch funnel (suffix-matched)."""
+
+import time
+
+
+class Stopwatch:
+    def __init__(self):
+        self.start = time.perf_counter()
+
+    def elapsed_s(self):
+        return time.perf_counter() - self.start

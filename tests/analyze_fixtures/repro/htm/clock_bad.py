@@ -1,0 +1,12 @@
+"""Bad: sim-critical code reading the wall clock, directly and via a wrapper."""
+
+import time
+
+
+def _now():
+    return time.time()  # direct read outside every funnel
+
+
+def step(engine):
+    engine.tick = _now()  # reaches the clock through the local wrapper
+    return engine.tick

@@ -1,0 +1,7 @@
+"""Bad: the clock reached across a file through a non-funnel helper."""
+
+from ..harness.hostinfo import host_seconds
+
+
+def stamp(engine):
+    return host_seconds()  # two files away from time.time(), still tainted

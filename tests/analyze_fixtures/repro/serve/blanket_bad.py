@@ -1,0 +1,6 @@
+"""Bad (warning tier): a plain write inside the durability-critical scope."""
+
+
+def export_results(path, text):
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

@@ -1,0 +1,15 @@
+"""Bad: tracer emits without guards, counted kinds without their counters."""
+
+
+class Machine:
+    def __init__(self, tracer, stats):
+        self.tracer = tracer
+        self.stats = stats
+
+    def begin(self, tx):
+        self.tracer.emit("tx.begin", tx)  # unguarded AND uncounted
+
+    def commit(self, tx):
+        if self.tracer is not None:
+            self.tracer.emit("tx.commit", tx)  # guarded, but no incr here
+        return True

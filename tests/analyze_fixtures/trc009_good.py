@@ -1,0 +1,23 @@
+"""Good: every emit guarded; counted kinds beside their counters."""
+
+
+class Machine:
+    def __init__(self, tracer, stats):
+        self.tracer = tracer
+        self.stats = stats
+
+    def begin(self, tx):
+        self.stats.incr("tx.begins")
+        if self.tracer is not None:
+            self.tracer.emit("tx.begin", tx)
+
+    def abort(self, tx):
+        tracer = self.tracer
+        if tracer is None:
+            return
+        self.stats.incr("tx.aborts")
+        tracer.emit("tx.abort", tx)
+
+    def resolve(self, tracer, line):
+        if tracer is not None:
+            tracer.emit("conflict.resolve", line)  # uncounted kind: guard only
