@@ -17,10 +17,12 @@ from __future__ import annotations
 
 import argparse
 import importlib
+import os
 import sys
 from typing import Optional
 
 from .harness.cache import ResultCache
+from .kernels import ENGINE_CHOICES, ENGINE_ENV_VAR, resolve_engine
 from .harness.export import to_json, to_markdown
 from .harness.figures import ALL_FIGURES
 from .harness.config import DEFAULT_SCALE
@@ -130,12 +132,26 @@ def main(argv=None) -> int:
         "local pool (attach workers with 'python -m repro serve daemon')",
     )
     parser.add_argument(
+        "--engine",
+        choices=ENGINE_CHOICES,
+        help="sim-kernel engine (default: $REPRO_ENGINE or scalar); engines "
+        "are bit-identical, so this only affects wall time",
+    )
+    parser.add_argument(
         "--json", metavar="PATH", help="also write the results as JSON"
     )
     parser.add_argument(
         "--markdown", metavar="PATH", help="also write the results as Markdown"
     )
     args = parser.parse_args(argv)
+
+    if args.engine is not None:
+        # Figures build specs with engine=None (the process default), so the
+        # flag becomes the process default: validated here, inherited by
+        # local pool workers.  Bit-identical engines make this a pure
+        # wall-time choice.
+        print(f"engine: {resolve_engine(args.engine)}")
+        os.environ[ENGINE_ENV_VAR] = args.engine
 
     if args.figure == "list":
         _print_listing()

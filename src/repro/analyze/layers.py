@@ -22,9 +22,18 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
     "cache": frozenset({"mem", "sim"}),
     "signatures": frozenset({"sim"}),
     "htm": frozenset({"mem", "sim", "cache", "signatures"}),
-    "runtime": frozenset({"mem", "sim", "cache", "signatures", "htm"}),
+    # Vectorized twins of the scalar kernel classes: the package imports the
+    # layers whose interfaces it re-implements, and only the runtime (for
+    # kit injection) and harness (for config/CLI validation) import it —
+    # htm/cache/signatures receive kits duck-typed and stay below it.
+    "kernels": frozenset({"mem", "sim", "cache", "signatures"}),
+    "runtime": frozenset(
+        {"mem", "sim", "cache", "signatures", "htm", "kernels"}
+    ),
     "workloads": frozenset({"mem", "sim", "runtime"}),
-    "harness": frozenset({"mem", "sim", "htm", "runtime", "workloads"}),
+    "harness": frozenset(
+        {"mem", "sim", "htm", "runtime", "workloads", "kernels"}
+    ),
     "faults": frozenset(
         {"mem", "sim", "htm", "runtime", "workloads", "harness"}
     ),

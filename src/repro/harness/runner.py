@@ -57,7 +57,9 @@ def _rebuild_failure(
 
 
 def build_system(spec: ExperimentSpec) -> System:
-    return System(spec.machine(), spec.htm, seed=spec.seed)
+    return System(
+        spec.machine(), spec.htm, seed=spec.seed, engine=spec.engine
+    )
 
 
 def run_experiment(

@@ -119,12 +119,17 @@ class HTMSystem:
         controller: MemoryController,
         hierarchy: CacheHierarchy,
         stats: StatsRegistry,
+        kit=None,
     ) -> None:
         self.machine = machine
         self.config = config
         self.controller = controller
         self.hierarchy = hierarchy
         self.stats = stats
+        #: Duck-typed engine kit (see :mod:`repro.kernels`) selecting the
+        #: signature filter classes; None keeps the scalar defaults so this
+        #: layer never imports the kernels package.
+        self.kernel_kit = kit
         self.tss = TransactionStatusStructure()
         self.tx_ids = TxIdAllocator()
         self.domains = ConflictDomainRegistry(self._isolation_enabled())

@@ -70,7 +70,9 @@ class SignatureOnlyHTM(HTMSystem):
         # occupancy (and therefore the false-positive rate) faithful.  UHTM
         # filters hold only LLC-overflowed lines, whose count the compressed
         # caches already keep at paper magnitude, so those stay nominal.
-        tx.signature = SignaturePair(self.config.signature, self.machine.scale)
+        tx.signature = SignaturePair(
+            self.config.signature, self.machine.scale, kit=self.kernel_kit
+        )
         self.domains.register(tx.tx_id, tx.domain_id, tx.signature)
 
     def _offchip_trigger(self, llc_miss: bool) -> bool:
@@ -127,7 +129,9 @@ class UHTM(HTMSystem):
     """
 
     def _register_tracking(self, tx: TxHandle) -> None:
-        tx.signature = SignaturePair(self.config.signature)
+        tx.signature = SignaturePair(
+            self.config.signature, kit=self.kernel_kit
+        )
         self.domains.register(tx.tx_id, tx.domain_id, tx.signature)
 
     def _offchip_trigger(self, llc_miss: bool) -> bool:
@@ -179,7 +183,9 @@ class IdealHTM(HTMSystem):
         return True
 
     def _register_tracking(self, tx: TxHandle) -> None:
-        tx.signature = SignaturePair(self.config.signature)
+        tx.signature = SignaturePair(
+            self.config.signature, kit=self.kernel_kit
+        )
         self.domains.register(tx.tx_id, tx.domain_id, tx.signature)
 
     def _offchip_trigger(self, llc_miss: bool) -> bool:
@@ -328,8 +334,14 @@ def build_htm(
     controller: MemoryController,
     hierarchy: CacheHierarchy,
     stats: StatsRegistry,
+    kit=None,
 ) -> HTMSystem:
-    """Instantiate the design named by ``config.design``."""
+    """Instantiate the design named by ``config.design``.
+
+    ``kit`` is a duck-typed engine kit (see :mod:`repro.kernels`) passed
+    through to the design so per-transaction signatures use the selected
+    filter classes.
+    """
     classes = {
         HTMDesign.LLC_BOUNDED: LLCBoundedHTM,
         HTMDesign.SIGNATURE_ONLY: SignatureOnlyHTM,
@@ -339,4 +351,4 @@ def build_htm(
     cls = classes.get(config.design)
     if cls is None:
         raise ConfigError(f"unknown HTM design {config.design!r}")
-    return cls(machine, config, controller, hierarchy, stats)
+    return cls(machine, config, controller, hierarchy, stats, kit=kit)

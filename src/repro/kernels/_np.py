@@ -1,0 +1,37 @@
+"""The package's single numpy import gate.
+
+Every vectorized kernel reaches numpy through this module, so the optional
+dependency has exactly one seam: tests monkeypatch :data:`numpy` to ``None``
+to exercise the no-numpy fallback paths, and the analyze self-lint asserts
+that no sim package imports numpy anywhere outside ``repro.kernels``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConfigError
+
+try:  # pragma: no cover - exercised via monkeypatching in tests
+    import numpy
+except ImportError:  # pragma: no cover
+    numpy = None  # type: ignore[assignment]
+
+#: The error a user sees when asking for the vectorized engine without
+#: numpy installed.  Kept as one constant so the message the docs promise
+#: and the message the tests pin are the same string.
+NUMPY_MISSING_MSG = (
+    "engine 'vectorized' requires numpy, which is not installed; "
+    "install the optional extra (pip install repro[vectorized]) or use "
+    "engine='auto' to fall back to the scalar engine"
+)
+
+
+def numpy_available() -> bool:
+    """Whether the vectorized engine can run in this process."""
+    return numpy is not None
+
+
+def require_numpy():
+    """Return the numpy module or raise the documented ConfigError."""
+    if numpy is None:
+        raise ConfigError(NUMPY_MISSING_MSG)
+    return numpy

@@ -1,0 +1,108 @@
+"""Hierarchy latency accumulation kernels.
+
+The demand path charges ``l1_ns`` for an L1 hit, ``l1_ns + llc_ns`` for an
+LLC hit, and ``l1_ns + llc_ns + mem_ns`` for a miss (``mem_ns`` being the
+controller's per-access device latency).  :class:`LatencyTable` precomputes
+the two hit constants exactly as :class:`repro.cache.hierarchy.CacheHierarchy`
+does — same operands, same addition order, bit-identical floats — and adds
+batch resolution/accumulation entry points; :class:`VectorLatencyTable`
+resolves batches as numpy arrays.
+
+Batch totals use :func:`math.fsum` in *both* engines: the batch API is new,
+so its cross-engine contract is pinned to exact summation rather than to
+either engine's fold order.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from ..params import LatencyConfig
+from ._np import require_numpy
+
+#: The hierarchy levels an access can be satisfied at, innermost first.
+LEVELS: Tuple[str, ...] = ("l1", "llc", "mem")
+
+
+class LatencyTable:
+    """Scalar latency resolution for (level, mem_ns) access records."""
+
+    def __init__(self, latency: LatencyConfig) -> None:
+        self.latency = latency
+        # Same precomputation (and float addition order) the hierarchy uses.
+        self.l1_hit_ns = latency.l1_ns
+        self.llc_hit_ns = latency.l1_ns + latency.llc_ns
+
+    def resolve(self, level: str, mem_ns: float = 0.0) -> float:
+        """Total latency of one access satisfied at ``level``."""
+        if level == "l1":
+            return self.l1_hit_ns
+        if level == "llc":
+            return self.llc_hit_ns
+        if level == "mem":
+            return self.llc_hit_ns + mem_ns
+        raise ValueError(f"unknown hierarchy level {level!r}")
+
+    def resolve_batch(
+        self, levels: Sequence[str], mem_ns: Sequence[float]
+    ) -> List[float]:
+        """Per-access latencies for a batch of (level, mem_ns) records."""
+        resolve = self.resolve
+        return [resolve(level, ns) for level, ns in zip(levels, mem_ns)]
+
+    def accumulate(
+        self, levels: Sequence[str], mem_ns: Sequence[float]
+    ) -> Tuple[Dict[str, int], Dict[str, float], float]:
+        """Fold a batch into (per-level counts, per-level ns, total ns)."""
+        counts = {level: 0 for level in LEVELS}
+        totals = {level: [] for level in LEVELS}
+        resolved = self.resolve_batch(levels, mem_ns)
+        for level, latency in zip(levels, resolved):
+            counts[level] += 1
+            totals[level].append(latency)
+        sums = {level: math.fsum(totals[level]) for level in LEVELS}
+        return counts, sums, math.fsum(resolved)
+
+
+class VectorLatencyTable(LatencyTable):
+    """Numpy twin: batch resolution as one ``where`` chain over the batch."""
+
+    def __init__(self, latency: LatencyConfig) -> None:
+        require_numpy()
+        super().__init__(latency)
+
+    def resolve_batch(
+        self, levels: Sequence[str], mem_ns: Sequence[float]
+    ):
+        np = require_numpy()
+        levels = np.asarray(levels)
+        unknown = ~np.isin(levels, np.asarray(LEVELS))
+        if unknown.any():
+            bad = levels[unknown][0]
+            raise ValueError(f"unknown hierarchy level {bad!r}")
+        mem = np.asarray(mem_ns, dtype=np.float64)
+        out = np.where(
+            levels == "l1",
+            self.l1_hit_ns,
+            np.where(
+                levels == "llc", self.llc_hit_ns, self.llc_hit_ns + mem
+            ),
+        )
+        return out
+
+    def accumulate(
+        self, levels: Sequence[str], mem_ns: Sequence[float]
+    ) -> Tuple[Dict[str, int], Dict[str, float], float]:
+        np = require_numpy()
+        level_arr = np.asarray(levels)
+        resolved = self.resolve_batch(level_arr, mem_ns)
+        counts = {}
+        sums = {}
+        for level in LEVELS:
+            selected = resolved[level_arr == level]
+            counts[level] = int(selected.size)
+            # fsum over the selected values: exact, so it matches the scalar
+            # table regardless of either engine's internal fold order.
+            sums[level] = math.fsum(selected.tolist())
+        return counts, sums, math.fsum(resolved.tolist())

@@ -1,0 +1,167 @@
+"""Vectorized set-associative tag array over packed int arrays.
+
+A drop-in twin of :class:`repro.cache.setassoc.SetAssociativeArray`: tags
+live in a ``(num_sets, ways)`` int64 matrix (-1 = invalid) and LRU order in
+a parallel monotone-stamp matrix, so probes are whole-row compares and
+victim selection is an argmin — no per-set dict churn.  Line metadata stays
+in one flat dict keyed by line address.
+
+Equivalence contract with the scalar class (proven by ``tests/kernels/``):
+identical hit/miss/eviction counters, identical victim choice (the scalar
+dict pops its first key, which is always the minimum-stamp resident here),
+and :meth:`resident_lines` enumerates each set's residents in stamp order —
+exactly the scalar bucket-dict insertion order.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cache.setassoc import CacheLineMeta
+from ..params import CacheGeometry, LINE_SIZE
+from ._np import require_numpy
+
+#: Set-index shift for the fixed simulator line size (64 B -> 6).
+_LINE_SHIFT = LINE_SIZE.bit_length() - 1
+
+
+class VectorSetAssociativeArray:
+    """Tag storage for one cache level, packed into numpy int arrays."""
+
+    def __init__(self, geometry: CacheGeometry, name: str) -> None:
+        np = require_numpy()
+        self._np = np
+        self.geometry = geometry
+        self.name = name
+        num_sets = geometry.num_sets
+        self._num_sets = num_sets
+        # Same mask-vs-modulo indexing rule as the scalar array (and the same
+        # bug class guard: the mask is only ever num_sets - 1 for powers of
+        # two, never the raw set count).
+        self._set_mask: Optional[int] = (
+            num_sets - 1 if num_sets & (num_sets - 1) == 0 else None
+        )
+        self._ways = geometry.ways
+        self._tags = np.full((num_sets, geometry.ways), -1, dtype=np.int64)
+        self._stamps = np.zeros((num_sets, geometry.ways), dtype=np.int64)
+        self._clock = 0  # monotone touch counter; larger = more recent
+        self._meta: Dict[int, CacheLineMeta] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def _set_index(self, line_addr: int) -> int:
+        mask = self._set_mask
+        if mask is not None:
+            return (line_addr >> _LINE_SHIFT) & mask
+        return (line_addr // LINE_SIZE) % self._num_sets
+
+    def lookup(
+        self, line_addr: int, touch: bool = True
+    ) -> Optional[CacheLineMeta]:
+        """Probe for a line; refresh its LRU stamp on a hit."""
+        meta = self._meta.get(line_addr)
+        if meta is None:
+            self.misses += 1
+            return None
+        if touch:
+            np = self._np
+            index = self._set_index(line_addr)
+            row = self._tags[index]
+            way = int(np.nonzero(row == line_addr)[0][0])
+            self._clock += 1
+            self._stamps[index, way] = self._clock
+        self.hits += 1
+        return meta
+
+    def peek(self, line_addr: int) -> Optional[CacheLineMeta]:
+        """Probe without touching LRU state or hit/miss counters."""
+        return self._meta.get(line_addr)
+
+    def fill(
+        self, line_addr: int
+    ) -> Tuple[CacheLineMeta, Sequence[CacheLineMeta]]:
+        """Insert a line (must not be resident); returns (meta, victims)."""
+        np = self._np
+        index = self._set_index(line_addr)
+        row = self._tags[index]
+        free = np.nonzero(row < 0)[0]
+        self._clock += 1
+        meta = CacheLineMeta(line_addr)
+        if free.size:
+            way = int(free[0])
+            row[way] = line_addr
+            self._stamps[index, way] = self._clock
+            self._meta[line_addr] = meta
+            return meta, ()
+        # Set is full: evict the LRU resident (minimum stamp — the line the
+        # scalar bucket dict would pop first).
+        stamps = self._stamps[index]
+        evicted: List[CacheLineMeta] = []
+        way = int(np.argmin(stamps))
+        victim_addr = int(row[way])
+        evicted.append(self._meta.pop(victim_addr))
+        self.evictions += 1
+        row[way] = line_addr
+        stamps[way] = self._clock
+        self._meta[line_addr] = meta
+        return meta, evicted
+
+    def install(self, line_addr: int) -> List[CacheLineMeta]:
+        """Insert a line (must not be resident); returns evicted victims."""
+        assert (
+            self.peek(line_addr) is None
+        ), f"{self.name}: double install {line_addr:#x}"
+        return list(self.fill(line_addr)[1])
+
+    def remove(self, line_addr: int) -> Optional[CacheLineMeta]:
+        """Invalidate a line, returning its metadata if present."""
+        meta = self._meta.pop(line_addr, None)
+        if meta is None:
+            return None
+        np = self._np
+        index = self._set_index(line_addr)
+        row = self._tags[index]
+        way = int(np.nonzero(row == line_addr)[0][0])
+        row[way] = -1
+        self._stamps[index, way] = 0
+        return meta
+
+    def resident_count(self) -> int:
+        return len(self._meta)
+
+    def resident_lines(self) -> List[int]:
+        """All resident lines, per set in LRU-to-MRU order (scalar order)."""
+        np = self._np
+        lines: List[int] = []
+        for index in range(self._num_sets):
+            row = self._tags[index]
+            occupied = np.nonzero(row >= 0)[0]
+            if not occupied.size:
+                continue
+            order = occupied[
+                np.argsort(self._stamps[index][occupied], kind="stable")
+            ]
+            lines.extend(int(addr) for addr in row[order])
+        return lines
+
+    def clear(self) -> None:
+        self._tags[:] = -1
+        self._stamps[:] = 0
+        self._meta.clear()
+
+    def occupancy_by_predicate(self, predicate) -> int:
+        return sum(1 for meta in self._meta.values() if predicate(meta))
+
+    # -- batch kernels ------------------------------------------------------
+
+    def probe_batch(self, line_addrs):
+        """Residency of many lines at once (no LRU touch, no counters)."""
+        np = self._np
+        addrs = np.asarray(line_addrs, dtype=np.int64)
+        mask = self._set_mask
+        if mask is not None:
+            indices = (addrs >> _LINE_SHIFT) & mask
+        else:
+            indices = (addrs // LINE_SIZE) % self._num_sets
+        return (self._tags[indices] == addrs[:, None]).any(axis=1)

@@ -1,0 +1,337 @@
+"""Vectorized Bloom signatures: packed-uint64 bitset engines.
+
+Drop-in replacements for :class:`repro.signatures.bloom.BloomFilter` and
+:class:`~repro.signatures.bloom.BankedBloomFilter` that store the bit array
+as a numpy ``uint64`` word vector instead of a Python big int.  Per-call
+behaviour — counters, saturation, false-positive formulas, probe-key
+semantics — is bit-identical to the scalar classes (the differential tier in
+``tests/kernels/`` proves it); on top of the scalar interface both classes
+add ``insert_batch`` / ``contains_batch``, where the multiplicative hash
+family's mix rounds run as whole-array uint64 arithmetic and the bit
+scatter/gather is a single ``bitwise_or.at`` / fancy-index per batch.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Iterable, Optional
+
+from ..signatures.hashing import (
+    HashFamily,
+    MultiplicativeHashFamily,
+    MEMO_CAPACITY,
+)
+from ._np import require_numpy
+
+_MIX_CONSTANT = 0xFF51AFD7ED558CCD  # same finaliser the scalar family uses
+
+
+def _packed_key_memo(family: HashFamily, words: int):
+    """The per-family memo mapping value -> packed uint64 probe mask.
+
+    Mirrors the scalar family's ``or_mask`` memo: one LRU-capped cache per
+    family instance, shared by every filter built over that family (filters
+    over one family have equal width, so one ``words`` fits all).  The memo
+    lives on the family object itself so shared families share warm keys
+    exactly like the scalar path does.
+    """
+    memo = family.__dict__.get("_vector_packed_keys")
+    if memo is None:
+        np = require_numpy()
+
+        @lru_cache(maxsize=MEMO_CAPACITY)
+        def packed(value: int):
+            mask = family.or_mask(value)
+            return np.frombuffer(
+                mask.to_bytes(words * 8, "little"), dtype=np.uint64
+            )
+
+        memo = packed
+        family.__dict__["_vector_packed_keys"] = memo
+    return memo
+
+
+def _vector_multipliers(family: MultiplicativeHashFamily):
+    """The family's odd multipliers as a cached uint64 vector."""
+    mult = family.__dict__.get("_vector_multipliers")
+    if mult is None:
+        np = require_numpy()
+        mult = np.array(family._multipliers, dtype=np.uint64)
+        family.__dict__["_vector_multipliers"] = mult
+    return mult
+
+
+def batch_indices(family: MultiplicativeHashFamily, values):
+    """All ``k`` hash indices for a batch of values: shape ``(n, k)`` uint64.
+
+    The exact multiply / xor-shift / multiply / xor-shift / mod pipeline of
+    :meth:`MultiplicativeHashFamily.indices`, lifted to whole-array uint64
+    arithmetic (numpy unsigned ops wrap mod 2**64, matching the scalar
+    ``& _MASK64`` discipline).
+    """
+    np = require_numpy()
+    v = np.asarray(values, dtype=np.uint64)
+    h = v[:, None] * _vector_multipliers(family)[None, :]
+    h ^= h >> np.uint64(33)
+    h = h * np.uint64(_MIX_CONSTANT)
+    h ^= h >> np.uint64(33)
+    return h % np.uint64(family.buckets)
+
+
+def _popcount_words(words) -> int:
+    """Total set bits of a uint64 array, exactly."""
+    np = require_numpy()
+    bitwise_count = getattr(np, "bitwise_count", None)
+    if bitwise_count is not None:
+        return int(bitwise_count(words).sum())
+    return int.from_bytes(words.tobytes(), "little").bit_count()
+
+
+class VectorBloomFilter:
+    """Packed-uint64 twin of :class:`repro.signatures.bloom.BloomFilter`."""
+
+    def __init__(
+        self,
+        bits: int,
+        hash_functions: int,
+        family: Optional[HashFamily] = None,
+    ) -> None:
+        np = require_numpy()
+        if bits < 1:
+            raise ValueError("filter must have at least one bit")
+        self.bits = bits
+        self._family = family or MultiplicativeHashFamily(hash_functions, bits)
+        if self._family.buckets != bits:
+            raise ValueError("hash family buckets must equal filter bits")
+        self._words_n = (bits + 63) // 64
+        self._words = np.zeros(self._words_n, dtype=np.uint64)
+        self._packed = _packed_key_memo(self._family, self._words_n)
+        self._inserted = 0
+
+    @property
+    def inserted(self) -> int:
+        return self._inserted
+
+    @property
+    def popcount(self) -> int:
+        return _popcount_words(self._words)
+
+    @property
+    def saturation(self) -> float:
+        return self.popcount / self.bits
+
+    def insert(self, value: int) -> None:
+        self._words |= self._packed(value)
+        self._inserted += 1
+
+    def insert_all(self, values: Iterable[int]) -> None:
+        insert = self.insert
+        for value in values:
+            insert(value)
+
+    def maybe_contains(self, value: int) -> bool:
+        key = self._packed(value)
+        return bool(((self._words & key) == key).all())
+
+    # -- key-based probing (see the scalar class) ---------------------------
+
+    @property
+    def family(self) -> HashFamily:
+        return self._family
+
+    def probe_key(self, value: int):
+        """The reusable probe token: the packed uint64 mask for ``value``."""
+        return self._packed(value)
+
+    def contains_key(self, key) -> bool:
+        return bool(((self._words & key) == key).all())
+
+    def clear(self) -> None:
+        self._words[:] = 0
+        self._inserted = 0
+
+    def is_empty(self) -> bool:
+        return not self._words.any()
+
+    def expected_false_positive_rate(self) -> float:
+        if self._inserted == 0:
+            return 0.0
+        k = self._family.functions
+        return (1.0 - math.exp(-k * self._inserted / self.bits)) ** k
+
+    def observed_false_positive_rate(self) -> float:
+        if self._inserted == 0:
+            return 0.0
+        k = self._family.functions
+        return self.saturation**k
+
+    # -- batch kernels ------------------------------------------------------
+
+    def insert_batch(self, values) -> None:
+        """Insert many values: hashes vectorized, bits set by one scatter."""
+        np = require_numpy()
+        values = list(values)
+        if not values:
+            return
+        family = self._family
+        if type(family) is MultiplicativeHashFamily:
+            idx = batch_indices(family, values)
+            word = (idx >> np.uint64(6)).ravel()
+            bit = np.uint64(1) << (idx & np.uint64(63)).ravel()
+            np.bitwise_or.at(self._words, word, bit)
+            self._inserted += len(values)
+        else:
+            self.insert_all(values)
+
+    def contains_batch(self, values):
+        """Membership of many values at once; returns a bool array."""
+        np = require_numpy()
+        values = list(values)
+        family = self._family
+        if type(family) is MultiplicativeHashFamily:
+            idx = batch_indices(family, values)
+            present = (self._words[idx >> np.uint64(6)] >> (
+                idx & np.uint64(63)
+            )) & np.uint64(1)
+            return present.all(axis=1)
+        return np.array(
+            [self.maybe_contains(value) for value in values], dtype=bool
+        )
+
+
+class VectorBankedBloomFilter:
+    """Packed twin of :class:`repro.signatures.bloom.BankedBloomFilter`.
+
+    State is a ``(banks, bank_words)`` uint64 matrix; probe keys stay the
+    scalar per-bank index tuples so keys interchange between engines.
+    """
+
+    def __init__(
+        self,
+        bits: int,
+        hash_functions: int,
+        family: Optional[HashFamily] = None,
+    ) -> None:
+        np = require_numpy()
+        if bits < hash_functions:
+            raise ValueError("need at least one bit per bank")
+        self.bits = bits
+        self.banks = hash_functions
+        self._bank_bits = bits // hash_functions
+        self._family = family or MultiplicativeHashFamily(
+            hash_functions, self._bank_bits
+        )
+        if self._family.buckets != self._bank_bits:
+            raise ValueError("hash family buckets must equal bank width")
+        self._bank_words = (self._bank_bits + 63) // 64
+        self._words = np.zeros((self.banks, self._bank_words), dtype=np.uint64)
+        self._inserted = 0
+
+    @property
+    def inserted(self) -> int:
+        return self._inserted
+
+    @property
+    def popcount(self) -> int:
+        return _popcount_words(self._words)
+
+    @property
+    def saturation(self) -> float:
+        return self.popcount / (self._bank_bits * self.banks)
+
+    def insert(self, value: int) -> None:
+        words = self._words
+        for bank, index in enumerate(self._family.indices_for(value)):
+            words[bank, index >> 6] |= 1 << (index & 63)
+        self._inserted += 1
+
+    def insert_all(self, values: Iterable[int]) -> None:
+        insert = self.insert
+        for value in values:
+            insert(value)
+
+    def maybe_contains(self, value: int) -> bool:
+        words = self._words
+        for bank, index in enumerate(self._family.indices_for(value)):
+            if not (int(words[bank, index >> 6]) >> (index & 63)) & 1:
+                return False
+        return True
+
+    # -- key-based probing (see the scalar class) ---------------------------
+
+    @property
+    def family(self) -> HashFamily:
+        return self._family
+
+    def probe_key(self, value: int):
+        """The reusable probe token: one bit index per bank (scalar-shaped)."""
+        return self._family.indices_for(value)
+
+    def contains_key(self, key) -> bool:
+        words = self._words
+        for bank, index in enumerate(key):
+            if not (int(words[bank, index >> 6]) >> (index & 63)) & 1:
+                return False
+        return True
+
+    def clear(self) -> None:
+        self._words[:] = 0
+        self._inserted = 0
+
+    def is_empty(self) -> bool:
+        return not self._words.any()
+
+    def expected_false_positive_rate(self) -> float:
+        if self._inserted == 0:
+            return 0.0
+        k = self.banks
+        return (1.0 - math.exp(-k * self._inserted / self.bits)) ** k
+
+    def observed_false_positive_rate(self) -> float:
+        if self._inserted == 0:
+            return 0.0
+        rate = 1.0
+        for bank in range(self.banks):
+            bank_pop = int.from_bytes(
+                self._words[bank].tobytes(), "little"
+            ).bit_count()
+            rate *= bank_pop / self._bank_bits
+        return rate
+
+    # -- batch kernels ------------------------------------------------------
+
+    def insert_batch(self, values) -> None:
+        np = require_numpy()
+        values = list(values)
+        if not values:
+            return
+        family = self._family
+        if type(family) is MultiplicativeHashFamily:
+            idx = batch_indices(family, values)  # (n, banks)
+            bank_offsets = np.arange(
+                self.banks, dtype=np.uint64
+            ) * np.uint64(self._bank_words)
+            word = (bank_offsets[None, :] + (idx >> np.uint64(6))).ravel()
+            bit = np.uint64(1) << (idx & np.uint64(63)).ravel()
+            np.bitwise_or.at(self._words.reshape(-1), word, bit)
+            self._inserted += len(values)
+        else:
+            self.insert_all(values)
+
+    def contains_batch(self, values):
+        np = require_numpy()
+        values = list(values)
+        family = self._family
+        if type(family) is MultiplicativeHashFamily:
+            idx = batch_indices(family, values)
+            bank_offsets = np.arange(
+                self.banks, dtype=np.uint64
+            ) * np.uint64(self._bank_words)
+            flat = self._words.reshape(-1)
+            word = bank_offsets[None, :] + (idx >> np.uint64(6))
+            present = (flat[word] >> (idx & np.uint64(63))) & np.uint64(1)
+            return present.all(axis=1)
+        return np.array(
+            [self.maybe_contains(value) for value in values], dtype=bool
+        )

@@ -1,0 +1,52 @@
+"""Vectorized histogram bucketing.
+
+:class:`VectorHistogram` subclasses :class:`repro.sim.stats.Histogram` and
+replaces only the deferred ``_flush``: the per-sample bit-length bucketing
+runs as whole-array numpy (``frexp`` exponents of the truncated samples,
+clamped and folded with ``bincount``).  The running sum deliberately stays a
+Python left-fold over the pending list — ``np.sum`` uses pairwise summation,
+which rounds differently, and the equivalence contract is bit-identity with
+the scalar class, not "close".
+"""
+
+from __future__ import annotations
+
+from ..sim.stats import Histogram
+from ._np import require_numpy
+
+
+class VectorHistogram(Histogram):
+    """Histogram whose batch flush buckets samples with numpy."""
+
+    __slots__ = ()
+
+    def __init__(self, buckets: int = 40) -> None:
+        require_numpy()
+        super().__init__(buckets)
+
+    def _flush(self) -> None:
+        pending = self._pending
+        if not pending:
+            return
+        np = require_numpy()
+        counts = self._counts
+        top = len(counts) - 1
+        arr = np.asarray(pending, dtype=np.float64)
+        # Scalar bucketing is `0 if v < 1 else min(top, int(v).bit_length()-1)`.
+        # For v >= 1, bit_length(int(v)) - 1 is the exponent of the leading
+        # bit of trunc(v), which frexp reports as (exponent - 1).
+        _, exponents = np.frexp(np.trunc(arr))
+        indices = np.where(arr < 1, 0, np.minimum(exponents - 1, top))
+        bucketed = np.bincount(indices, minlength=len(counts))
+        for index in np.nonzero(bucketed)[0]:
+            counts[index] += int(bucketed[index])
+        self._total += len(pending)
+        # Left-fold, exactly like the scalar flush accumulates total_sum.
+        total_sum = 0.0
+        for value in pending:
+            total_sum += value
+        self._sum += total_sum
+        maximum = float(arr.max())
+        if maximum > self._max:
+            self._max = maximum
+        pending.clear()

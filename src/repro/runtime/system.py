@@ -25,6 +25,7 @@ from ..cache.hierarchy import CacheHierarchy
 from ..htm.designs import build_htm
 from ..htm.fallback import FallbackLockTable
 from ..htm.recovery import CrashController, CrashReport, RecoveryReport
+from ..kernels import kit_for
 from ..mem.controller import MemoryController
 from ..params import HTMConfig, MachineConfig
 from ..sim.engine import Engine
@@ -46,19 +47,32 @@ class System:
         seed: int = 2020,
         trace: bool = False,
         capture_trace: bool = False,
+        engine: Optional[str] = None,
     ) -> None:
         self.machine = machine or MachineConfig.scaled(1 / 16)
         self.htm_config = htm_config or HTMConfig()
-        self.stats = StatsRegistry()
+        # Sim-kernel engine ("scalar"/"vectorized"/"auto"/None=process
+        # default): one kit of kernel classes injected everywhere, so the
+        # layers below never import repro.kernels themselves.  Note
+        # ``self.engine`` is the *event* engine; the kernel knob lives in
+        # ``engine_name`` / ``kernel_kit``.
+        self.kernel_kit = kit_for(engine)
+        self.engine_name = self.kernel_kit.name
+        self.stats = StatsRegistry(
+            histogram_cls=self.kernel_kit.histogram_cls
+        )
         self.rng = RngStreams(seed)
         self.trace = TraceRecorder(enabled=trace)
         self.engine = Engine()
         self.controller = MemoryController(
             self.machine.memory, self.machine.latency
         )
-        self.hierarchy = CacheHierarchy(self.machine, self.controller)
+        self.hierarchy = CacheHierarchy(
+            self.machine, self.controller, kit=self.kernel_kit
+        )
         self.htm = build_htm(
-            self.machine, self.htm_config, self.controller, self.hierarchy, self.stats
+            self.machine, self.htm_config, self.controller, self.hierarchy,
+            self.stats, kit=self.kernel_kit,
         )
         self.heap = TxHeap(self.controller)
         if capture_trace:

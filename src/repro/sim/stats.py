@@ -19,12 +19,15 @@ class StatsRegistry:
     bump is one dict add with no attribute traversal.
     """
 
-    __slots__ = ("_counters", "_samples", "_histograms")
+    __slots__ = ("_counters", "_samples", "_histograms", "_histogram_cls")
 
-    def __init__(self) -> None:
+    def __init__(self, histogram_cls: type = None) -> None:
         self._counters: Dict[str, int] = defaultdict(int)
         self._samples: Dict[str, List[float]] = defaultdict(list)
         self._histograms: Dict[str, "Histogram"] = {}
+        # Injected histogram implementation (the engine kit's class when a
+        # vectorized run builds the registry); defaults to Histogram.
+        self._histogram_cls = histogram_cls or Histogram
 
     # -- counters ----------------------------------------------------------
 
@@ -60,7 +63,7 @@ class StatsRegistry:
     def histogram(self, name: str) -> "Histogram":
         histogram = self._histograms.get(name)
         if histogram is None:
-            histogram = Histogram()
+            histogram = self._histogram_cls()
             self._histograms[name] = histogram
         return histogram
 

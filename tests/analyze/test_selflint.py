@@ -46,3 +46,52 @@ class TestSelfLint:
         checker = FsmCompletenessChecker()
         for source in project.files:
             assert list(checker.check(source, project)) == []
+
+
+class TestNumpyConfinement:
+    """numpy is an optional extra confined to ``repro.kernels``.
+
+    Every other sim package must run without it, so any ``import numpy``
+    outside the kernels package (or inside kernels but outside the ``_np``
+    gate) breaks the no-numpy install path.  The check walks the real ASTs
+    rather than grepping so aliased and ``from numpy import ...`` forms are
+    caught too.
+    """
+
+    def _numpy_imports(self):
+        import ast
+
+        offenders = []
+        for path in sorted(REPRO_ROOT.rglob("*.py")):
+            tree = ast.parse(path.read_text(), filename=str(path))
+            for node in ast.walk(tree):
+                names = []
+                if isinstance(node, ast.Import):
+                    names = [alias.name for alias in node.names]
+                elif isinstance(node, ast.ImportFrom) and node.module:
+                    names = [node.module]
+                if any(
+                    name == "numpy" or name.startswith("numpy.")
+                    for name in names
+                ):
+                    offenders.append(path.relative_to(REPRO_ROOT))
+        return offenders
+
+    def test_numpy_imports_confined_to_the_gate(self):
+        offenders = self._numpy_imports()
+        assert offenders == [
+            Path("kernels") / "_np.py"
+        ], f"numpy imported outside the kernels gate: {offenders}"
+
+    def test_kernels_package_is_registered(self):
+        from repro.analyze.core import KNOWN_PACKAGES
+        from repro.analyze.layers import LAYER_DAG
+
+        assert "kernels" in KNOWN_PACKAGES
+        assert LAYER_DAG["kernels"] <= {"mem", "sim", "cache", "signatures"}
+        assert "kernels" in LAYER_DAG["runtime"]
+        assert "kernels" in LAYER_DAG["harness"]
+        # kernels must stay out of the hot-path layers it mirrors, so the
+        # scalar classes never grow a numpy dependency by import cycle.
+        for package in ("cache", "signatures", "sim", "htm"):
+            assert "kernels" not in LAYER_DAG[package]

@@ -1,0 +1,262 @@
+"""The reusable differential harness for the engine equivalence tier.
+
+A :class:`DifferentialHarness` replays one recorded op-sequence through a
+*reference* object (the scalar kernel) and a *candidate* (the vectorized
+twin), asserting after **every** op that both the op's output and the
+objects' observable state are equal.  Divergence raises :class:`Divergence`
+with the op index and both sides' values — the mutation kill-tests in
+``test_mutation_kill.py`` prove that seeded kernel bugs actually trip it.
+
+Ops are ``(name, *args)`` tuples; ``name`` resolves via ``getattr`` and is
+called when callable, read when a property.  Outputs are normalised before
+comparison (metadata objects to their address + flags, numpy arrays and
+scalars to plain Python values) so engines may differ in *types* but never
+in *meaning*.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence, Tuple
+
+
+class Divergence(AssertionError):
+    """The candidate engine disagreed with the reference."""
+
+
+def normalize(value: Any) -> Any:
+    """Engine-neutral view of an op output (or state component)."""
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        # Floats compare exactly: the contract is bit-identity, not "close".
+        return value
+    # CacheLineMeta (any engine): compare the observable fields.
+    if hasattr(value, "line_addr") and hasattr(value, "mesi"):
+        readers = value.tx_readers
+        return (
+            "meta",
+            value.line_addr,
+            value.dirty,
+            value.mesi,
+            value.tx_writer,
+            tuple(sorted(readers)) if readers else (),
+        )
+    # numpy arrays / scalars: reduce to plain Python.
+    if hasattr(value, "tolist"):
+        listed = value.tolist()
+        if isinstance(listed, list):
+            return tuple(normalize(item) for item in listed)
+        return normalize(listed)
+    if hasattr(value, "item") and not isinstance(value, (list, tuple, dict)):
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return tuple(normalize(item) for item in value)
+    if isinstance(value, dict):
+        return tuple(
+            (key, normalize(value[key])) for key in sorted(value)
+        )
+    return value
+
+
+def bit_array_int(bloom) -> Any:
+    """A Bloom filter's bit state as big int(s), whichever engine built it."""
+    if hasattr(bloom, "_array"):  # scalar flat
+        return bloom._array
+    if hasattr(bloom, "_arrays"):  # scalar banked
+        return tuple(bloom._arrays)
+    words = bloom._words
+    if words.ndim == 1:  # vector flat
+        return int.from_bytes(words.tobytes(), "little")
+    return tuple(  # vector banked: one int per bank
+        int.from_bytes(words[bank].tobytes(), "little")
+        for bank in range(words.shape[0])
+    )
+
+
+def bloom_state(bloom) -> tuple:
+    return (bloom.inserted, bloom.popcount, bit_array_int(bloom))
+
+
+def setassoc_state(array) -> tuple:
+    """Counters, per-set LRU-ordered residency, and per-line metadata."""
+    lines = array.resident_lines()
+    return (
+        array.hits,
+        array.misses,
+        array.evictions,
+        tuple(lines),
+        tuple(normalize(array.peek(line)) for line in lines),
+    )
+
+
+def histogram_state(histogram) -> tuple:
+    # Reading the aggregates flushes any pending samples first.
+    return (
+        histogram.count,
+        histogram._sum,
+        histogram.max,
+        tuple(histogram._counts),
+    )
+
+
+def stateless(obj) -> None:
+    """State function for pure kernels (latency tables)."""
+    return None
+
+
+class DifferentialHarness:
+    """Replay op-sequences through two engines, asserting lockstep equality."""
+
+    def __init__(
+        self,
+        reference: Any,
+        candidate: Any,
+        state_fn: Callable[[Any], Any] = lambda obj: None,
+        normalize_fn: Callable[[Any], Any] = normalize,
+    ) -> None:
+        self.reference = reference
+        self.candidate = candidate
+        self.state_fn = state_fn
+        self.normalize = normalize_fn
+        self.ops_applied = 0
+
+    def _invoke(self, target: Any, name: str, args: Sequence[Any]) -> Any:
+        attr = getattr(target, name)
+        if callable(attr):
+            return attr(*args)
+        if args:
+            raise TypeError(f"property op {name!r} takes no arguments")
+        return attr
+
+    def apply(self, name: str, *args: Any) -> Any:
+        """Run one op on both engines; returns the reference output."""
+        ref_out = self._invoke(self.reference, name, args)
+        cand_out = self._invoke(self.candidate, name, args)
+        ref_norm = self.normalize(ref_out)
+        cand_norm = self.normalize(cand_out)
+        step = self.ops_applied
+        if ref_norm != cand_norm:
+            raise Divergence(
+                f"op {step} {name}{tuple(args)!r}: output diverged\n"
+                f"  reference: {ref_norm!r}\n"
+                f"  candidate: {cand_norm!r}"
+            )
+        ref_state = self.state_fn(self.reference)
+        cand_state = self.state_fn(self.candidate)
+        if ref_state != cand_state:
+            raise Divergence(
+                f"op {step} {name}{tuple(args)!r}: state diverged\n"
+                f"  reference: {ref_state!r}\n"
+                f"  candidate: {cand_state!r}"
+            )
+        self.ops_applied += 1
+        return ref_out
+
+    def replay(self, ops: Iterable[Tuple[Any, ...]]) -> int:
+        """Apply a recorded op-sequence; returns the number of ops run."""
+        for op in ops:
+            name, *args = op
+            self.apply(name, *args)
+        return self.ops_applied
+
+
+# -- recorded op-sequence generators ----------------------------------------
+#
+# Deterministic random op streams, seeded so failures replay exactly.  These
+# are shared by the differential tests, the Hypothesis suites' explicit
+# examples, and the mutation kill-tests (which must diverge on the *same*
+# sequences the real engines pass).
+
+
+def bloom_ops(seed: int, length: int = 400, span: int = 1 << 40):
+    import random
+
+    rng = random.Random(seed)
+    ops = []
+    for _ in range(length):
+        roll = rng.random()
+        value = rng.randrange(span)
+        if roll < 0.45:
+            ops.append(("insert", value))
+        elif roll < 0.85:
+            ops.append(("maybe_contains", value))
+        elif roll < 0.90:
+            ops.append(("popcount",))
+        elif roll < 0.94:
+            ops.append(("saturation",))
+        elif roll < 0.97:
+            ops.append(("observed_false_positive_rate",))
+        elif roll < 0.99:
+            ops.append(("is_empty",))
+        else:
+            ops.append(("clear",))
+    return ops
+
+
+def setassoc_ops(seed: int, length: int = 1500, lines: int = 96):
+    """Probe/fill/evict/remove streams over a small line pool.
+
+    Fills are guarded (``fill_if_absent``) because the scalar array's
+    ``fill`` contract requires non-residency; the guard keeps generated
+    sequences legal for both engines.
+    """
+    import random
+
+    from repro.params import LINE_SIZE
+
+    rng = random.Random(seed)
+    ops = []
+    for _ in range(length):
+        roll = rng.random()
+        addr = rng.randrange(lines) * LINE_SIZE
+        if roll < 0.40:
+            ops.append(("lookup", addr))
+        elif roll < 0.50:
+            ops.append(("peek", addr))
+        elif roll < 0.80:
+            ops.append(("fill_if_absent", addr))
+        elif roll < 0.90:
+            ops.append(("remove", addr))
+        elif roll < 0.96:
+            ops.append(("resident_lines",))
+        elif roll < 0.98:
+            ops.append(("resident_count",))
+        else:
+            ops.append(("clear",))
+    return ops
+
+
+class GuardedArray:
+    """Adapter adding the residency guard the op streams rely on."""
+
+    def __init__(self, array: Any) -> None:
+        self.array = array
+
+    def fill_if_absent(self, line_addr: int):
+        if self.array.peek(line_addr) is not None:
+            return ("resident",)
+        meta, victims = self.array.fill(line_addr)
+        return (meta, tuple(victims))
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self.array, name)
+
+
+def histogram_ops(seed: int, length: int = 600):
+    import random
+
+    rng = random.Random(seed)
+    ops = []
+    for _ in range(length):
+        roll = rng.random()
+        if roll < 0.8:
+            ops.append(("record", rng.random() * 10 ** rng.randrange(7)))
+        elif roll < 0.88:
+            ops.append(("count",))
+        elif roll < 0.94:
+            ops.append(("mean",))
+        elif roll < 0.98:
+            ops.append(("max",))
+        else:
+            ops.append(("percentile", 0.95))
+    return ops

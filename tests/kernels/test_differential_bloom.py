@@ -1,0 +1,160 @@
+"""Differential tier: vectorized Bloom filters vs the scalar reference.
+
+Every op in a recorded sequence must produce the same output *and* leave the
+same bit-array state (compared as big ints) as the scalar filter.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from kernel_harness import DifferentialHarness, bloom_ops, bloom_state
+
+from repro.kernels.signatures import (
+    VectorBankedBloomFilter,
+    VectorBloomFilter,
+    batch_indices,
+)
+from repro.signatures.bloom import BankedBloomFilter, BloomFilter
+from repro.signatures.hashing import (
+    H3HashFamily,
+    MultiplicativeHashFamily,
+    shared_multiplicative,
+)
+
+SEEDS = (2020, 7, 13)
+
+
+def flat_pair(bits=1024, k=4, family=None):
+    family = family or shared_multiplicative(k, bits, seed=0x5EED)
+    return BloomFilter(bits, k, family), VectorBloomFilter(bits, k, family)
+
+
+def banked_pair(bits=1024, k=4):
+    family = shared_multiplicative(k, bits // k, seed=0xC0FFEE)
+    return (
+        BankedBloomFilter(bits, k, family),
+        VectorBankedBloomFilter(bits, k, family),
+    )
+
+
+class TestFlatDifferential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_recorded_sequences(self, seed):
+        scalar, vector = flat_pair()
+        harness = DifferentialHarness(scalar, vector, state_fn=bloom_state)
+        assert harness.replay(bloom_ops(seed)) == len(bloom_ops(seed))
+
+    def test_non_word_aligned_width(self):
+        # 100 bits: the packed array's top word is only partially used.
+        scalar, vector = flat_pair(bits=100, k=3,
+                                   family=MultiplicativeHashFamily(3, 100))
+        harness = DifferentialHarness(scalar, vector, state_fn=bloom_state)
+        harness.replay(bloom_ops(99, length=300, span=1 << 20))
+
+    def test_h3_family(self):
+        family = H3HashFamily(2, 128)
+        scalar, vector = flat_pair(bits=128, k=2, family=family)
+        harness = DifferentialHarness(scalar, vector, state_fn=bloom_state)
+        harness.replay(bloom_ops(5, length=200))
+
+    def test_false_positive_rates_exact(self):
+        scalar, vector = flat_pair()
+        for value in range(0, 4000, 7):
+            scalar.insert(value)
+            vector.insert(value)
+        assert (
+            scalar.expected_false_positive_rate()
+            == vector.expected_false_positive_rate()
+        )
+        assert (
+            scalar.observed_false_positive_rate()
+            == vector.observed_false_positive_rate()
+        )
+        assert scalar.saturation == vector.saturation
+
+    def test_probe_keys_interchange_within_engine(self):
+        scalar, vector = flat_pair()
+        scalar.insert(42)
+        vector.insert(42)
+        assert vector.contains_key(vector.probe_key(42))
+        assert scalar.contains_key(scalar.probe_key(42))
+
+    def test_validation_parity(self):
+        with pytest.raises(ValueError):
+            VectorBloomFilter(0, 4)
+        with pytest.raises(ValueError):
+            VectorBloomFilter(64, 4, MultiplicativeHashFamily(4, 128))
+
+
+class TestBankedDifferential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_recorded_sequences(self, seed):
+        scalar, vector = banked_pair()
+        harness = DifferentialHarness(scalar, vector, state_fn=bloom_state)
+        harness.replay(bloom_ops(seed))
+
+    def test_probe_keys_are_scalar_shaped(self):
+        scalar, vector = banked_pair()
+        assert vector.probe_key(1234) == scalar.probe_key(1234)
+        scalar.insert(1234)
+        vector.insert(1234)
+        # Keys interchange across engines: same tuples, same semantics.
+        assert vector.contains_key(scalar.probe_key(1234))
+        assert scalar.contains_key(vector.probe_key(1234))
+
+    def test_observed_rate_multiplies_banks_in_order(self):
+        scalar, vector = banked_pair(bits=64, k=4)
+        for value in range(200):
+            scalar.insert(value)
+            vector.insert(value)
+        assert (
+            scalar.observed_false_positive_rate()
+            == vector.observed_false_positive_rate()
+        )
+
+    def test_validation_parity(self):
+        with pytest.raises(ValueError):
+            VectorBankedBloomFilter(3, 4)
+
+
+class TestBatchKernels:
+    def test_batch_indices_match_scalar_hashing(self):
+        family = shared_multiplicative(4, 512, seed=0x5EED)
+        values = [i * 2654435761 % (1 << 40) for i in range(1000)]
+        batched = batch_indices(family, values)
+        expected = [family.indices_for(value) for value in values]
+        assert [tuple(row) for row in batched.tolist()] == expected
+
+    def test_insert_batch_equals_scalar_insert_loop(self):
+        scalar, vector = flat_pair()
+        values = [i * 7919 for i in range(5000)]
+        scalar.insert_all(values)
+        vector.insert_batch(values)
+        assert bloom_state(scalar) == bloom_state(vector)
+
+    def test_contains_batch_equals_scalar_probe_loop(self):
+        scalar, vector = flat_pair()
+        inserted = [i * 31 for i in range(2000)]
+        scalar.insert_all(inserted)
+        vector.insert_batch(inserted)
+        probes = [i * 17 for i in range(4000)]
+        assert list(vector.contains_batch(probes)) == [
+            scalar.maybe_contains(value) for value in probes
+        ]
+
+    def test_banked_batch_round_trip(self):
+        scalar, vector = banked_pair()
+        values = [i * 104729 for i in range(3000)]
+        scalar.insert_all(values)
+        vector.insert_batch(values)
+        assert bloom_state(scalar) == bloom_state(vector)
+        probes = values[:500] + [10**9 + i for i in range(500)]
+        assert list(vector.contains_batch(probes)) == [
+            scalar.maybe_contains(value) for value in probes
+        ]
+
+    def test_empty_batch_is_noop(self):
+        _, vector = flat_pair()
+        vector.insert_batch([])
+        assert vector.is_empty() and vector.inserted == 0

@@ -1,0 +1,113 @@
+"""Differential tier: vectorized set-associative arrays vs the scalar LRU.
+
+The harness replays probe/fill/evict/remove streams through both engines,
+checking counters, victim choice, and ``resident_lines`` LRU order after
+every op.  Geometries deliberately include non-power-of-two set counts, the
+``_set_mask`` bug class pinned by the satellite regression test.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from kernel_harness import (
+    DifferentialHarness,
+    GuardedArray,
+    setassoc_ops,
+    setassoc_state,
+)
+
+from repro.cache.setassoc import SetAssociativeArray
+from repro.kernels.setassoc import VectorSetAssociativeArray
+from repro.params import LINE_SIZE, CacheGeometry
+
+# (num_sets, ways): pow2 and non-pow2 set counts, direct-mapped included.
+GEOMETRIES = ((8, 2), (16, 4), (3, 2), (5, 1), (6, 4))
+SEEDS = (2020, 7)
+
+
+def pair(num_sets, ways):
+    geometry = CacheGeometry(size_bytes=num_sets * ways * LINE_SIZE, ways=ways)
+    assert geometry.num_sets == num_sets
+    return (
+        SetAssociativeArray(geometry, name="ref"),
+        VectorSetAssociativeArray(geometry, name="cand"),
+    )
+
+
+@pytest.mark.parametrize("num_sets,ways", GEOMETRIES)
+@pytest.mark.parametrize("seed", SEEDS)
+def test_recorded_sequences(num_sets, ways, seed):
+    scalar, vector = pair(num_sets, ways)
+    harness = DifferentialHarness(
+        GuardedArray(scalar), GuardedArray(vector), state_fn=setassoc_state
+    )
+    ops = setassoc_ops(seed, lines=num_sets * ways * 3)
+    assert harness.replay(ops) == len(ops)
+
+
+def test_eviction_victim_is_lru():
+    scalar, vector = pair(1, 4)
+    addrs = [i * LINE_SIZE for i in range(4)]
+    for array in (scalar, vector):
+        for addr in addrs:
+            array.fill(addr)
+        # Touch line 0 so line 1 becomes LRU.
+        assert array.lookup(addrs[0]) is not None
+        _, victims = array.fill(4 * LINE_SIZE)
+        assert [meta.line_addr for meta in victims] == [addrs[1]]
+    assert setassoc_state(scalar) == setassoc_state(vector)
+
+
+def test_touch_order_matches_after_interleaved_hits():
+    scalar, vector = pair(2, 4)
+    stream = [0, 2, 4, 6, 0, 4, 8, 2, 10, 0, 12, 6]
+    for array in (scalar, vector):
+        for line in stream:
+            addr = line * LINE_SIZE
+            if array.lookup(addr) is None:
+                array.fill(addr)
+    assert scalar.resident_lines() == vector.resident_lines()
+    assert (scalar.hits, scalar.misses) == (vector.hits, vector.misses)
+
+
+def test_meta_mutations_visible_through_peek():
+    scalar, vector = pair(4, 2)
+    for array in (scalar, vector):
+        meta, _ = array.fill(7 * LINE_SIZE)
+        meta.dirty = True
+        meta.mesi = "M"
+        meta.tx_readers = {3}
+    assert setassoc_state(scalar) == setassoc_state(vector)
+
+
+def test_occupancy_by_predicate_parity():
+    scalar, vector = pair(4, 4)
+    for array in (scalar, vector):
+        for line in range(10):
+            meta, _ = array.fill(line * LINE_SIZE)
+            meta.dirty = line % 3 == 0
+    predicate = lambda meta: meta.dirty
+    assert scalar.occupancy_by_predicate(predicate) == vector.occupancy_by_predicate(
+        predicate
+    )
+
+
+def test_clear_resets_counters_and_residency():
+    scalar, vector = pair(3, 2)
+    for array in (scalar, vector):
+        for line in range(9):
+            if array.peek(line * LINE_SIZE) is None:
+                array.fill(line * LINE_SIZE)
+        array.clear()
+    assert setassoc_state(scalar) == setassoc_state(vector)
+    assert vector.resident_count() == 0
+
+
+def test_probe_batch_matches_peek_loop():
+    _, vector = pair(8, 2)
+    for line in range(0, 24, 2):
+        vector.fill(line * LINE_SIZE)
+    addrs = [line * LINE_SIZE for line in range(30)]
+    hits = vector.probe_batch(addrs)
+    assert list(hits) == [vector.peek(addr) is not None for addr in addrs]

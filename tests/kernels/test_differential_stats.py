@@ -1,0 +1,119 @@
+"""Differential tier: histogram bucketing and latency accumulation kernels."""
+
+import math
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from kernel_harness import (
+    DifferentialHarness,
+    histogram_ops,
+    histogram_state,
+    stateless,
+)
+
+from repro.kernels.latency import LEVELS, LatencyTable, VectorLatencyTable
+from repro.kernels.stats import VectorHistogram
+from repro.params import LatencyConfig
+from repro.sim.stats import Histogram
+
+SEEDS = (2020, 7, 41)
+
+
+class TestHistogramDifferential:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_recorded_sequences(self, seed):
+        harness = DifferentialHarness(
+            Histogram(), VectorHistogram(), state_fn=histogram_state
+        )
+        ops = histogram_ops(seed)
+        assert harness.replay(ops) == len(ops)
+
+    def test_bucket_edges(self):
+        # Values straddling every power-of-two bucket edge, plus the
+        # sub-1 floor bucket and the top-bucket clamp.
+        edges = [0.0, 0.5, 0.999, 1.0, 1.5, 2.0, 3.9, 4.0]
+        edges += [2.0**exp - 0.5 for exp in range(1, 40)]
+        edges += [2.0**exp for exp in range(1, 40)]
+        edges += [2.0**exp + 0.5 for exp in range(1, 40)]
+        scalar, vector = Histogram(), VectorHistogram()
+        for value in edges:
+            scalar.record(value)
+            vector.record(value)
+        assert histogram_state(scalar) == histogram_state(vector)
+
+    def test_sum_is_left_fold_identical(self):
+        # Pathological float mix where pairwise summation would differ
+        # from a left fold — the vector engine must keep the fold.  A left
+        # fold loses every +1.0 against 1e16; numpy's pairwise sum would
+        # gather them first and report 1e16 + 1000.
+        values = [1e16] + [1.0] * 1000
+        scalar, vector = Histogram(), VectorHistogram()
+        for value in values:
+            scalar.record(value)
+            vector.record(value)
+        assert scalar.mean == vector.mean
+        assert scalar._sum == vector._sum == 1e16
+
+    def test_percentiles_identical(self):
+        scalar, vector = Histogram(), VectorHistogram()
+        import random
+
+        rng = random.Random(77)
+        for _ in range(5000):
+            value = rng.random() * 10 ** rng.randrange(8)
+            scalar.record(value)
+            vector.record(value)
+        for q in (0.5, 0.9, 0.95, 0.99, 1.0):
+            assert scalar.percentile(q) == vector.percentile(q)
+
+
+class TestLatencyDifferential:
+    def tables(self):
+        latency = LatencyConfig()
+        return LatencyTable(latency), VectorLatencyTable(latency)
+
+    def test_hit_constants_match_hierarchy_order(self):
+        latency = LatencyConfig()
+        table = LatencyTable(latency)
+        assert table.l1_hit_ns == latency.l1_ns
+        assert table.llc_hit_ns == latency.l1_ns + latency.llc_ns
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_resolve_batch(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        records = [
+            (rng.choice(LEVELS), rng.random() * 200.0) for _ in range(2000)
+        ]
+        levels = [level for level, _ in records]
+        mems = [mem for _, mem in records]
+        scalar, vector = self.tables()
+        harness = DifferentialHarness(scalar, vector, state_fn=stateless)
+        harness.apply("resolve_batch", levels, mems)
+        harness.apply("accumulate", levels, mems)
+
+    def test_accumulate_total_is_fsum_exact(self):
+        scalar, vector = self.tables()
+        levels = ["mem"] * 2000
+        mems = [1e16, 1.0, -1e16, 1.0] * 500
+        _, _, scalar_total = scalar.accumulate(levels, mems)
+        _, _, vector_total = vector.accumulate(levels, mems)
+        expected = math.fsum(scalar.resolve("mem", mem) for mem in mems)
+        assert scalar_total == expected
+        assert vector_total == expected
+
+    def test_unknown_level_raises_in_both(self):
+        scalar, vector = self.tables()
+        with pytest.raises(ValueError):
+            scalar.resolve_batch(["l1", "l4"], [0.0, 0.0])
+        with pytest.raises(ValueError):
+            vector.resolve_batch(["l1", "l4"], [0.0, 0.0])
+
+    def test_empty_batch(self):
+        scalar, vector = self.tables()
+        assert list(scalar.resolve_batch([], [])) == []
+        assert list(vector.resolve_batch([], [])) == []
+        assert scalar.accumulate([], []) == vector.accumulate([], [])

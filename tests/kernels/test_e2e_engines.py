@@ -1,0 +1,31 @@
+"""End-to-end bit-identity: whole figure exports, scalar vs vectorized.
+
+The acceptance bar for the vectorized engines is byte-identical fig2 and
+fig7 exports across engines at the smoke scale, for two seeds.  The engine
+is selected the same way ``python -m repro --engine`` does it: through the
+process-default environment variable, so this also covers the CLI plumbing.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.harness.bench import SMOKE_SCALE
+from repro.harness.export import to_json
+from repro.harness.figures import fig2, fig7
+from repro.kernels import ENGINE_ENV_VAR
+
+FIGURES = {"fig2": fig2, "fig7": fig7}
+
+
+def export(monkeypatch, figure, engine, seed):
+    monkeypatch.setenv(ENGINE_ENV_VAR, engine)
+    return to_json([FIGURES[figure](quick=True, scale=SMOKE_SCALE, seed=seed)])
+
+
+@pytest.mark.parametrize("figure", sorted(FIGURES))
+@pytest.mark.parametrize("seed", (2020, 7))
+def test_exports_byte_identical_across_engines(monkeypatch, figure, seed):
+    scalar = export(monkeypatch, figure, "scalar", seed)
+    vectorized = export(monkeypatch, figure, "vectorized", seed)
+    assert scalar == vectorized

@@ -1,0 +1,187 @@
+"""Engine knob resolution, numpy-optional fallback, and fingerprint policy."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.kernels import (
+    ENGINE_CHOICES,
+    ENGINE_ENV_VAR,
+    SCALAR_KIT,
+    VECTOR_KIT,
+    kit_for,
+    resolve_engine,
+)
+from repro.kernels._np import NUMPY_MISSING_MSG, numpy_available
+
+
+@pytest.fixture(autouse=True)
+def clean_env(monkeypatch):
+    monkeypatch.delenv(ENGINE_ENV_VAR, raising=False)
+
+
+class TestResolveEngine:
+    def test_default_is_scalar(self):
+        assert resolve_engine(None) == "scalar"
+        assert resolve_engine("scalar") == "scalar"
+
+    def test_env_var_sets_process_default(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "scalar")
+        assert resolve_engine(None) == "scalar"
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ConfigError):
+            resolve_engine("simd")
+
+    def test_unknown_env_value_rejected(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "turbo")
+        with pytest.raises(ConfigError):
+            resolve_engine(None)
+
+    @pytest.mark.skipif(not numpy_available(), reason="needs numpy")
+    def test_vectorized_and_auto_with_numpy(self):
+        assert resolve_engine("vectorized") == "vectorized"
+        assert resolve_engine("auto") == "vectorized"
+
+
+class TestKits:
+    def test_scalar_kit_classes(self):
+        from repro.cache.setassoc import SetAssociativeArray
+        from repro.signatures.bloom import BankedBloomFilter, BloomFilter
+        from repro.sim.stats import Histogram
+
+        kit = kit_for("scalar")
+        assert kit is SCALAR_KIT
+        assert kit.bloom_cls is BloomFilter
+        assert kit.banked_bloom_cls is BankedBloomFilter
+        assert kit.setassoc_cls is SetAssociativeArray
+        assert kit.histogram_cls is Histogram
+
+    @pytest.mark.skipif(not numpy_available(), reason="needs numpy")
+    def test_vector_kit_classes(self):
+        from repro.kernels.signatures import (
+            VectorBankedBloomFilter,
+            VectorBloomFilter,
+        )
+        from repro.kernels.setassoc import VectorSetAssociativeArray
+        from repro.kernels.stats import VectorHistogram
+
+        kit = kit_for("vectorized")
+        assert kit is VECTOR_KIT
+        assert kit.bloom_cls is VectorBloomFilter
+        assert kit.banked_bloom_cls is VectorBankedBloomFilter
+        assert kit.setassoc_cls is VectorSetAssociativeArray
+        assert kit.histogram_cls is VectorHistogram
+
+
+class TestNumpyMissing:
+    """Behaviour when the optional extra is not installed.
+
+    Simulated by blanking the module-level numpy reference in the single
+    import gate every kernel goes through.
+    """
+
+    @pytest.fixture(autouse=True)
+    def no_numpy(self, monkeypatch):
+        monkeypatch.setattr("repro.kernels._np.numpy", None)
+
+    def test_vectorized_raises_clear_error(self):
+        with pytest.raises(ConfigError) as excinfo:
+            resolve_engine("vectorized")
+        assert str(excinfo.value) == NUMPY_MISSING_MSG
+        assert "pip install repro[vectorized]" in str(excinfo.value)
+        assert "engine='auto'" in str(excinfo.value)
+
+    def test_auto_falls_back_to_scalar(self):
+        assert resolve_engine("auto") == "scalar"
+        assert kit_for("auto").name == "scalar"
+
+    def test_env_var_auto_falls_back(self, monkeypatch):
+        monkeypatch.setenv(ENGINE_ENV_VAR, "auto")
+        assert resolve_engine(None) == "scalar"
+
+    def test_scalar_system_still_builds(self):
+        from repro.params import HTMConfig, MachineConfig
+        from repro.runtime.system import System
+
+        system = System(
+            MachineConfig.scaled(1 / 64, cores=2), HTMConfig(), engine="scalar"
+        )
+        assert system.engine_name == "scalar"
+
+    def test_vectorized_system_raises(self):
+        from repro.params import HTMConfig, MachineConfig
+        from repro.runtime.system import System
+
+        with pytest.raises(ConfigError):
+            System(
+                MachineConfig.scaled(1 / 64, cores=2),
+                HTMConfig(),
+                engine="vectorized",
+            )
+
+
+def tiny_spec(**overrides):
+    from repro.harness.config import ExperimentSpec, consolidated
+    from repro.params import HTMConfig
+    from repro.workloads import WorkloadParams
+
+    base = ExperimentSpec(
+        name="engine-tiny",
+        htm=HTMConfig(),
+        benchmarks=consolidated(
+            "hashmap",
+            1,
+            WorkloadParams(
+                threads=2,
+                txs_per_thread=2,
+                value_bytes=16 << 10,
+                keys=64,
+                initial_fill=16,
+            ),
+        ),
+        scale=1 / 64,
+        cores=2,
+    )
+    return dataclasses.replace(base, **overrides)
+
+
+class TestSpecEngineField:
+    def tiny_spec(self, **overrides):
+        return tiny_spec(**overrides)
+
+    def test_engine_validated(self):
+        for engine in ENGINE_CHOICES:
+            assert self.tiny_spec(engine=engine).engine == engine
+        with pytest.raises(ConfigError):
+            self.tiny_spec(engine="simd")
+
+    def test_fingerprint_ignores_engine(self):
+        from repro.harness.cache import spec_fingerprint
+
+        scalar = self.tiny_spec(engine="scalar")
+        vector = self.tiny_spec(engine="vectorized")
+        default = self.tiny_spec()
+        assert spec_fingerprint(scalar) == spec_fingerprint(vector)
+        assert spec_fingerprint(scalar) == spec_fingerprint(default)
+
+    def test_fingerprint_still_separates_real_knobs(self):
+        from repro.harness.cache import spec_fingerprint
+
+        base = self.tiny_spec(engine="scalar")
+        other = dataclasses.replace(base, seed=base.seed + 1)
+        assert spec_fingerprint(base) != spec_fingerprint(other)
+
+
+class TestStatsInjection:
+    def test_registry_uses_injected_histogram_cls(self):
+        from repro.sim.stats import Histogram, StatsRegistry
+
+        class Marker(Histogram):
+            __slots__ = ()
+
+        registry = StatsRegistry(histogram_cls=Marker)
+        assert type(registry.histogram("lat")) is Marker
+        default = StatsRegistry()
+        assert type(default.histogram("lat")) is Histogram

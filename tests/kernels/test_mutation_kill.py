@@ -1,0 +1,186 @@
+"""Mutation kill-tests: seeded kernel bugs must trip the harness.
+
+Each mutant below plants one representative bug from a class the vectorized
+kernels could realistically have (a dropped mask bit, an off-by-one set
+index, a shifted histogram bucket, a wrong latency constant).  The harness
+replays the *same* recorded sequences the real engines pass in the
+differential tier — if a mutant survives, the tier is not actually capable
+of detecting that divergence and the test fails.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from kernel_harness import (
+    DifferentialHarness,
+    Divergence,
+    GuardedArray,
+    bloom_ops,
+    bloom_state,
+    histogram_ops,
+    histogram_state,
+    setassoc_ops,
+    setassoc_state,
+    stateless,
+)
+
+from repro.cache.setassoc import SetAssociativeArray
+from repro.kernels.latency import LatencyTable, VectorLatencyTable
+from repro.kernels.setassoc import VectorSetAssociativeArray
+from repro.kernels.signatures import VectorBloomFilter
+from repro.kernels.stats import VectorHistogram
+from repro.params import LINE_SIZE, CacheGeometry, LatencyConfig
+from repro.signatures.bloom import BloomFilter
+from repro.signatures.hashing import shared_multiplicative
+from repro.sim.stats import Histogram
+
+
+def kill(reference, mutant, state_fn, ops):
+    """The mutant must diverge from the reference somewhere in ``ops``."""
+    harness = DifferentialHarness(reference, mutant, state_fn=state_fn)
+    with pytest.raises(Divergence):
+        harness.replay(ops)
+
+
+# -- Bloom mutants -----------------------------------------------------------
+
+
+class DroppedBitBloom(VectorBloomFilter):
+    """Sets k-1 of the k probe bits: a masked-out hash function."""
+
+    def insert(self, value):
+        key = self.probe_key(value)
+        mutated = key.copy()
+        mutated[-1] = 0
+        self._words |= mutated
+        self._inserted += 1
+
+
+class FlippedMaskBloom(VectorBloomFilter):
+    """ORs the complement of one probe word: a ~ where a copy belongs."""
+
+    def insert(self, value):
+        key = self.probe_key(value).copy()
+        key[0] = ~key[0]
+        self._words |= key
+        self._inserted += 1
+
+
+@pytest.mark.parametrize("mutant_cls", [DroppedBitBloom, FlippedMaskBloom])
+def test_bloom_mutants_killed(mutant_cls):
+    family = shared_multiplicative(4, 1024, seed=0x5EED)
+    kill(
+        BloomFilter(1024, 4, family),
+        mutant_cls(1024, 4, family),
+        bloom_state,
+        bloom_ops(2020),
+    )
+
+
+def test_real_bloom_passes_same_sequence():
+    family = shared_multiplicative(4, 1024, seed=0x5EED)
+    harness = DifferentialHarness(
+        BloomFilter(1024, 4, family),
+        VectorBloomFilter(1024, 4, family),
+        state_fn=bloom_state,
+    )
+    harness.replay(bloom_ops(2020))
+
+
+# -- Set-associative mutants -------------------------------------------------
+
+
+class OffByOneSetIndex(VectorSetAssociativeArray):
+    """Maps every line one set over: the classic ``_set_mask`` bug."""
+
+    def _set_index(self, line_addr):
+        return (super()._set_index(line_addr) + 1) % self.geometry.num_sets
+
+
+class MRUVictim(VectorSetAssociativeArray):
+    """Evicts the most-recently-used way instead of the least."""
+
+    def fill(self, line_addr):
+        set_index = self._set_index(line_addr)
+        row = self._tags[set_index]
+        if not (row < 0).any():
+            # Force the victim choice wrong by pre-aging the true LRU way.
+            lru_way = int(self._np.argmin(self._stamps[set_index]))
+            mru_way = int(self._np.argmax(self._stamps[set_index]))
+            stamps = self._stamps[set_index]
+            stamps[lru_way], stamps[mru_way] = (
+                stamps[mru_way],
+                stamps[lru_way],
+            )
+        return super().fill(line_addr)
+
+
+def setassoc_pair(mutant_cls, num_sets=4, ways=2):
+    geometry = CacheGeometry(size_bytes=num_sets * ways * LINE_SIZE, ways=ways)
+    return (
+        GuardedArray(SetAssociativeArray(geometry, name="ref")),
+        GuardedArray(mutant_cls(geometry, name="mut")),
+    )
+
+
+@pytest.mark.parametrize("mutant_cls", [OffByOneSetIndex, MRUVictim])
+def test_setassoc_mutants_killed(mutant_cls):
+    reference, mutant = setassoc_pair(mutant_cls)
+    kill(reference, mutant, setassoc_state, setassoc_ops(2020, lines=32))
+
+
+def test_real_setassoc_passes_same_sequence():
+    reference, candidate = setassoc_pair(VectorSetAssociativeArray)
+    harness = DifferentialHarness(
+        reference, candidate, state_fn=setassoc_state
+    )
+    harness.replay(setassoc_ops(2020, lines=32))
+
+
+# -- Histogram mutant --------------------------------------------------------
+
+
+class ShiftedBucketHistogram(VectorHistogram):
+    """Buckets every value one power of two low."""
+
+    def record(self, value):
+        super().record(value / 2 if value >= 2 else value)
+
+
+def test_histogram_mutant_killed():
+    kill(
+        Histogram(),
+        ShiftedBucketHistogram(),
+        histogram_state,
+        histogram_ops(2020),
+    )
+
+
+def test_real_histogram_passes_same_sequence():
+    harness = DifferentialHarness(
+        Histogram(), VectorHistogram(), state_fn=histogram_state
+    )
+    harness.replay(histogram_ops(2020))
+
+
+# -- Latency mutant ----------------------------------------------------------
+
+
+class WrongLLCConstant(VectorLatencyTable):
+    """Charges bare llc_ns for an LLC hit, forgetting the L1 traversal."""
+
+    def __init__(self, latency):
+        super().__init__(latency)
+        self.llc_hit_ns = latency.llc_ns
+
+
+def test_latency_mutant_killed():
+    latency = LatencyConfig()
+    levels = ["l1", "llc", "mem", "llc"] * 50
+    mems = [0.0, 0.0, 82.0, 0.0] * 50
+    harness = DifferentialHarness(
+        LatencyTable(latency), WrongLLCConstant(latency), state_fn=stateless
+    )
+    with pytest.raises(Divergence):
+        harness.apply("resolve_batch", levels, mems)

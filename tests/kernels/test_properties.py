@@ -1,0 +1,135 @@
+"""Hypothesis property suites: random op streams through both engines.
+
+The recorded-sequence tests pin specific seeds; these search the op space.
+Strategies generate (name, args) streams directly so shrunk failures are
+replayable op lists.
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from kernel_harness import (
+    DifferentialHarness,
+    GuardedArray,
+    bloom_state,
+    histogram_state,
+    setassoc_state,
+)
+
+from repro.cache.setassoc import SetAssociativeArray
+from repro.kernels.setassoc import VectorSetAssociativeArray
+from repro.kernels.signatures import VectorBankedBloomFilter, VectorBloomFilter
+from repro.params import LINE_SIZE, CacheGeometry
+from repro.signatures.bloom import BankedBloomFilter, BloomFilter
+from repro.signatures.hashing import shared_multiplicative
+
+COMMON = dict(max_examples=60, deadline=None)
+
+values = st.integers(min_value=0, max_value=(1 << 40) - 1)
+
+bloom_op = st.one_of(
+    st.tuples(st.just("insert"), values),
+    st.tuples(st.just("maybe_contains"), values),
+    st.tuples(st.just("popcount")),
+    st.tuples(st.just("saturation")),
+    st.tuples(st.just("is_empty")),
+    st.tuples(st.just("clear")),
+)
+
+
+@settings(**COMMON)
+@given(ops=st.lists(bloom_op, max_size=120))
+def test_flat_bloom_property(ops):
+    family = shared_multiplicative(4, 512, seed=1)
+    harness = DifferentialHarness(
+        BloomFilter(512, 4, family),
+        VectorBloomFilter(512, 4, family),
+        state_fn=bloom_state,
+    )
+    harness.replay(ops)
+
+
+@settings(**COMMON)
+@given(ops=st.lists(bloom_op, max_size=120))
+def test_banked_bloom_property(ops):
+    family = shared_multiplicative(4, 128, seed=2)
+    harness = DifferentialHarness(
+        BankedBloomFilter(512, 4, family),
+        VectorBankedBloomFilter(512, 4, family),
+        state_fn=bloom_state,
+    )
+    harness.replay(ops)
+
+
+@settings(**COMMON)
+@given(batch=st.lists(values, max_size=300))
+def test_insert_batch_property(batch):
+    family = shared_multiplicative(4, 512, seed=3)
+    scalar = BloomFilter(512, 4, family)
+    vector = VectorBloomFilter(512, 4, family)
+    scalar.insert_all(batch)
+    vector.insert_batch(batch)
+    assert bloom_state(scalar) == bloom_state(vector)
+    assert list(vector.contains_batch(batch)) == [True] * len(batch)
+
+
+line_addrs = st.integers(min_value=0, max_value=63).map(
+    lambda line: line * LINE_SIZE
+)
+
+setassoc_op = st.one_of(
+    st.tuples(st.just("lookup"), line_addrs),
+    st.tuples(st.just("peek"), line_addrs),
+    st.tuples(st.just("fill_if_absent"), line_addrs),
+    st.tuples(st.just("remove"), line_addrs),
+    st.tuples(st.just("resident_lines")),
+    st.tuples(st.just("clear")),
+)
+
+
+@settings(**COMMON)
+@given(
+    ops=st.lists(setassoc_op, max_size=200),
+    geometry=st.sampled_from([(4, 2), (3, 2), (5, 1), (8, 4)]),
+)
+def test_setassoc_property(ops, geometry):
+    num_sets, ways = geometry
+    geom = CacheGeometry(size_bytes=num_sets * ways * LINE_SIZE, ways=ways)
+    harness = DifferentialHarness(
+        GuardedArray(SetAssociativeArray(geom, name="ref")),
+        GuardedArray(VectorSetAssociativeArray(geom, name="cand")),
+        state_fn=setassoc_state,
+    )
+    harness.replay(ops)
+
+
+sample_values = st.floats(
+    min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False
+)
+
+histogram_op = st.one_of(
+    st.tuples(st.just("record"), sample_values),
+    st.tuples(st.just("count")),
+    st.tuples(st.just("mean")),
+    st.tuples(st.just("max")),
+    st.tuples(
+        st.just("percentile"), st.floats(min_value=0.01, max_value=1.0)
+    ),
+)
+
+
+@settings(**COMMON)
+@given(ops=st.lists(histogram_op, max_size=200))
+def test_histogram_property(ops):
+    from repro.kernels.stats import VectorHistogram
+    from repro.sim.stats import Histogram
+
+    harness = DifferentialHarness(
+        Histogram(), VectorHistogram(), state_fn=histogram_state
+    )
+    harness.replay(ops)

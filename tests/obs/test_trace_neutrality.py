@@ -63,3 +63,39 @@ class TestTraceGridParallel:
             assert run_result_to_dict(a.result) == run_result_to_dict(b.result)
             assert a.events == b.events  # the stream survives pickling intact
             assert a.dropped == b.dropped
+
+
+class TestTraceNeutralityPerEngine:
+    """The tracer sees the same simulation whichever kernel engine runs it.
+
+    Scalar and vectorized engines are bit-identical by contract, so the
+    traced event stream — not just the metrics — must match across engines
+    too.  This extends the neutrality proof from "tracing doesn't change
+    the run" to "tracing can't even tell the engines apart".
+    """
+
+    def _trace(self, spec, engine):
+        import dataclasses
+
+        return trace_experiment(dataclasses.replace(spec, engine=engine))
+
+    def test_events_and_metrics_identical_across_engines(self, tiny_spec):
+        import pytest
+
+        pytest.importorskip("numpy")
+        scalar = self._trace(tiny_spec, "scalar")
+        vectorized = self._trace(tiny_spec, "vectorized")
+        assert run_result_to_dict(scalar.result) == run_result_to_dict(
+            vectorized.result
+        )
+        assert scalar.events == vectorized.events
+        assert scalar.dropped == vectorized.dropped
+
+    def test_contended_events_identical_across_engines(self, contended_spec):
+        import pytest
+
+        pytest.importorskip("numpy")
+        scalar = self._trace(contended_spec, "scalar")
+        vectorized = self._trace(contended_spec, "vectorized")
+        assert scalar.result.aborts > 0, "spec not contended enough to test"
+        assert scalar.events == vectorized.events
