@@ -41,6 +41,7 @@ SUBCOMMANDS = {
     "profile": ("repro.perf.cli", "phase-level profiling reports"),
     "serve": ("repro.serve.cli", "sharded job service with checkpoint/resume"),
     "trace": ("repro.obs.cli", "transaction tracing and abort forensics"),
+    "traffic": ("repro.traffic.cli", "open-loop multi-tenant tail latency"),
 }
 
 

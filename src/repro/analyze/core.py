@@ -54,6 +54,7 @@ KNOWN_PACKAGES = frozenset(
         "obs",
         "runtime",
         "serve",
+        "traffic",
         "analyze",
     }
 )

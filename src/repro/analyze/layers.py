@@ -54,6 +54,12 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
     "serve": frozenset(
         {"mem", "sim", "htm", "runtime", "workloads", "harness"}
     ),
+    # Traffic reporting sits on top like obs (which it drives for traced
+    # tail forensics); the scenario's moving parts live lower — arrivals
+    # in sim/, the tenant workload in workloads/, the figure in harness/.
+    "traffic": frozenset(
+        {"mem", "sim", "htm", "runtime", "workloads", "harness", "obs"}
+    ),
     "analyze": frozenset(),
 }
 

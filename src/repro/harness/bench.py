@@ -71,29 +71,46 @@ MIN_COMPARABLE_S = 0.05
 ABS_SLACK_S = 0.1
 
 
-def compare_to_baseline(
-    artifact: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
-) -> List[str]:
-    """Per-point perf gate: current vs baseline elapsed seconds.
+def comparable_points(
+    artifact: dict, baseline: dict
+) -> List[Tuple[dict, dict]]:
+    """``(current, baseline)`` point pairs the gates may consider.
 
-    Returns human-readable violation lines (empty means the gate passes).
-    A point participates only when it matches a baseline point by
-    ``(label, key)``, was simulated (not cache-served) in both runs, and
-    the baseline time is above :data:`MIN_COMPARABLE_S`; it fails when it
-    exceeds ``baseline * (1 + tolerance) + ABS_SLACK_S``.
+    A pair forms when the points match by ``(label, key)`` and both were
+    simulated (not cache-served).  Every gate draws from this one pairing,
+    and the CLI counts the pairs so a run where the gate compared *nothing*
+    — a stale or mismatched baseline — fails loudly instead of passing
+    vacuously.
     """
 
     def point_id(point: dict) -> tuple:
         return (point.get("label"), json.dumps(point.get("key")))
 
     base_points = {point_id(p): p for p in baseline.get("points", ())}
-    violations = []
+    pairs = []
     for point in artifact.get("points", ()):
         base = base_points.get(point_id(point))
         if base is None:
             continue
         if point.get("cached") or base.get("cached"):
             continue
+        pairs.append((point, base))
+    return pairs
+
+
+def compare_to_baseline(
+    artifact: dict, baseline: dict, tolerance: float = DEFAULT_TOLERANCE
+) -> List[str]:
+    """Per-point perf gate: current vs baseline elapsed seconds.
+
+    Returns human-readable violation lines (empty means the gate passes).
+    A point participates only when it pairs up under
+    :func:`comparable_points` and the baseline time is above
+    :data:`MIN_COMPARABLE_S`; it fails when it exceeds
+    ``baseline * (1 + tolerance) + ABS_SLACK_S``.
+    """
+    violations = []
+    for point, base in comparable_points(artifact, baseline):
         base_s = base.get("elapsed_s", 0.0)
         if base_s < MIN_COMPARABLE_S:
             continue
@@ -119,20 +136,11 @@ def aggregate_speedup(
 
     The cross-engine gate: per-point tolerances compare like with like, so
     when the current engine differs from the baseline's the useful question
-    is the *aggregate* ratio.  Points pair by ``(label, key)`` and only
-    simulated-in-both pairs count, mirroring :func:`compare_to_baseline`.
+    is the *aggregate* ratio.  Points pair under :func:`comparable_points`.
     """
-
-    def point_id(point: dict) -> tuple:
-        return (point.get("label"), json.dumps(point.get("key")))
-
-    base_points = {point_id(p): p for p in baseline.get("points", ())}
     base_total = current_total = 0.0
     matched = 0
-    for point in artifact.get("points", ()):
-        base = base_points.get(point_id(point))
-        if base is None or point.get("cached") or base.get("cached"):
-            continue
+    for point, base in comparable_points(artifact, baseline):
         base_total += base.get("elapsed_s", 0.0)
         current_total += point["elapsed_s"]
         matched += 1
@@ -416,6 +424,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     summary_rows = []
     violations: List[str] = []
+    compared_total = 0
+    baselines_loaded = 0
     for name in names:
         if name == "kernels":
             artifact, total_s = _kernel_artifact(args, engine)
@@ -440,7 +450,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             if baseline is None:
                 print(f"[{name}] no baseline at {baseline_path}; not gated")
             else:
+                baselines_loaded += 1
                 base_engine = artifact_engine(baseline)
+                if "engine" not in baseline:
+                    # Pre-engine artifacts were all scalar measurements;
+                    # assume that rather than refusing, but say so.
+                    print(
+                        f"[{name}] warning: baseline {baseline_path} has no "
+                        f"engine field; assuming {base_engine!r}"
+                    )
+                compared_total += len(comparable_points(artifact, baseline))
                 if base_engine == engine:
                     found = compare_to_baseline(
                         artifact, baseline, args.tolerance
@@ -520,11 +539,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             f"{stats.stores} stores, {stats.simulations} simulations"
             + (f", {stats.corrupt} corrupt entries skipped" if stats.corrupt else "")
         )
+    if (
+        args.compare is not None
+        and baselines_loaded > 0
+        and compared_total == 0
+    ):
+        # Baselines were found, yet the gate paired zero points: a stale
+        # baseline, renamed labels, or an all-cached run.  That must fail
+        # loudly rather than report a vacuous pass.  (No baseline at all
+        # stays non-fatal — that is the bootstrap path that seeds one.)
+        violations.append(
+            "--compare matched zero simulated points across "
+            f"{baselines_loaded} baseline(s); the perf gate compared nothing"
+        )
     if violations:
         print(f"\nperf gate FAILED ({len(violations)} regression(s)):")
         for line in violations:
             print(f"  {line}")
         return 1
     if args.compare is not None:
-        print("\nperf gate passed")
+        print(f"\nperf gate passed ({compared_total} points compared)")
     return 0

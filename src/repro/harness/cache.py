@@ -49,7 +49,8 @@ from .metrics import RunResult, run_result_from_dict, run_result_to_dict
 
 #: Stamp covering everything that can change a result besides the spec —
 #: i.e. the simulator code itself.  Bump on any behaviour-changing change.
-CACHE_VERSION = 1
+#: v2: RunResult grew the ``latency`` traffic summary.
+CACHE_VERSION = 2
 
 #: Process-local staging-file sequence: makes concurrent ``put`` calls from
 #: threads of one process stage under distinct names too.

@@ -628,6 +628,169 @@ def abort_claim(
     return result
 
 
+# ------------------------------------------------- traffic (open-loop)
+
+
+#: Tenants in the traffic scenario: one ``open_loop`` benchmark instance —
+#: and therefore one simulated process / conflict domain — each.
+TRAFFIC_TENANTS = 4
+
+#: The figure's domain axis: the same signature hardware with conflict-
+#: domain isolation off (one shared domain's worth of false aliasing
+#: across tenants) vs on (the paper's per-tenant isolation, Section IV-D).
+TRAFFIC_DOMAINS: Tuple[Tuple[str, bool], ...] = (
+    ("shared", False),
+    ("isolated", True),
+)
+
+
+def traffic_matrix(quick: bool) -> Tuple[Tuple[str, ...], Tuple[str, ...]]:
+    """(inner stores, arrival models) the scenario sweeps."""
+    inners = (
+        ("hybrid_index",) if quick else ("hybrid_index", "dual_kv", "echo")
+    )
+    return inners, ("poisson", "bursty")
+
+
+def traffic_spec(
+    inner: str,
+    arrival: str,
+    domains: str,
+    isolation: bool,
+    quick: bool,
+    scale: float,
+    seed: int,
+) -> ExperimentSpec:
+    """One traffic point: N tenants of one store under one arrival model.
+
+    Sized so each tenant thread sees a few hundred arrivals at ~2/3
+    utilisation — busy enough that queueing (and abort retries) shape a
+    real tail, open enough that the backlog drains.
+    """
+    params = WorkloadParams(
+        threads=2,
+        txs_per_thread=1,  # unused: open-loop runs until the horizon
+        # Large enough that every put overflows the scaled L1 and enters
+        # the staged signature path — without overflow the domains axis is
+        # a no-op because signatures are never consulted.
+        value_bytes=64 * KB,
+        ops_per_tx=2,
+        keys=512,
+        initial_fill=512,
+        update_ratio=1.0,
+    )
+    horizon_ns = 3e6 if quick else 8e6
+    traffic_kwargs = dict(
+        inner=inner,
+        arrival=arrival,
+        mean_gap_ns=25_000.0,
+        horizon_ns=horizon_ns,
+        zipf_theta=0.9,
+        burst_on_ns=300_000.0,
+        burst_off_ns=300_000.0,
+        burst_factor=2.0,
+    )
+    benchmarks = tuple(
+        BenchmarkSpec(
+            "open_loop",
+            params,
+            tuple(sorted(dict(traffic_kwargs, tenant=tenant).items())),
+        )
+        for tenant in range(TRAFFIC_TENANTS)
+    )
+    return _spec(
+        f"traffic:{inner}:{arrival}:{domains}",
+        # 256-bit signatures: small enough that cross-tenant aliasing is
+        # the dominant tail contributor when isolation is off.
+        _uhtm(256, isolation),
+        benchmarks,
+        membound=1,
+        scale=scale,
+        seed=seed,
+    )
+
+
+def traffic_grid(
+    quick: bool = True, scale: float = DEFAULT_SCALE, seed: int = 2020
+) -> List[GridPoint]:
+    inners, arrivals = traffic_matrix(quick)
+    points: List[GridPoint] = []
+    for inner in inners:
+        for arrival in arrivals:
+            for domains, isolation in TRAFFIC_DOMAINS:
+                spec = traffic_spec(
+                    inner, arrival, domains, isolation, quick, scale, seed
+                )
+                points.append(
+                    GridPoint(
+                        spec,
+                        label=f"{inner}:{arrival}:{domains}",
+                        key=(inner, arrival, domains),
+                    )
+                )
+    return points
+
+
+def traffic(
+    quick: bool = True,
+    scale: float = DEFAULT_SCALE,
+    seed: int = 2020,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    executor: Optional[GridExecutor] = None,
+) -> FigureResult:
+    """Open-loop multi-tenant tail latency (the ROADMAP traffic scenario).
+
+    Four tenants of one store each, Zipf-skewed open-loop put traffic
+    (Poisson or bursty arrivals), one LLC-polluting co-runner.  Latency is
+    arrival-to-completion — queueing delay and abort retries included —
+    with exact-sample percentiles.  The ``domains`` axis replays the
+    paper's Section IV-D isolation claim under load: per-tenant conflict
+    domains remove cross-tenant signature aliasing from the tail.
+    """
+    result = FigureResult(
+        "Traffic",
+        "Open-loop tail latency, 4 tenants (arrival->completion, "
+        "microseconds)",
+        [
+            "inner",
+            "arrival",
+            "domains",
+            "p50_us",
+            "p99_us",
+            "p999_us",
+            "abort_rate",
+            "backlog_share",
+        ],
+    )
+    inners, arrivals = traffic_matrix(quick)
+    runs = run_keyed(
+        traffic_grid(quick, scale, seed),
+        jobs=jobs,
+        cache=cache,
+        executor=executor,
+    )
+    for inner in inners:
+        for arrival in arrivals:
+            for domains, _ in TRAFFIC_DOMAINS:
+                run = runs[(inner, arrival, domains)]
+                latency = run.latency
+                requests = latency.get("count", 0.0)
+                result.add_row(
+                    inner,
+                    arrival,
+                    domains,
+                    latency.get("p50", 0.0) / 1e3,
+                    latency.get("p99", 0.0) / 1e3,
+                    latency.get("p999", 0.0) / 1e3,
+                    run.abort_rate,
+                    latency.get("backlogged", 0.0) / requests
+                    if requests
+                    else 0.0,
+                )
+    return result
+
+
 # -------------------------------------------------------------- Tables
 
 
@@ -690,6 +853,7 @@ def table4() -> FigureResult:
         "echo": "Insert/update KV-pairs to persistent hash table",
         "membound": "LLC-hungry streaming co-runner",
         "graphhog": "graph500-style random-walk co-runner",
+        "open_loop": "Open-loop Zipf-skewed tenant traffic generator",
     }
     result = FigureResult(
         "Table IV", "Benchmarks", ["benchmark", "description"]
@@ -707,6 +871,7 @@ ALL_FIGURES = {
     "fig9": fig9,
     "fig10": fig10,
     "abort_claim": abort_claim,
+    "traffic": traffic,
     "table1": table1,
     "table2": table2,
     "table4": table4,
@@ -723,4 +888,5 @@ FIGURE_GRIDS = {
     "fig9": fig9_grid,
     "fig10": fig10_grid,
     "abort_claim": abort_claim_grid,
+    "traffic": traffic_grid,
 }

@@ -32,6 +32,11 @@ class RunResult:
     verified: bool = True
     #: Committed operations per simulated process (consolidation fairness).
     ops_by_process: Dict[int, int] = field(default_factory=dict)
+    #: Open-loop traffic latency summary (empty for closed-loop workloads):
+    #: overall and per-tenant percentiles of arrival-to-completion latency,
+    #: in nanoseconds, plus request/backlog counts — see
+    #: :func:`latency_summary`.
+    latency: Dict[str, float] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -125,6 +130,7 @@ def run_result_from_dict(payload: Dict[str, Any]) -> RunResult:
     """Rebuild a :class:`RunResult` written by :func:`run_result_to_dict`."""
     data = dict(payload)
     data["aborts_by_reason"] = dict(data.get("aborts_by_reason", {}))
+    data["latency"] = dict(data.get("latency", {}))
     data["ops_by_process"] = {
         int(pid): ops for pid, ops in data.get("ops_by_process", {}).items()
     }
@@ -133,6 +139,48 @@ def run_result_from_dict(payload: Dict[str, Any]) -> RunResult:
     if unknown:
         raise ValueError(f"unknown RunResult fields: {sorted(unknown)}")
     return RunResult(**data)
+
+
+#: Stats histogram prefix the open-loop traffic workload records into.
+LATENCY_HISTOGRAM = "traffic.latency_ns"
+
+#: The tail percentiles every traffic report leads with.
+TAIL_FRACTIONS = (("p50", 0.50), ("p99", 0.99), ("p999", 0.999))
+
+
+def latency_summary(stats) -> Dict[str, float]:
+    """Fold the traffic latency histograms into a flat JSON-safe dict.
+
+    Empty when the run recorded no request latency (every closed-loop
+    workload).  Keys: ``count``/``mean``/``max``/``p50``/``p99``/``p999``
+    for the all-tenants histogram, ``<tenant>.p50``-style entries per
+    tenant histogram, and ``backlogged`` (arrivals that found their thread
+    still busy).  Values are floats so the dict round-trips through JSON
+    bit-exactly.
+    """
+    histograms = stats.histograms()
+    base = histograms.get(LATENCY_HISTOGRAM)
+    if base is None or base.count == 0:
+        return {}
+    summary: Dict[str, float] = {
+        "count": float(base.count),
+        "mean": base.mean,
+        "max": base.max,
+    }
+    for name, fraction in TAIL_FRACTIONS:
+        summary[name] = base.percentile(fraction)
+    prefix = LATENCY_HISTOGRAM + "."
+    for name in sorted(histograms):
+        if not name.startswith(prefix):
+            continue
+        histogram = histograms[name]
+        if histogram.count == 0:
+            continue
+        tenant = name[len(prefix):]
+        for tail, fraction in TAIL_FRACTIONS:
+            summary[f"{tenant}.{tail}"] = histogram.percentile(fraction)
+    summary["backlogged"] = float(stats.counter("traffic.backlogged"))
+    return summary
 
 
 def collect_metrics(system: "System", label: str, verified: bool) -> RunResult:
@@ -163,4 +211,5 @@ def collect_metrics(system: "System", label: str, verified: bool) -> RunResult:
         sig_true_hits=stats.counter("sig.hits.true"),
         verified=verified,
         ops_by_process=ops_by_process,
+        latency=latency_summary(stats),
     )

@@ -157,11 +157,16 @@ class JobQueue:
         self,
         spool: Union[str, Path],
         lease_ttl_s: float = DEFAULT_LEASE_TTL_S,
+        clock=None,
     ) -> None:
         self.store = CampaignStore(spool)
         self.lease_ttl_s = lease_ttl_s
         self.cache = ResultCache(self.store.cache_dir)
         self._host = socket.gethostname()
+        # Every wall-clock read the queue makes goes through this one
+        # callable, so tests can freeze time and pin the lease-reclaim
+        # boundary (a lease whose deadline == now is dead) exactly.
+        self._clock = wall_now if clock is None else clock
 
     # -- submission --------------------------------------------------------
 
@@ -206,7 +211,7 @@ class JobQueue:
             campaign_id=campaign_id,
             title=title,
             total_points=len(records),
-            created=wall_now(),
+            created=self._clock(),
             figure=figure,
             quick=quick,
             scale=scale,
@@ -226,7 +231,7 @@ class JobQueue:
     def status(self, campaign_id: str) -> CampaignStatus:
         meta = self.store.load_meta(campaign_id)
         done = failed = leased = 0
-        now = wall_now()
+        now = self._clock()
         for record in self.store.load_records(campaign_id):
             if self.cache.has_fingerprint(record.fingerprint):
                 done += 1
@@ -260,7 +265,7 @@ class JobQueue:
         if not self.store.exists(campaign_id):
             raise ServeError(f"no campaign {campaign_id!r} to cancel")
         write_json_atomic(
-            self.store.cancel_path(campaign_id), {"cancelled": wall_now()}
+            self.store.cancel_path(campaign_id), {"cancelled": self._clock()}
         )
 
     def cancelled(self, campaign_id: str) -> bool:
@@ -274,7 +279,7 @@ class JobQueue:
         """Mark a point failed (workers skip it until the marker is removed)."""
         write_json_atomic(
             self.store.failure_path(campaign_id, index),
-            {"index": index, "message": message, "recorded": wall_now()},
+            {"index": index, "message": message, "recorded": self._clock()},
         )
 
     def failure(self, campaign_id: str, index: int) -> Optional[str]:
@@ -328,7 +333,7 @@ class JobQueue:
             host=self._host,
             pid=pid,
             worker=worker,
-            deadline=wall_now() + self.lease_ttl_s,
+            deadline=self._clock() + self.lease_ttl_s,
         )
 
     def try_claim(
@@ -345,7 +350,7 @@ class JobQueue:
         except FileExistsError:
             pass
         existing = self.peek_lease(campaign_id, index)
-        if existing is not None and not self._lease_dead(existing, wall_now()):
+        if existing is not None and not self._lease_dead(existing, self._clock()):
             return None
         # Dead (or torn) lease: steal by atomic replacement, then read back
         # to see whose token actually landed.

@@ -1,0 +1,115 @@
+"""Open-loop arrival processes and skewed key sampling.
+
+The traffic scenario (``repro.traffic``) drives workloads *open-loop*: each
+request has an absolute arrival time drawn from a stochastic process, and a
+busy server does not slow the arrivals down — latency honestly includes the
+queueing delay behind earlier requests.  Everything here is pure arithmetic
+over a caller-provided ``random.Random`` (a named
+:class:`~repro.sim.rng.RngStreams` stream), so the same seed yields the
+same arrival schedule and key sequence on every run, platform, and worker
+count — the determinism contract the rest of the simulator already keeps.
+
+Two processes are provided:
+
+* :func:`poisson_arrivals` — memoryless arrivals at a constant mean rate;
+* :func:`bursty_arrivals` — an MMPP-style on/off process: exponentially
+  distributed ON periods during which arrivals are Poisson at
+  ``burst_factor`` times the base rate, alternating with silent OFF
+  periods.  Same machinery queueing theory uses to model flash crowds.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import TYPE_CHECKING, Generator, List
+
+from ..errors import ConfigError
+
+if TYPE_CHECKING:  # the streams are random.Random; only the type is needed
+    import random
+
+
+class ZipfSampler:
+    """A seed-stable Zipfian key sampler: rank ``k`` has weight 1/(k+1)^theta.
+
+    The cumulative distribution is precomputed once and sampling is a
+    binary search over it, so one uniform draw maps to one key by pure
+    arithmetic — no rejection loops, no platform-dependent float paths.
+    ``theta = 0`` degenerates to uniform; ``theta ~ 0.99`` is the YCSB
+    default skew.  Rank 0 is the hottest key.
+    """
+
+    def __init__(self, keys: int, theta: float) -> None:
+        if keys < 1:
+            raise ConfigError("ZipfSampler needs at least one key")
+        if theta < 0:
+            raise ConfigError("zipf theta must be >= 0")
+        self.keys = keys
+        self.theta = theta
+        total = 0.0
+        cumulative: List[float] = []
+        for rank in range(keys):
+            total += (rank + 1) ** -theta
+            cumulative.append(total)
+        self._cdf = [value / total for value in cumulative]
+        self._cdf[-1] = 1.0
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one key rank in ``[0, keys)`` from ``rng``."""
+        return min(self.keys - 1, bisect_left(self._cdf, rng.random()))
+
+    def weight(self, rank: int) -> float:
+        """The probability mass of ``rank`` (for tests and reports)."""
+        previous = self._cdf[rank - 1] if rank > 0 else 0.0
+        return self._cdf[rank] - previous
+
+
+def poisson_arrivals(
+    rng: random.Random, mean_gap_ns: float, horizon_ns: float
+) -> Generator[float, None, None]:
+    """Absolute arrival times of a Poisson process over ``[0, horizon_ns)``."""
+    if mean_gap_ns <= 0:
+        raise ConfigError("mean_gap_ns must be > 0")
+    rate = 1.0 / mean_gap_ns
+    at_ns = rng.expovariate(rate)
+    while at_ns < horizon_ns:
+        yield at_ns
+        at_ns += rng.expovariate(rate)
+
+
+def bursty_arrivals(
+    rng: random.Random,
+    mean_gap_ns: float,
+    horizon_ns: float,
+    on_ns: float,
+    off_ns: float,
+    burst_factor: float = 2.0,
+) -> Generator[float, None, None]:
+    """MMPP-style on/off arrivals over ``[0, horizon_ns)``.
+
+    Alternating ON/OFF phases with exponential durations (means ``on_ns``
+    and ``off_ns``, starting ON); arrivals occur only during ON phases, as
+    a Poisson process with mean gap ``mean_gap_ns / burst_factor``.  With
+    ``burst_factor = (on_ns + off_ns) / on_ns`` the long-run rate matches
+    :func:`poisson_arrivals` at the same ``mean_gap_ns``, concentrated
+    into bursts.
+    """
+    if mean_gap_ns <= 0:
+        raise ConfigError("mean_gap_ns must be > 0")
+    if on_ns <= 0 or off_ns <= 0:
+        raise ConfigError("burst on/off durations must be > 0")
+    if burst_factor <= 0:
+        raise ConfigError("burst_factor must be > 0")
+    burst_rate = burst_factor / mean_gap_ns
+    phase_start = 0.0
+    on = True
+    while phase_start < horizon_ns:
+        duration = rng.expovariate(1.0 / (on_ns if on else off_ns))
+        phase_end = phase_start + duration
+        if on:
+            at_ns = phase_start + rng.expovariate(burst_rate)
+            while at_ns < phase_end and at_ns < horizon_ns:
+                yield at_ns
+                at_ns += rng.expovariate(burst_rate)
+        phase_start = phase_end
+        on = not on

@@ -7,8 +7,9 @@ so the harness can snapshot everything a run produced in one place.
 
 from __future__ import annotations
 
+import math
 from collections import defaultdict
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 
 class StatsRegistry:
@@ -60,10 +61,18 @@ class StatsRegistry:
 
     # -- histograms ----------------------------------------------------------
 
-    def histogram(self, name: str) -> "Histogram":
+    def histogram(self, name: str, factory: type = None) -> "Histogram":
+        """The histogram for ``name``, creating it on first use.
+
+        ``factory`` overrides the registry's injected histogram class for
+        this one histogram (e.g. :class:`ReservoirHistogram` for the
+        traffic latency series, whose tail percentiles must be exact).  It
+        only matters at creation time; later lookups return whatever was
+        created first.
+        """
         histogram = self._histograms.get(name)
         if histogram is None:
-            histogram = self._histogram_cls()
+            histogram = (factory or self._histogram_cls)()
             self._histograms[name] = histogram
         return histogram
 
@@ -171,8 +180,15 @@ class Histogram:
         if other._max > self._max:
             self._max = other._max
 
-    def percentile(self, fraction: float) -> float:
-        """Upper bound of the bucket containing the given percentile.
+    def percentile(self, fraction: float, method: str = "upper") -> float:
+        """The given percentile, estimated from the log2 buckets.
+
+        ``method="upper"`` (the historical default, kept for figure parity)
+        reports the *upper bound* of the bucket containing the percentile —
+        coarse enough that p99 and p999 usually collapse to the same
+        power of two.  ``method="interpolated"`` linearly interpolates the
+        percentile's rank within its bucket (clamped to the observed max),
+        which keeps nearby tail percentiles distinct.
 
         An empty histogram — and one whose samples are all zero, where the
         bucket upper bound of 2.0 would overstate every percentile — reports
@@ -180,6 +196,8 @@ class Histogram:
         """
         if not 0 < fraction <= 1:
             raise ValueError("fraction must be in (0, 1]")
+        if method not in ("upper", "interpolated"):
+            raise ValueError(f"unknown percentile method {method!r}")
         self._flush()
         if self._total == 0 or self._max == 0:
             return 0.0
@@ -188,12 +206,86 @@ class Histogram:
         for index, count in enumerate(self._counts):
             seen += count
             if seen >= threshold:
-                return float(2 ** (index + 1))
-        return float(2 ** len(self._counts))
+                if method == "upper":
+                    return float(2 ** (index + 1))
+                low = 0.0 if index == 0 else float(2 ** index)
+                high = float(2 ** (index + 1))
+                within = (threshold - (seen - count)) / count
+                return min(low + (high - low) * within, self._max)
+        if method == "upper":
+            return float(2 ** len(self._counts))
+        return self._max
 
     def nonzero_buckets(self) -> List[Tuple[int, int]]:
         self._flush()
         return [(i, c) for i, c in enumerate(self._counts) if c]
+
+
+class ReservoirHistogram(Histogram):
+    """A histogram that also keeps the raw samples, up to a capacity.
+
+    Log2 buckets are fine for bandwidth-style distributions but too coarse
+    for tail latency: p99 and p999 of an open-loop run usually land in the
+    same bucket.  This subclass keeps every sample (the *reservoir*) until
+    ``capacity`` is exceeded, at which point the reservoir is dropped and
+    percentiles degrade to the interpolated bucket estimate — never a wrong
+    answer, just a coarser one, and :attr:`exact` says which you got.
+
+    Merging preserves exactness only while both sides still hold their
+    reservoirs and the union fits the capacity.
+    """
+
+    __slots__ = ("_reservoir", "_capacity")
+
+    DEFAULT_CAPACITY = 1 << 17
+
+    def __init__(
+        self, buckets: int = 40, capacity: int = DEFAULT_CAPACITY
+    ) -> None:
+        super().__init__(buckets)
+        self._capacity = capacity
+        self._reservoir: Optional[List[float]] = []
+
+    @property
+    def exact(self) -> bool:
+        return self._reservoir is not None
+
+    def record(self, value: float) -> None:
+        super().record(value)
+        reservoir = self._reservoir
+        if reservoir is not None:
+            reservoir.append(value)
+            if len(reservoir) > self._capacity:
+                self._reservoir = None
+
+    def merge(self, other: "Histogram") -> None:
+        super().merge(other)
+        other_reservoir = getattr(other, "_reservoir", None)
+        if self._reservoir is not None and other_reservoir is not None:
+            self._reservoir.extend(other_reservoir)
+            if len(self._reservoir) > self._capacity:
+                self._reservoir = None
+        else:
+            self._reservoir = None
+
+    def percentile(self, fraction: float, method: str = "exact") -> float:
+        """Nearest-rank percentile over the exact samples.
+
+        Falls back to the interpolated bucket estimate once the reservoir
+        has been dropped.  The bucket methods remain available by name.
+        """
+        if method != "exact":
+            return super().percentile(fraction, method)
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must be in (0, 1]")
+        if self._reservoir is None:
+            return super().percentile(fraction, method="interpolated")
+        self._flush()
+        if not self._reservoir:
+            return 0.0
+        ordered = sorted(self._reservoir)
+        rank = max(0, math.ceil(fraction * len(ordered)) - 1)
+        return ordered[rank]
 
 
 def ratio(numerator: float, denominator: float) -> float:

@@ -1,0 +1,30 @@
+"""Open-loop traffic reporting: retry chains and tail amplification.
+
+The scenario itself lives lower in the stack — arrivals in
+:mod:`repro.sim.arrivals`, the tenant workload in
+:mod:`repro.workloads.open_loop`, the cacheable figure in
+:mod:`repro.harness.figures` (``traffic``).  This package is the
+observability top layer over it: it traces traffic experiments through
+:mod:`repro.obs`, stitches per-attempt timelines into abort-retry *chains*,
+and reports how much of the latency tail the aborts manufactured
+(:mod:`repro.traffic.report`), with a CLI front-end
+(``python -m repro traffic``, :mod:`repro.traffic.cli`).
+"""
+
+from .report import (
+    RetryChain,
+    TailReport,
+    analyze_chains,
+    build_chains,
+    reconstruct_arrivals,
+    tail_report,
+)
+
+__all__ = [
+    "RetryChain",
+    "TailReport",
+    "analyze_chains",
+    "build_chains",
+    "reconstruct_arrivals",
+    "tail_report",
+]

@@ -1,0 +1,333 @@
+"""Abort-retry chains and tail-amplification analysis from obs timelines.
+
+The traffic figure reports *request* latency — arrival to completion,
+queueing included — from the workload's own histograms.  This module
+answers the follow-up question: how much of that tail did aborts
+manufacture?
+
+A traced run's event stream is grouped per thread into *retry chains*
+(every aborted attempt of a transaction followed by the attempt that
+finally committed, fast path or slow).  Because the arrival schedule is a
+pure function of the spec's named rng streams
+(:func:`repro.workloads.open_loop.thread_fork`), the exact per-thread
+arrival times can be replayed offline and married to the chain sequence —
+both are FIFO per thread.  That enables an honest, queueing-aware
+counterfactual: re-run each thread's open-loop queue with every chain's
+service time shrunk to its *final* (successful) attempt alone, i.e. the
+run as it would have been with the same arrivals and zero aborts.  Tail
+amplification at a quantile is::
+
+    amp(q) = percentile(actual arrival->completion, q)
+             / percentile(abort-free replay arrival->completion, q)
+
+This charges aborts for everything they cause: the retries themselves
+*and* the queueing delay those retries push onto every request behind
+them — the dominant term at the tail of an open-loop system.  A design
+whose aborts only shuffle work around has amp ~ 1; one whose aborts stack
+retries onto a backlog shows amp >> 1 exactly at p99/p999.
+
+The excess time of dirty chains (chain latency minus the final attempt)
+is attributed to forensic abort groups
+(:data:`repro.obs.forensics.REASON_GROUPS`), so the report can say *which
+kind* of abort bought the tail — for the traffic scenario, the shared
+domain's ``signature_alias`` share is the paper's Section IV-D story.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..errors import SimulationError
+from ..harness.config import ExperimentSpec
+from ..obs.capture import trace_experiment
+from ..obs.events import (
+    SLOWPATH_COMMIT,
+    TX_ABORT,
+    TX_COMMIT,
+    TraceEvent,
+)
+from ..obs.forensics import REASON_GROUPS
+from ..obs.timeline import build_timelines
+from ..sim.rng import RngStreams
+from ..sim.stats import ratio
+from ..workloads.open_loop import ARRIVALS_STREAM, arrival_times, thread_fork
+
+#: Outcomes that terminate a retry chain.
+_TERMINAL = ("committed", "slowpath")
+
+#: Event kinds that settle an attempt's outcome.
+_OUTCOME_KINDS = (TX_COMMIT, TX_ABORT, SLOWPATH_COMMIT)
+
+#: ``BenchmarkSpec.kwargs`` keys that shape the arrival schedule.
+_ARRIVAL_KWARGS = (
+    "arrival",
+    "mean_gap_ns",
+    "horizon_ns",
+    "burst_on_ns",
+    "burst_off_ns",
+    "burst_factor",
+)
+
+
+def _group_of(reason: str) -> str:
+    for group, reasons in REASON_GROUPS.items():
+        if reason in reasons:
+            return group
+    return "fallback"
+
+
+def _settle_ts(timeline) -> float:
+    """The instant the attempt's outcome landed.
+
+    ``TxTimeline.end_ns`` is the last event *attributed* to the attempt,
+    which for committed transactions includes asynchronous log writeback
+    that overlaps the thread's next transaction; the thread itself moves
+    on at the outcome event, and that is the completion the workload's
+    latency histogram observes.
+    """
+    for event in timeline.events:
+        if event.kind in _OUTCOME_KINDS:
+            return event.ts_ns
+    return timeline.end_ns
+
+
+@dataclass(frozen=True)
+class RetryChain:
+    """One transaction's journey to commit: zero or more aborted attempts
+    followed by the attempt that finished (fast path or slow path)."""
+
+    thread_id: int
+    begin_ns: float
+    end_ns: float
+    #: "committed" (fast path) or "slowpath".
+    outcome: str
+    #: Forensic group of each aborted attempt, in order.
+    abort_groups: Tuple[str, ...]
+    #: Duration of the final (successful) attempt alone.
+    final_attempt_ns: float
+
+    @property
+    def latency_ns(self) -> float:
+        return max(0.0, self.end_ns - self.begin_ns)
+
+    @property
+    def clean(self) -> bool:
+        return not self.abort_groups and self.outcome == "committed"
+
+    @property
+    def excess_ns(self) -> float:
+        """Time the chain spent beyond its final attempt (retries, backoff)."""
+        return max(0.0, self.latency_ns - self.final_attempt_ns)
+
+
+def build_chains(events: Iterable[TraceEvent]) -> List[RetryChain]:
+    """Stitch per-attempt timelines into per-thread retry chains.
+
+    Attempts are ordered by begin time within each thread; a chain is the
+    aborted attempts since the last terminal outcome plus the terminal
+    attempt itself.  Attempts still in flight when the trace ends (no
+    outcome) are dropped, as are threads' trailing aborted attempts with
+    no terminal successor.
+    """
+    by_thread: Dict[int, List] = defaultdict(list)
+    for timeline in build_timelines(events).values():
+        if timeline.thread_id is None or timeline.outcome is None:
+            continue
+        by_thread[timeline.thread_id].append(timeline)
+    chains: List[RetryChain] = []
+    for thread_id in sorted(by_thread):
+        attempts = sorted(
+            by_thread[thread_id], key=lambda t: (t.begin_ns, t.tx_id)
+        )
+        pending: List = []
+        for attempt in attempts:
+            pending.append(attempt)
+            if attempt.outcome not in _TERMINAL:
+                continue
+            settled = _settle_ts(attempt)
+            chains.append(
+                RetryChain(
+                    thread_id=thread_id,
+                    begin_ns=pending[0].begin_ns,
+                    end_ns=settled,
+                    outcome=attempt.outcome,
+                    abort_groups=tuple(
+                        _group_of(a.abort_reason or "explicit")
+                        for a in pending[:-1]
+                    ),
+                    final_attempt_ns=max(0.0, settled - attempt.begin_ns),
+                )
+            )
+            pending = []
+    return chains
+
+
+def reconstruct_arrivals(spec: ExperimentSpec) -> List[List[float]]:
+    """Replay every tenant thread's arrival schedule from the spec alone.
+
+    Benchmarks get simulated processes in spec order with pids numbered
+    from 1, and thread ids are handed out sequentially as those processes
+    spawn — so benchmark thread ``j`` of tenant ``t`` is exactly sim
+    thread ``sum(threads of tenants < t) + j``, and the returned list is
+    indexable by ``RetryChain.thread_id``.  Co-runner threads spawn after
+    every benchmark thread and run no transactions, so they never appear
+    in the chains.
+    """
+    root = RngStreams(spec.seed)
+    schedules: List[List[float]] = []
+    for index, bench in enumerate(spec.benchmarks):
+        if bench.workload != "open_loop":
+            raise SimulationError(
+                f"cannot replay arrivals of workload {bench.workload!r}; "
+                "the traffic report only analyzes open_loop tenants"
+            )
+        kwargs = dict(bench.kwargs_dict())
+        arrival_kwargs = {
+            key: kwargs[key] for key in _ARRIVAL_KWARGS if key in kwargs
+        }
+        pid = index + 1
+        for thread_index in range(bench.params.threads):
+            rng = thread_fork(root, pid, thread_index).stream(ARRIVALS_STREAM)
+            schedules.append(list(arrival_times(rng, **arrival_kwargs)))
+    return schedules
+
+
+def chain_percentile(latencies: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile over a pre-sorted latency list (0.0 if empty)."""
+    if not latencies:
+        return 0.0
+    rank = max(0, math.ceil(fraction * len(latencies)) - 1)
+    return latencies[rank]
+
+
+@dataclass
+class TailReport:
+    """Tail amplification of one traced traffic configuration."""
+
+    label: str
+    chains: int
+    clean_chains: int
+    #: Actual arrival-to-completion request latency percentiles.
+    p50_ns: float
+    p99_ns: float
+    p999_ns: float
+    #: p999 of the abort-free replay (same arrivals, final attempts only).
+    ideal_p999_ns: float
+    #: percentile(actual, q) / percentile(abort-free replay, q); 0.0 when
+    #: there are no requests to compare.
+    amplification_p50: float
+    amplification_p99: float
+    amplification_p999: float
+    #: Dirty chains' excess time (latency minus final attempt), split
+    #: evenly over each chain's aborts and summed per forensic group.
+    excess_ns_by_group: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def dirty_chains(self) -> int:
+        return self.chains - self.clean_chains
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "label": self.label,
+            "chains": self.chains,
+            "clean_chains": self.clean_chains,
+            "p50_ns": self.p50_ns,
+            "p99_ns": self.p99_ns,
+            "p999_ns": self.p999_ns,
+            "ideal_p999_ns": self.ideal_p999_ns,
+            "amplification_p50": self.amplification_p50,
+            "amplification_p99": self.amplification_p99,
+            "amplification_p999": self.amplification_p999,
+            "excess_ns_by_group": dict(self.excess_ns_by_group),
+        }
+
+
+def analyze_chains(
+    chains: Sequence[RetryChain],
+    arrivals: Sequence[Sequence[float]],
+    label: str = "",
+) -> TailReport:
+    """Marry chains to their arrival schedules and compute amplification.
+
+    ``arrivals[thread_id]`` is the thread's absolute arrival times (from
+    :func:`reconstruct_arrivals`, or synthetic in tests).  Chains and
+    arrivals are both FIFO per thread, so the k-th chain of a thread
+    serves its k-th arrival; trailing arrivals whose chains the trace
+    dropped are ignored.  The abort-free counterfactual replays each
+    thread's queue with service times shrunk to the chains' final
+    attempts.
+    """
+    by_thread: Dict[int, List[RetryChain]] = defaultdict(list)
+    for chain in chains:
+        by_thread[chain.thread_id].append(chain)
+    actual: List[float] = []
+    ideal: List[float] = []
+    clean = 0
+    excess: Dict[str, float] = {}
+    for thread_id in sorted(by_thread):
+        thread_chains = sorted(
+            by_thread[thread_id], key=lambda c: c.begin_ns
+        )
+        if thread_id >= len(arrivals):
+            raise SimulationError(
+                f"chains on thread {thread_id} but only "
+                f"{len(arrivals)} arrival schedules; thread mapping is off"
+            )
+        schedule = arrivals[thread_id]
+        if len(thread_chains) > len(schedule):
+            raise SimulationError(
+                f"thread {thread_id} completed {len(thread_chains)} chains "
+                f"for {len(schedule)} arrivals; thread mapping is off"
+            )
+        finish = 0.0
+        for chain, at_ns in zip(thread_chains, schedule):
+            if chain.clean:
+                clean += 1
+            else:
+                share = chain.excess_ns / max(1, len(chain.abort_groups))
+                for group in chain.abort_groups:
+                    excess[group] = excess.get(group, 0.0) + share
+            actual.append(max(0.0, chain.end_ns - at_ns))
+            start = max(at_ns, finish)
+            finish = start + chain.final_attempt_ns
+            ideal.append(finish - at_ns)
+    actual.sort()
+    ideal.sort()
+
+    def amp(fraction: float) -> float:
+        return ratio(
+            chain_percentile(actual, fraction),
+            chain_percentile(ideal, fraction),
+        )
+
+    return TailReport(
+        label=label,
+        chains=len(actual),
+        clean_chains=clean,
+        p50_ns=chain_percentile(actual, 0.50),
+        p99_ns=chain_percentile(actual, 0.99),
+        p999_ns=chain_percentile(actual, 0.999),
+        ideal_p999_ns=chain_percentile(ideal, 0.999),
+        amplification_p50=amp(0.50),
+        amplification_p99=amp(0.99),
+        amplification_p999=amp(0.999),
+        excess_ns_by_group=excess,
+    )
+
+
+def tail_report(
+    spec: ExperimentSpec, label: Optional[str] = None
+) -> TailReport:
+    """Trace one traffic spec in-process and analyze its retry chains.
+
+    Tracing is a pure observer (the trace-neutrality tests pin this), so
+    the traced run's metrics match the cacheable figure point for the same
+    spec bit for bit.
+    """
+    traced = trace_experiment(spec, label)
+    return analyze_chains(
+        build_chains(traced.events), reconstruct_arrivals(spec), traced.label
+    )

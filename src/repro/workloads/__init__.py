@@ -23,6 +23,7 @@ from .graphhog import GraphHogWorkload
 from .hashmap import HashMapWorkload, TxHashMap
 from .hybrid_index import HybridIndexWorkload
 from .membound import MemBoundWorkload
+from .open_loop import OpenLoopWorkload
 from .rbtree import RBTreeWorkload, TxRBTree
 from .skiplist import SkipListWorkload, TxSkipList
 from .trace_replay import TraceReplayWorkload
@@ -39,6 +40,7 @@ WORKLOADS = {
         EchoWorkload,
         MemBoundWorkload,
         GraphHogWorkload,
+        OpenLoopWorkload,
     )
 }
 
@@ -60,6 +62,7 @@ __all__ = [
     "EchoWorkload",
     "MemBoundWorkload",
     "GraphHogWorkload",
+    "OpenLoopWorkload",
     "TraceReplayWorkload",
     "WORKLOADS",
 ]

@@ -11,6 +11,8 @@ from repro.harness.bench import (
     ABS_SLACK_S,
     MIN_COMPARABLE_S,
     SMOKE_SCALE,
+    artifact_engine,
+    comparable_points,
     compare_to_baseline,
     _load_baseline,
 )
@@ -93,6 +95,29 @@ class TestCompareToBaseline:
             [_point("a", ["x"], 3.0), _point("b", ["y"], 6.0)]
         )
         assert len(compare_to_baseline(current, baseline)) == 2
+
+
+class TestComparablePoints:
+    def test_pairs_matched_simulated_points(self):
+        baseline = _artifact(
+            [_point("a", ["x"], 1.0), _point("b", ["y"], 1.0)]
+        )
+        current = _artifact(
+            [_point("a", ["x"], 2.0), _point("c", ["z"], 2.0)]
+        )
+        pairs = comparable_points(current, baseline)
+        assert [(p["label"], b["label"]) for p, b in pairs] == [("a", "a")]
+
+    def test_cached_points_do_not_pair(self):
+        baseline = _artifact([_point("a", ["x"], 1.0, cached=True)])
+        current = _artifact([_point("a", ["x"], 2.0)])
+        assert comparable_points(current, baseline) == []
+
+    def test_missing_engine_means_scalar(self):
+        # Pre-engine artifacts were all scalar measurements; the gate
+        # assumes that (with a CLI warning) instead of refusing to compare.
+        assert artifact_engine({"figure": "fig7"}) == "scalar"
+        assert artifact_engine({"engine": "vectorized"}) == "vectorized"
 
 
 class TestLoadBaseline:
@@ -202,3 +227,53 @@ class TestBenchCliGate:
         )
         assert rc == 0
         assert "not gated" in capsys.readouterr().out
+
+    def test_engineless_baseline_warns_and_still_gates(
+        self, smoke_artifact, tmp_path, capsys
+    ):
+        # A baseline written before artifacts were engine-stamped compares
+        # as scalar — with a warning — rather than silently or fatally.
+        baseline = json.loads(json.dumps(smoke_artifact))
+        del baseline["engine"]
+        for point in baseline["points"]:
+            point["elapsed_s"] = point["elapsed_s"] * 100 + 10.0
+        baseline_path = tmp_path / "BENCH_fig2.json"
+        baseline_path.write_text(json.dumps(baseline), encoding="utf-8")
+        rc = bench.main(
+            [
+                "fig2",
+                "-m",
+                "smoke",
+                "--compare",
+                str(baseline_path),
+                "--out-dir",
+                str(tmp_path / "out"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "no engine field; assuming 'scalar'" in out
+        assert "perf gate passed" in out
+
+    def test_vacuous_gate_fails(self, smoke_artifact, tmp_path, capsys):
+        # A baseline whose labels match nothing pairs zero points; the
+        # gate must fail loudly instead of passing without comparing.
+        baseline = json.loads(json.dumps(smoke_artifact))
+        for point in baseline["points"]:
+            point["label"] = "renamed-" + point["label"]
+        baseline_path = tmp_path / "BENCH_fig2.json"
+        baseline_path.write_text(json.dumps(baseline), encoding="utf-8")
+        rc = bench.main(
+            [
+                "fig2",
+                "-m",
+                "smoke",
+                "--compare",
+                str(baseline_path),
+                "--out-dir",
+                str(tmp_path / "out"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "compared nothing" in out

@@ -27,12 +27,13 @@ class TestTables:
         assert {
             "hashmap", "btree", "rbtree", "skiplist",
             "hybrid_index", "dual_kv", "echo", "membound", "graphhog",
+            "open_loop",
         } == names
 
     def test_figure_registry_complete(self):
         assert set(ALL_FIGURES) == {
             "fig2", "fig6", "fig7", "fig8", "fig9", "fig10",
-            "abort_claim", "table1", "table2", "table4",
+            "abort_claim", "table1", "table2", "table4", "traffic",
         }
 
     def test_pretty_renders(self):

@@ -151,6 +151,61 @@ class TestLeases:
         assert queue.try_claim(meta.campaign_id, 0, "w") is not None
 
 
+class TestFrozenClock:
+    """Clock injection pins the lease-reclaim boundary to the nanosecond.
+
+    The real queue reads :func:`repro.serve.clock.wall_now`; these tests
+    freeze it so the ``deadline <= now`` reclaim rule is exercised exactly
+    *at* the boundary instead of racing the host clock past it.
+    """
+
+    def _queue(self, spool, now, ttl=10.0):
+        return JobQueue(spool, lease_ttl_s=ttl, clock=lambda: now[0])
+
+    def test_lease_deadline_comes_from_injected_clock(self, spool):
+        now = [100.0]
+        queue = self._queue(spool, now)
+        meta = queue.submit(tiny_grid(1), title="t")
+        assert queue.try_claim(meta.campaign_id, 0, "w") is not None
+        assert queue.peek_lease(meta.campaign_id, 0).deadline == 110.0
+
+    def test_lease_holds_until_just_before_its_deadline(self, spool):
+        now = [100.0]
+        queue = self._queue(spool, now)
+        meta = queue.submit(tiny_grid(1), title="t")
+        assert queue.try_claim(meta.campaign_id, 0, "w1") is not None
+        now[0] = 109.999
+        assert queue.try_claim(meta.campaign_id, 0, "w2") is None
+        assert queue.status(meta.campaign_id).leased == 1
+
+    def test_lease_exactly_at_deadline_is_stealable(self, spool):
+        # The boundary is closed — ``deadline == now`` means dead — so a
+        # worker polling on exact TTL multiples can never deadlock behind
+        # its own stale lease.
+        now = [100.0]
+        queue = self._queue(spool, now)
+        meta = queue.submit(tiny_grid(1), title="t")
+        assert queue.try_claim(meta.campaign_id, 0, "w1") is not None
+        now[0] = 110.0
+        assert queue.status(meta.campaign_id).leased == 0
+        assert queue.try_claim(meta.campaign_id, 0, "w2") is not None
+        assert queue.peek_lease(meta.campaign_id, 0).worker == "w2"
+
+    def test_status_and_settled_agree_across_the_boundary(self, spool):
+        now = [0.0]
+        queue = self._queue(spool, now)
+        meta = queue.submit(tiny_grid(2), title="t")
+        assert queue.try_claim(meta.campaign_id, 0, "w") is not None
+        queue.record_failure(meta.campaign_id, 1, "boom")
+        before = queue.status(meta.campaign_id)
+        assert (before.leased, before.pending, before.settled) == (1, 1, False)
+        # The lease dies at the boundary, but the point is still pending:
+        # an expired lease must never count a point as settled.
+        now[0] = 10.0
+        after = queue.status(meta.campaign_id)
+        assert (after.leased, after.pending, after.settled) == (0, 1, False)
+
+
 class TestSharding:
     def test_shards_partition_the_campaign(self, spool):
         queue = JobQueue(spool)

@@ -1,0 +1,139 @@
+"""Tests for the open-loop arrival processes and the Zipf sampler."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigError
+from repro.sim.arrivals import ZipfSampler, bursty_arrivals, poisson_arrivals
+from repro.sim.rng import RngStreams
+
+
+def _rng(seed=7, name="arrivals"):
+    return RngStreams(seed).stream(name)
+
+
+class TestPoissonArrivals:
+    def test_deterministic_for_a_seed(self):
+        a = list(poisson_arrivals(_rng(), 100.0, 50_000.0))
+        b = list(poisson_arrivals(_rng(), 100.0, 50_000.0))
+        assert a == b
+        assert a != list(poisson_arrivals(_rng(seed=8), 100.0, 50_000.0))
+
+    def test_monotone_and_within_horizon(self):
+        times = list(poisson_arrivals(_rng(), 100.0, 50_000.0))
+        assert times == sorted(times)
+        assert all(0.0 < t < 50_000.0 for t in times)
+
+    def test_long_run_rate_matches_mean_gap(self):
+        times = list(poisson_arrivals(_rng(), 100.0, 1_000_000.0))
+        assert len(times) == pytest.approx(10_000, rel=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            list(poisson_arrivals(_rng(), 0.0, 1000.0))
+
+
+class TestBurstyArrivals:
+    def test_deterministic_for_a_seed(self):
+        kwargs = dict(on_ns=500.0, off_ns=500.0, burst_factor=2.0)
+        a = list(bursty_arrivals(_rng(), 100.0, 50_000.0, **kwargs))
+        b = list(bursty_arrivals(_rng(), 100.0, 50_000.0, **kwargs))
+        assert a == b
+        assert a
+
+    def test_monotone_and_within_horizon(self):
+        times = list(
+            bursty_arrivals(
+                _rng(), 100.0, 50_000.0,
+                on_ns=500.0, off_ns=500.0, burst_factor=2.0,
+            )
+        )
+        assert times == sorted(times)
+        assert all(0.0 < t < 50_000.0 for t in times)
+
+    def test_matched_long_run_rate(self):
+        # burst_factor = (on + off) / on keeps the long-run rate equal to
+        # the Poisson process at the same mean gap.
+        times = list(
+            bursty_arrivals(
+                _rng(), 100.0, 1_000_000.0,
+                on_ns=1000.0, off_ns=1000.0, burst_factor=2.0,
+            )
+        )
+        assert len(times) == pytest.approx(10_000, rel=0.1)
+
+    def test_bursts_are_denser_than_the_base_rate(self):
+        # Within ON phases gaps average mean_gap / burst_factor, so the
+        # median inter-arrival gap sits well below the base mean gap.
+        times = list(
+            bursty_arrivals(
+                _rng(), 100.0, 1_000_000.0,
+                on_ns=2000.0, off_ns=2000.0, burst_factor=4.0,
+            )
+        )
+        gaps = sorted(
+            b - a for a, b in zip(times, times[1:])
+        )
+        assert gaps[len(gaps) // 2] < 100.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            list(bursty_arrivals(_rng(), 100.0, 1000.0, on_ns=0.0, off_ns=1.0))
+        with pytest.raises(ConfigError):
+            list(
+                bursty_arrivals(
+                    _rng(), 100.0, 1000.0,
+                    on_ns=1.0, off_ns=1.0, burst_factor=0.0,
+                )
+            )
+
+
+class TestZipfSampler:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ConfigError):
+            ZipfSampler(0, 0.9)
+        with pytest.raises(ConfigError):
+            ZipfSampler(8, -0.1)
+
+    def test_theta_zero_is_uniform(self):
+        sampler = ZipfSampler(10, 0.0)
+        for rank in range(10):
+            assert sampler.weight(rank) == pytest.approx(0.1)
+
+    def test_skew_orders_the_ranks(self):
+        sampler = ZipfSampler(64, 0.9)
+        weights = [sampler.weight(rank) for rank in range(64)]
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] > 2 * weights[10]
+
+    def test_hotter_theta_concentrates_the_head(self):
+        assert ZipfSampler(64, 1.2).weight(0) > ZipfSampler(64, 0.6).weight(0)
+
+    def test_sample_sequence_is_seed_stable(self):
+        sampler = ZipfSampler(128, 0.9)
+        a = [sampler.sample(_rng(name="keys")) for _ in range(1)]
+        first = _rng(name="keys")
+        second = _rng(name="keys")
+        assert [sampler.sample(first) for _ in range(500)] == [
+            sampler.sample(second) for _ in range(500)
+        ]
+
+    @given(
+        keys=st.integers(min_value=1, max_value=512),
+        theta=st.floats(min_value=0.0, max_value=3.0),
+        seed=st.integers(min_value=0, max_value=2**32 - 1),
+    )
+    def test_samples_in_range_and_seed_stable(self, keys, theta, seed):
+        sampler = ZipfSampler(keys, theta)
+        draws = [
+            sampler.sample(RngStreams(seed).stream("keys")) for _ in range(3)
+        ]
+        assert all(0 <= rank < keys for rank in draws)
+        # The same named stream replays the same first draw every time.
+        assert len(set(draws)) == 1
+        # The distribution is normalized whatever the parameters.
+        assert sum(sampler.weight(rank) for rank in range(keys)) == (
+            pytest.approx(1.0)
+        )

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.sim.stats import Histogram, StatsRegistry
+from repro.sim.stats import Histogram, ReservoirHistogram, StatsRegistry
 
 
 class TestHistogram:
@@ -77,6 +77,124 @@ class TestHistogram:
         histogram = Histogram(buckets=4)
         histogram.record(1e18)
         assert histogram.nonzero_buckets() == [(3, 1)]
+
+
+class TestInterpolatedPercentile:
+    def test_default_method_is_still_the_coarse_upper_bound(self):
+        # Figure parity: every pre-traffic figure was generated with the
+        # bucket-upper-bound estimate, so the default must not move.
+        histogram = Histogram()
+        for i in range(1000):
+            histogram.record(1000.0 + i)
+        assert histogram.percentile(0.99) == histogram.percentile(0.999)
+        assert histogram.percentile(0.99) == 2048.0
+
+    def test_interpolation_distinguishes_tail_percentiles(self):
+        # Regression for the tail-coarseness bug: every one of these
+        # samples lands in the [1024, 2048) bucket, collapsing p99 and
+        # p999 to 2048.0 under the default method; sub-bucket
+        # interpolation keeps them apart.
+        histogram = Histogram()
+        for value in range(1024, 2048):
+            histogram.record(float(value))
+        assert histogram.percentile(0.99) == histogram.percentile(0.999)
+        p99 = histogram.percentile(0.99, method="interpolated")
+        p999 = histogram.percentile(0.999, method="interpolated")
+        assert p99 < p999 <= 2047.0
+        assert p99 == pytest.approx(2037.7, abs=0.5)
+
+    def test_interpolated_clamps_to_observed_max(self):
+        histogram = Histogram()
+        histogram.record(5.0)
+        assert histogram.percentile(1.0, method="interpolated") == 5.0
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram().percentile(0.5, method="approximate")
+
+    @given(values=st.lists(st.floats(min_value=0, max_value=1e12),
+                           min_size=1, max_size=200))
+    def test_interpolated_is_monotone_and_bounded(self, values):
+        histogram = Histogram()
+        for value in values:
+            histogram.record(value)
+        fractions = (0.1, 0.5, 0.9, 0.99, 0.999, 1.0)
+        estimates = [
+            histogram.percentile(f, method="interpolated") for f in fractions
+        ]
+        assert estimates == sorted(estimates)
+        assert estimates[-1] <= max(values)
+
+
+class TestReservoirHistogram:
+    def test_exact_tail_percentiles(self):
+        histogram = ReservoirHistogram()
+        for i in range(1000):
+            histogram.record(float(i + 1))
+        assert histogram.exact
+        assert histogram.percentile(0.5) == 500.0
+        assert histogram.percentile(0.99) == 990.0
+        assert histogram.percentile(0.999) == 999.0
+
+    def test_bucket_methods_remain_available(self):
+        histogram = ReservoirHistogram()
+        for i in range(100):
+            histogram.record(float(i + 1))
+        assert histogram.percentile(0.5, method="upper") == 64.0
+        assert histogram.percentile(0.5, method="interpolated") <= 64.0
+
+    def test_capacity_overflow_degrades_to_interpolated(self):
+        histogram = ReservoirHistogram(capacity=10)
+        for i in range(11):
+            histogram.record(float(i + 1))
+        assert not histogram.exact
+        # Never a wrong answer, just a coarser one.
+        assert 0.0 < histogram.percentile(0.5) <= 11.0
+        assert histogram.percentile(1.0) == 11.0
+
+    def test_empty_reservoir_percentile_is_zero(self):
+        assert ReservoirHistogram().percentile(0.5) == 0.0
+
+    def test_merge_keeps_exactness(self):
+        a = ReservoirHistogram()
+        b = ReservoirHistogram()
+        a.record(1.0)
+        b.record(3.0)
+        a.merge(b)
+        assert a.exact
+        assert a.percentile(1.0) == 3.0
+        assert a.count == 2
+
+    def test_merge_with_dropped_side_drops(self):
+        a = ReservoirHistogram()
+        b = ReservoirHistogram(capacity=1)
+        b.record(1.0)
+        b.record(2.0)
+        assert not b.exact
+        a.record(3.0)
+        a.merge(b)
+        assert not a.exact
+        assert a.count == 3
+
+    def test_registry_factory_creates_and_caches(self):
+        stats = StatsRegistry()
+        histogram = stats.histogram("lat", factory=ReservoirHistogram)
+        assert isinstance(histogram, ReservoirHistogram)
+        # The factory only matters at creation; later lookups return the
+        # same object whatever they pass.
+        assert stats.histogram("lat") is histogram
+
+    @given(values=st.lists(st.floats(min_value=0, max_value=1e9),
+                           min_size=1, max_size=300))
+    def test_exact_matches_sorted_rank(self, values):
+        histogram = ReservoirHistogram()
+        for value in values:
+            histogram.record(value)
+        ordered = sorted(values)
+        for fraction in (0.5, 0.99, 0.999, 1.0):
+            import math
+            rank = max(0, math.ceil(fraction * len(ordered)) - 1)
+            assert histogram.percentile(fraction) == ordered[rank]
 
 
 class TestRegistryIntegration:

@@ -1,0 +1,109 @@
+"""End-to-end determinism contracts for the open-loop traffic scenario.
+
+The replay counterfactual in ``repro.traffic.report`` only holds if the
+arrival schedules reconstructed offline are byte-identical to the ones the
+live run consumed, and if tracing the run does not perturb it.  These tests
+pin both contracts on a miniature two-tenant traffic spec.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.config import BenchmarkSpec, ExperimentSpec
+from repro.harness.metrics import run_result_to_dict
+from repro.harness.parallel import GridPoint, run_grid
+from repro.harness.runner import run_experiment
+from repro.obs.capture import trace_experiment
+from repro.params import HTMConfig, HTMDesign, SignatureConfig
+from repro.traffic.report import (
+    build_chains,
+    reconstruct_arrivals,
+    tail_report,
+)
+from repro.workloads import WorkloadParams
+
+TENANTS = 2
+
+
+def tiny_spec(seed=2020, arrival="poisson", isolation=True):
+    params = WorkloadParams(
+        threads=2, value_bytes=4096, ops_per_tx=2, keys=64, initial_fill=64,
+        update_ratio=1.0,
+    )
+    benchmarks = []
+    for tenant in range(TENANTS):
+        kwargs = dict(
+            inner="echo",
+            tenant=tenant,
+            arrival=arrival,
+            mean_gap_ns=40_000.0,
+            horizon_ns=400_000.0,
+            zipf_theta=0.9,
+            burst_on_ns=100_000.0,
+            burst_off_ns=100_000.0,
+            burst_factor=2.0,
+        )
+        benchmarks.append(
+            BenchmarkSpec(
+                "open_loop", params, tuple(sorted(kwargs.items()))
+            )
+        )
+    return ExperimentSpec(
+        name=f"tiny-traffic-{arrival}",
+        htm=HTMConfig(
+            design=HTMDesign.UHTM,
+            signature=SignatureConfig(bits=256),
+            isolation=isolation,
+        ),
+        benchmarks=tuple(benchmarks),
+        scale=1 / 64,
+        cores=4,
+        seed=seed,
+    )
+
+
+class TestTrafficDeterminism:
+    def test_serial_and_pooled_grids_are_byte_identical(self):
+        points = [
+            GridPoint(spec=tiny_spec(), label="poisson"),
+            GridPoint(spec=tiny_spec(arrival="bursty"), label="bursty"),
+        ]
+        serial = run_grid(points, jobs=1)
+        pooled = run_grid(points, jobs=2)
+        assert [run_result_to_dict(r) for r in serial] == [
+            run_result_to_dict(r) for r in pooled
+        ]
+        assert all(r.latency for r in serial)
+
+    def test_tracing_does_not_perturb_the_run(self):
+        spec = tiny_spec()
+        plain = run_experiment(spec, "tiny")
+        traced = trace_experiment(spec, "tiny")
+        assert run_result_to_dict(traced.result) == run_result_to_dict(plain)
+
+    @pytest.mark.parametrize("arrival", ["poisson", "bursty"])
+    def test_reconstructed_arrivals_match_the_live_run(self, arrival):
+        spec = tiny_spec(arrival=arrival)
+        result = run_experiment(spec, "tiny")
+        schedules = reconstruct_arrivals(spec)
+        assert len(schedules) == TENANTS * 2
+        assert sum(map(len, schedules)) == int(result.latency["count"])
+
+    def test_tail_report_agrees_with_the_workload_histogram(self):
+        # The chains assembled from the trace must describe the same
+        # requests the workload's own exact histogram measured.
+        spec = tiny_spec()
+        result = run_experiment(spec, "tiny")
+        report = tail_report(spec, "tiny")
+        assert report.chains == int(result.latency["count"])
+        assert report.p999_ns == pytest.approx(result.latency["p999"])
+        assert report.p50_ns == pytest.approx(result.latency["p50"])
+        assert 0 < report.p50_ns <= report.p99_ns <= report.p999_ns
+        assert report.amplification_p999 >= 1.0
+
+    def test_chains_cover_every_thread(self):
+        spec = tiny_spec()
+        traced = trace_experiment(spec, "tiny")
+        chains = build_chains(traced.events)
+        assert {c.thread_id for c in chains} == set(range(TENANTS * 2))

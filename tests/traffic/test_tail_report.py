@@ -1,0 +1,180 @@
+"""Unit tests for retry-chain assembly and tail-amplification analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs.events import (
+    MEM_COMMIT_NVM,
+    SLOWPATH_BEGIN,
+    SLOWPATH_COMMIT,
+    TX_ABORT,
+    TX_BEGIN,
+    TX_COMMIT,
+    TraceEvent,
+)
+from repro.traffic.report import (
+    analyze_chains,
+    build_chains,
+    chain_percentile,
+)
+
+_IDS = iter(range(1, 10_000)).__next__
+
+
+def _attempt(thread_id, begin, end, outcome="committed", reason=None):
+    tx_id = _IDS()
+    if outcome == "slowpath":
+        return [
+            TraceEvent(SLOWPATH_BEGIN, begin, tx_id=tx_id, thread_id=thread_id),
+            TraceEvent(SLOWPATH_COMMIT, end, tx_id=tx_id, thread_id=thread_id),
+        ]
+    events = [TraceEvent(TX_BEGIN, begin, tx_id=tx_id, thread_id=thread_id)]
+    if outcome == "committed":
+        events.append(
+            TraceEvent(TX_COMMIT, end, tx_id=tx_id, thread_id=thread_id)
+        )
+    else:
+        events.append(
+            TraceEvent(
+                TX_ABORT, end, tx_id=tx_id, thread_id=thread_id,
+                data=(("reason", reason or "conflict_true"),),
+            )
+        )
+    return events
+
+
+class TestBuildChains:
+    def test_clean_chain(self):
+        chains = build_chains(_attempt(0, 10.0, 25.0))
+        assert len(chains) == 1
+        chain = chains[0]
+        assert chain.clean
+        assert (chain.begin_ns, chain.end_ns) == (10.0, 25.0)
+        assert chain.final_attempt_ns == 15.0
+        assert chain.excess_ns == 0.0
+
+    def test_retry_chain_groups_aborts_in_order(self):
+        events = (
+            _attempt(0, 0.0, 10.0, "aborted", "false_positive")
+            + _attempt(0, 10.0, 20.0, "aborted", "capacity")
+            + _attempt(0, 20.0, 30.0, "committed")
+        )
+        chains = build_chains(events)
+        assert len(chains) == 1
+        chain = chains[0]
+        assert chain.abort_groups == ("signature_alias", "capacity")
+        assert (chain.begin_ns, chain.end_ns) == (0.0, 30.0)
+        assert chain.final_attempt_ns == 10.0
+        assert chain.excess_ns == 20.0
+        assert not chain.clean
+
+    def test_slowpath_terminates_a_chain(self):
+        events = (
+            _attempt(1, 0.0, 10.0, "aborted", "explicit")
+            + _attempt(1, 10.0, 40.0, "slowpath")
+        )
+        chains = build_chains(events)
+        assert len(chains) == 1
+        assert chains[0].outcome == "slowpath"
+        assert not chains[0].clean
+
+    def test_async_writeback_does_not_stretch_the_chain(self):
+        # Post-commit log writeback events carry the committed tx's id but
+        # land while the thread is already in its next transaction; the
+        # chain must end at the commit, not at the last attributed event.
+        events = _attempt(0, 0.0, 10.0)
+        tx_id = events[0].tx_id
+        events.append(
+            TraceEvent(MEM_COMMIT_NVM, 95.0, tx_id=tx_id, thread_id=0)
+        )
+        chains = build_chains(events)
+        assert chains[0].end_ns == 10.0
+        assert chains[0].final_attempt_ns == 10.0
+
+    def test_trailing_unterminated_attempts_are_dropped(self):
+        events = (
+            _attempt(0, 0.0, 10.0, "committed")
+            + _attempt(0, 10.0, 20.0, "aborted")
+        )
+        chains = build_chains(events)
+        assert len(chains) == 1
+        assert chains[0].end_ns == 10.0
+
+    def test_threads_are_independent(self):
+        events = _attempt(0, 0.0, 10.0) + _attempt(1, 5.0, 15.0)
+        chains = build_chains(events)
+        assert sorted(c.thread_id for c in chains) == [0, 1]
+
+
+class TestChainPercentile:
+    def test_empty_is_zero(self):
+        assert chain_percentile([], 0.99) == 0.0
+
+    def test_nearest_rank(self):
+        values = [float(v) for v in range(1, 101)]
+        assert chain_percentile(values, 0.50) == 50.0
+        assert chain_percentile(values, 0.99) == 99.0
+        assert chain_percentile(values, 1.0) == 100.0
+
+
+class TestAnalyzeChains:
+    def test_clean_unqueued_traffic_has_amplification_one(self):
+        events = _attempt(0, 0.0, 10.0) + _attempt(0, 100.0, 110.0)
+        report = analyze_chains(
+            build_chains(events), [[0.0, 100.0]], label="calm"
+        )
+        assert report.label == "calm"
+        assert (report.chains, report.clean_chains) == (2, 2)
+        assert report.p999_ns == 10.0
+        assert report.amplification_p50 == 1.0
+        assert report.amplification_p999 == 1.0
+
+    def test_retry_excess_amplifies_through_the_queue(self):
+        # One chain burns 40 ns on retries; the request behind it queues.
+        # The abort-free replay removes both the retries and the queueing
+        # they caused, so amplification charges aborts for the full damage.
+        events = (
+            _attempt(0, 0.0, 10.0, "aborted", "false_positive")
+            + _attempt(0, 10.0, 20.0, "aborted", "false_positive")
+            + _attempt(0, 20.0, 30.0, "aborted", "false_positive")
+            + _attempt(0, 30.0, 40.0, "aborted", "false_positive")
+            + _attempt(0, 40.0, 50.0, "committed")
+            + _attempt(0, 50.0, 60.0, "committed")
+        )
+        report = analyze_chains(build_chains(events), [[0.0, 10.0]])
+        # Actual: 50 and 50; replay: 10 and 10 (second starts at its
+        # arrival once the first no longer blocks it).
+        assert report.p999_ns == 50.0
+        assert report.ideal_p999_ns == 10.0
+        assert report.amplification_p999 == 5.0
+        assert report.dirty_chains == 1
+
+    def test_excess_is_attributed_to_forensic_groups(self):
+        events = (
+            _attempt(0, 0.0, 10.0, "aborted", "false_positive")
+            + _attempt(0, 10.0, 20.0, "aborted", "capacity")
+            + _attempt(0, 20.0, 30.0, "committed")
+        )
+        report = analyze_chains(build_chains(events), [[0.0]])
+        assert report.excess_ns_by_group == {
+            "signature_alias": 10.0,
+            "capacity": 10.0,
+        }
+
+    def test_more_chains_than_arrivals_raises(self):
+        events = _attempt(0, 0.0, 10.0) + _attempt(0, 10.0, 20.0)
+        with pytest.raises(SimulationError):
+            analyze_chains(build_chains(events), [[0.0]])
+
+    def test_thread_beyond_schedules_raises(self):
+        with pytest.raises(SimulationError):
+            analyze_chains(build_chains(_attempt(3, 0.0, 10.0)), [[0.0]])
+
+    def test_trailing_dropped_chains_are_tolerated(self):
+        # The trace may end mid-request: fewer chains than arrivals is
+        # normal, the unpaired tail is simply not scored.
+        events = _attempt(0, 0.0, 10.0)
+        report = analyze_chains(build_chains(events), [[0.0, 50.0, 90.0]])
+        assert report.chains == 1

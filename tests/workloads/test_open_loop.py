@@ -1,0 +1,100 @@
+"""Tests for the open-loop multi-tenant traffic workload."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import HTMConfig, MachineConfig, System
+from repro.errors import ConfigError
+from repro.sim.stats import ReservoirHistogram
+from repro.workloads import WORKLOADS, WorkloadParams
+from repro.workloads.open_loop import INNER_STORES, OpenLoopWorkload
+
+
+def run_open_loop(seed=2020, tenants=1, **kwargs):
+    system = System(
+        MachineConfig.scaled(1 / 64, cores=4), HTMConfig(design="uhtm"),
+        seed=seed,
+    )
+    params = WorkloadParams(
+        threads=2, value_bytes=4096, keys=64, initial_fill=64, ops_per_tx=2
+    )
+    defaults = dict(mean_gap_ns=50_000.0, horizon_ns=500_000.0)
+    defaults.update(kwargs)
+    workloads = []
+    for tenant in range(tenants):
+        proc = system.process(f"open_loop#{tenant}")
+        workload = OpenLoopWorkload(
+            system, proc, params, tenant=tenant, **defaults
+        )
+        workload.spawn()
+        workloads.append(workload)
+    system.run()
+    return system, workloads
+
+
+class TestOpenLoop:
+    def test_registered(self):
+        assert WORKLOADS["open_loop"] is OpenLoopWorkload
+
+    @pytest.mark.parametrize("inner", INNER_STORES)
+    def test_every_inner_store_runs_and_verifies(self, inner):
+        system, workloads = run_open_loop(inner=inner)
+        assert all(w.verify() for w in workloads)
+        assert system.stats.counter("traffic.requests") > 0
+
+    @pytest.mark.parametrize("arrival", ["poisson", "bursty"])
+    def test_latency_lands_in_exact_histograms(self, arrival):
+        system, _ = run_open_loop(arrival=arrival, tenants=2)
+        histogram = system.stats.histogram("traffic.latency_ns")
+        assert isinstance(histogram, ReservoirHistogram)
+        assert histogram.exact
+        assert histogram.count == system.stats.counter("traffic.requests")
+        per_tenant = sum(
+            system.stats.histogram(f"traffic.latency_ns.t{tenant}").count
+            for tenant in range(2)
+        )
+        assert per_tenant == histogram.count
+
+    def test_requests_match_the_arrival_schedule(self):
+        from repro.sim.rng import RngStreams
+        from repro.workloads.open_loop import (
+            ARRIVALS_STREAM,
+            arrival_times,
+            thread_fork,
+        )
+
+        system, workloads = run_open_loop()
+        expected = 0
+        for thread_index in range(2):
+            rng = thread_fork(
+                RngStreams(2020), workloads[0].process.pid, thread_index
+            ).stream(ARRIVALS_STREAM)
+            expected += len(
+                list(arrival_times(rng, mean_gap_ns=50_000.0,
+                                   horizon_ns=500_000.0))
+            )
+        assert system.stats.counter("traffic.requests") == expected
+
+    def test_deterministic_across_runs(self):
+        first, _ = run_open_loop(seed=7, arrival="bursty")
+        second, _ = run_open_loop(seed=7, arrival="bursty")
+        assert first.stats.snapshot() == second.stats.snapshot()
+        assert first.elapsed_ns == second.elapsed_ns
+
+    def test_open_loop_latency_includes_queueing(self):
+        # Saturate: arrivals far faster than service, so the backlog grows
+        # and recorded latency dwarfs any single transaction.
+        system, _ = run_open_loop(mean_gap_ns=500.0, horizon_ns=100_000.0)
+        assert system.stats.counter("traffic.backlogged") > 0
+        histogram = system.stats.histogram("traffic.latency_ns")
+        tx = system.stats.histogram("tx.latency_ns")
+        assert histogram.percentile(0.99) > tx.percentile(0.99, "interpolated")
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            run_open_loop(inner="nope")
+        with pytest.raises(ConfigError):
+            run_open_loop(arrival="nope")
+        with pytest.raises(ConfigError):
+            run_open_loop(horizon_ns=0.0)
