@@ -90,6 +90,27 @@ def _print_listing() -> None:
 def main(argv=None) -> int:
     if argv is None:
         argv = sys.argv[1:]
+    # A leading --engine applies to subcommands too: it becomes the process
+    # default (REPRO_ENGINE) before dispatch, which is how the CI engine
+    # matrix drives the faults/trace smokes once per engine.
+    if argv and argv[0].startswith("--engine"):
+        if argv[0] == "--engine" and len(argv) >= 2:
+            engine, rest = argv[1], argv[2:]
+        elif argv[0].startswith("--engine="):
+            engine, rest = argv[0].split("=", 1)[1], argv[1:]
+        else:
+            engine, rest = None, argv
+        if engine is not None and rest and rest[0] in SUBCOMMANDS:
+            from .errors import ConfigError
+
+            try:
+                print(f"engine: {resolve_engine(engine)}")
+            except ConfigError as exc:
+                print(f"python -m repro: error: {exc}", file=sys.stderr)
+                return 2
+            os.environ[ENGINE_ENV_VAR] = engine
+            module_path, _ = SUBCOMMANDS[rest[0]]
+            return importlib.import_module(module_path).main(rest[1:])
     if argv and argv[0] in SUBCOMMANDS:
         module_path, _ = SUBCOMMANDS[argv[0]]
         return importlib.import_module(module_path).main(argv[1:])

@@ -24,8 +24,9 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
     "htm": frozenset({"mem", "sim", "cache", "signatures"}),
     # Vectorized twins of the scalar kernel classes: the package imports the
     # layers whose interfaces it re-implements, and only the runtime (for
-    # kit injection) and harness (for config/CLI validation) import it —
-    # htm/cache/signatures receive kits duck-typed and stay below it.
+    # kit injection), harness, and perf (for engine-knob CLI validation)
+    # import it — htm/cache/signatures receive kits duck-typed and stay
+    # below it.
     "kernels": frozenset({"mem", "sim", "cache", "signatures"}),
     "runtime": frozenset(
         {"mem", "sim", "cache", "signatures", "htm", "kernels"}
@@ -47,7 +48,7 @@ LAYER_DAG: Dict[str, FrozenSet[str]] = {
     # layer (and drives the harness), and nothing below ever imports it.
     "perf": frozenset(
         {"mem", "sim", "cache", "signatures", "htm", "runtime", "workloads",
-         "harness"}
+         "harness", "kernels"}
     ),
     # The job service drives the harness (grids, cache, figures) from
     # separate processes; nothing below ever imports it.

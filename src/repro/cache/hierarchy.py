@@ -84,7 +84,7 @@ class CacheHierarchy:
             self._l1_hit_ns = self.latency_table.l1_hit_ns
             self._llc_hit_ns = self.latency_table.llc_hit_ns
         #: Which cores' L1s hold each line (avoids probing all L1s).
-        self._l1_holders: Dict[int, Set[int]] = {}
+        self.l1_holders: Dict[int, Set[int]] = {}
         self.on_l1_evict: Optional[L1EvictCallback] = None
         self.on_llc_evict: Optional[LLCEvictCallback] = None
         self.writebacks = 0
@@ -142,13 +142,13 @@ class CacheHierarchy:
                 # The LLC probe above already missed, so fill unconditionally.
                 _, llc_victims = self.llc.fill(line_addr)
                 for victim in llc_victims:
-                    self._handle_llc_eviction(victim)
+                    self.handle_llc_eviction(victim)
                 level = "mem"
-            l1_meta = self._fill_l1_after_miss(l1, core_id, line_addr)
+            l1_meta = self.fill_l1_after_miss(l1, core_id, line_addr)
         if is_write:
             # GetM: invalidate every other copy; this copy goes to M (a
             # sole E holder upgrades silently).
-            self._invalidate_other_l1s(core_id, line_addr)
+            self.invalidate_other_l1s(core_id, line_addr)
             l1_meta.mesi = MesiState.MODIFIED
             l1_meta.dirty = True
             if tx_id is not None:
@@ -156,7 +156,7 @@ class CacheHierarchy:
         else:
             # GetS: downgrade any M/E holder; requester takes S if the line
             # is shared, E if it is the only copy.
-            holders = self._l1_holders.get(line_addr)
+            holders = self.l1_holders.get(line_addr)
             shared = False
             if holders:
                 l1s = self.l1s
@@ -183,7 +183,7 @@ class CacheHierarchy:
 
     # -- fills and evictions -----------------------------------------------------
 
-    def _fill_l1_after_miss(
+    def fill_l1_after_miss(
         self, l1: SetAssociativeArray, core_id: int, line_addr: int
     ) -> CacheLineMeta:
         """Install a line whose L1 probe already missed this access.
@@ -193,21 +193,21 @@ class CacheHierarchy:
         did here was always a miss — it is omitted.
         """
         meta, victims = l1.fill(line_addr)
-        holders = self._l1_holders.get(line_addr)
+        holders = self.l1_holders.get(line_addr)
         if holders is None:
-            self._l1_holders[line_addr] = {core_id}
+            self.l1_holders[line_addr] = {core_id}
         else:
             holders.add(core_id)
         for victim in victims:
-            self._handle_l1_eviction(core_id, victim)
+            self.handle_l1_eviction(core_id, victim)
         return meta
 
-    def _handle_l1_eviction(self, core_id: int, victim: CacheLineMeta) -> None:
-        holders = self._l1_holders.get(victim.line_addr)
+    def handle_l1_eviction(self, core_id: int, victim: CacheLineMeta) -> None:
+        holders = self.l1_holders.get(victim.line_addr)
         if holders is not None:
             holders.discard(core_id)
             if not holders:
-                del self._l1_holders[victim.line_addr]
+                del self.l1_holders[victim.line_addr]
         # Inclusive hierarchy: the line is still in the LLC; propagate the
         # dirty bit and transactional writer marker down a level.
         llc_meta = self.llc.peek(victim.line_addr)
@@ -224,9 +224,9 @@ class CacheHierarchy:
         if victim.tx_writer is not None and self.on_l1_evict is not None:
             self.on_l1_evict(core_id, victim)
 
-    def _handle_llc_eviction(self, victim: CacheLineMeta) -> None:
+    def handle_llc_eviction(self, victim: CacheLineMeta) -> None:
         # Back-invalidate L1 copies, folding their freshest state in.
-        holders = self._l1_holders.pop(victim.line_addr, None)
+        holders = self.l1_holders.pop(victim.line_addr, None)
         if holders:
             for core_id in holders:
                 l1_meta = self.l1s[core_id].remove(victim.line_addr)
@@ -260,8 +260,8 @@ class CacheHierarchy:
             if self.on_llc_evict is not None:
                 self.on_llc_evict(victim, entry)
 
-    def _invalidate_other_l1s(self, core_id: int, line_addr: int) -> None:
-        holders = self._l1_holders.get(line_addr)
+    def invalidate_other_l1s(self, core_id: int, line_addr: int) -> None:
+        holders = self.l1_holders.get(line_addr)
         if not holders:
             return
         if core_id in holders:
@@ -276,7 +276,7 @@ class CacheHierarchy:
             l1s = self.l1s
             for other in holders:
                 l1s[other].remove(line_addr)
-            del self._l1_holders[line_addr]
+            del self.l1_holders[line_addr]
 
     def flush_private_cache(self, core_id: int) -> int:
         """Flush one core's L1 into the LLC (context switch, Section IV-E).
@@ -294,7 +294,7 @@ class CacheHierarchy:
             meta = l1.remove(line_addr)
             if meta is None:
                 continue
-            self._handle_l1_eviction(core_id, meta)
+            self.handle_l1_eviction(core_id, meta)
             flushed += 1
         return flushed
 
@@ -308,7 +308,7 @@ class CacheHierarchy:
         """
         invalidated = 0
         for line_addr in sorted(lines):
-            holders = self._l1_holders.pop(line_addr, None)
+            holders = self.l1_holders.pop(line_addr, None)
             if holders:
                 for core_id in holders:
                     self.l1s[core_id].remove(line_addr)
@@ -321,7 +321,7 @@ class CacheHierarchy:
     def clear_tx_markers(self, tx_id: int, lines: Set[int]) -> None:
         """Commit path: make lines visible by clearing speculative markers."""
         for line_addr in sorted(lines):
-            for core_id in self._l1_holders.get(line_addr, ()):
+            for core_id in self.l1_holders.get(line_addr, ()):
                 meta = self.l1s[core_id].peek(line_addr)
                 if meta is not None:
                     meta.clear_tx(tx_id)
@@ -342,4 +342,4 @@ class CacheHierarchy:
         for l1 in self.l1s:
             l1.clear()
         self.llc.clear()
-        self._l1_holders.clear()
+        self.l1_holders.clear()

@@ -282,7 +282,96 @@ def _kernel_points(engine: str, full: bool) -> List[dict]:
     levels = [LEVELS[rng.randrange(3)] for _ in range(lat_n)]
     mems = [rng.random() * 100.0 for _ in range(lat_n)]
     timed("latency.accumulate", lambda: table.accumulate(levels, mems))
+    # The epoch dispatch family rides along for the engines whose block
+    # dispatch actually differs (scalar loop vs fused epoch flush).  The
+    # vectorized kit has no epoch dispatcher — its blocks run the scalar
+    # per-op walk — so the points would only re-measure scalar dispatch
+    # while diluting the vectorized kernel-speedup gate's aggregate.
+    if engine in ("scalar", "batched"):
+        points.extend(_epoch_points(engine, full))
     return points
+
+
+#: Epoch widths benched by the ``epoch.w*`` family — the block sizes the
+#: dispatcher sees, from fence-to-scalar narrow blocks up to full sweeps.
+EPOCH_WIDTHS = (1, 4, 16, 64)
+
+
+def _epoch_points(engine: str, full: bool) -> List[dict]:
+    """Time block dispatch end-to-end through a real System per width.
+
+    Each point issues the same number of *blocks* (epochs), so wider
+    points carry proportionally more simulated work — the natural shape
+    of a width sweep, and the one that weighs the aggregate toward the
+    widths where epoch dispatch actually runs.  The swept array cycles
+    four resident lines, so every access is an L1 hit and the point times
+    the dispatch path itself rather than shared fill/eviction work.  At
+    width 1 the dispatcher's fence drops every block to the scalar walk,
+    pinning the fallback overhead; the wide points time the fused loops.
+    """
+    from ..mem.address import MemoryKind
+    from ..params import HTMConfig, LINE_SIZE, MachineConfig
+    from ..runtime.system import System
+
+    blocks = 2_500 * (8 if full else 1)
+    points: List[dict] = []
+    for width in EPOCH_WIDTHS:
+        system = System(
+            MachineConfig.scaled(SMOKE_SCALE),
+            HTMConfig(),
+            seed=0xE90C,
+            engine=engine,
+        )
+        app = system.process("epoch")
+
+        def worker(api, width=width):
+            base = api.heap.alloc(64 * LINE_SIZE, MemoryKind.DRAM)
+            chunk = [base + (i % 4) * LINE_SIZE for i in range(width)]
+            for _ in range(blocks):
+                api.nontx.rmw_add_block(chunk, 1)
+                yield
+
+        app.thread(worker)
+        stopwatch = Stopwatch()
+        system.run()
+        points.append(
+            {
+                "key": ["kernel", f"epoch.w{width}"],
+                "label": f"epoch.w{width}",
+                "fingerprint": None,
+                "cached": False,
+                "elapsed_s": round(stopwatch.elapsed_s, 4),
+            }
+        )
+    return points
+
+
+def _epoch_artifact(
+    args: argparse.Namespace, engine: str
+) -> Tuple[dict, float]:
+    """The ``epochs`` bench figure: the epoch dispatch family on its own.
+
+    This is the figure the batched-engine CI gate runs ``--speedup-floor``
+    against: it contains exactly the points that measure epoch dispatch,
+    so the aggregate certifies the dispatcher itself rather than being
+    diluted by kernel points both engines run identically.
+    """
+    stopwatch = Stopwatch()
+    points = _epoch_points(engine, args.full)
+    total_s = stopwatch.elapsed_s
+    return {
+        "figure": "epochs",
+        "quick": not args.full,
+        "scale": args.scale,
+        "seed": args.seed,
+        "jobs": args.jobs,
+        "engine": engine,
+        "total_s": round(total_s, 3),
+        "points_total": len(points),
+        "simulated": len(points),
+        "cache_hits": 0,
+        "points": points,
+    }, total_s
 
 
 def _kernel_artifact(
@@ -321,7 +410,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="dynamic figures to bench (default: all of "
         + ", ".join(sorted(FIGURE_GRIDS))
         + "); the special name 'kernels' benches the batched sim kernels "
-        "themselves",
+        "themselves, and 'epochs' the epoch dispatch family alone",
     )
     parser.add_argument(
         "--full",
@@ -407,13 +496,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     names = args.figures or sorted(FIGURE_GRIDS)
     unknown = [
         name for name in names
-        if name not in FIGURE_GRIDS and name != "kernels"
+        if name not in FIGURE_GRIDS and name not in ("kernels", "epochs")
     ]
     if unknown:
         parser.error(
             f"unknown figure(s) {', '.join(unknown)}; benchable figures: "
             + ", ".join(sorted(FIGURE_GRIDS))
-            + ", kernels"
+            + ", kernels, epochs"
         )
     cache = ResultCache(args.cache_dir) if args.cache_dir else None
     out_dir = Path(args.out_dir)
@@ -429,6 +518,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     for name in names:
         if name == "kernels":
             artifact, total_s = _kernel_artifact(args, engine)
+            outcome = None
+        elif name == "epochs":
+            artifact, total_s = _epoch_artifact(args, engine)
             outcome = None
         else:
             points = [

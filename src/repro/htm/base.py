@@ -136,6 +136,10 @@ class HTMSystem:
         self._active: Dict[int, TxHandle] = {}
         #: Optional trace capture (set by the System facade).
         self.capture = None
+        #: Epoch dispatcher (:class:`repro.htm.batch.BatchDispatcher`), set
+        #: by the System facade under ``engine="batched"``; the block-level
+        #: context methods in :mod:`repro.runtime.txapi` route through it.
+        self.batch = None
         #: Optional event tracer (set by ``repro.obs.attach_tracer``); hook
         #: sites guard with ``is not None`` and never import the obs package.
         self.tracer = None

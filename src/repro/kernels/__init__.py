@@ -10,7 +10,13 @@ config's ``engine`` knob to a kit:
 * ``"scalar"`` — the pure-Python classes (the default; no dependencies).
 * ``"vectorized"`` — the numpy kernels; raises :class:`~repro.errors
   .ConfigError` with an install hint when numpy is missing.
-* ``"auto"`` — vectorized when numpy imports, scalar otherwise.
+* ``"batched"`` — the epoch-batched execution core: scalar tag arrays (the
+  fastest per-op structures) plus the numpy histogram/latency kernels, and
+  — the part that actually wins end-to-end — the epoch dispatcher in
+  :mod:`repro.htm.batch` that fuses whole operation blocks per scheduler
+  step.  Requires numpy, with the same install hint as ``"vectorized"``.
+* ``"auto"`` — vectorized when numpy imports, scalar otherwise (``auto``
+  stays conservative: it never opts into the batched dispatcher).
 * ``None`` — the process default: the ``REPRO_ENGINE`` environment variable
   if set (how CI runs the whole suite per engine), else ``"scalar"``.
 
@@ -37,7 +43,7 @@ from .stats import VectorHistogram
 
 #: The values a config ``engine`` knob accepts (``None`` additionally means
 #: "process default").
-ENGINE_CHOICES = ("scalar", "vectorized", "auto")
+ENGINE_CHOICES = ("scalar", "vectorized", "batched", "auto")
 
 #: Environment variable consulted when the knob is ``None``.  Reading the
 #: environment here is determinism-safe precisely because engines are
@@ -56,6 +62,10 @@ class EngineKit:
     setassoc_cls: type
     histogram_cls: type
     latency_cls: type
+    #: True for the epoch-batched execution core: the runtime additionally
+    #: installs :class:`repro.sim.engine.EpochEngine` and the
+    #: :class:`repro.htm.batch.BatchDispatcher` block paths.
+    batched: bool = False
 
 
 SCALAR_KIT = EngineKit(
@@ -76,14 +86,34 @@ VECTOR_KIT = EngineKit(
     latency_cls=VectorLatencyTable,
 )
 
-_KITS = {"scalar": SCALAR_KIT, "vectorized": VECTOR_KIT}
+# The batched kit keeps the scalar tag arrays and Bloom filters — their
+# dict/bigint per-op paths are the fastest single-operation code, and the
+# epoch dispatcher's fused loops run over them — while the histogram and
+# latency kernels come from the vector twins, whose record/flush split is
+# exactly the stage-then-flush shape the dispatcher batches.
+BATCHED_KIT = EngineKit(
+    name="batched",
+    bloom_cls=BloomFilter,
+    banked_bloom_cls=BankedBloomFilter,
+    setassoc_cls=SetAssociativeArray,
+    histogram_cls=VectorHistogram,
+    latency_cls=VectorLatencyTable,
+    batched=True,
+)
+
+_KITS = {
+    "scalar": SCALAR_KIT,
+    "vectorized": VECTOR_KIT,
+    "batched": BATCHED_KIT,
+}
 
 
 def resolve_engine(engine: Optional[str]) -> str:
     """Resolve an engine knob to a concrete engine name.
 
-    Returns ``"scalar"`` or ``"vectorized"``; raises ConfigError for an
-    unknown knob, or for ``"vectorized"`` without numpy installed.
+    Returns ``"scalar"``, ``"vectorized"``, or ``"batched"``; raises
+    ConfigError for an unknown knob, or for ``"vectorized"``/``"batched"``
+    without numpy installed.
     """
     if engine is None:
         engine = os.environ.get(ENGINE_ENV_VAR, "scalar")
@@ -94,7 +124,7 @@ def resolve_engine(engine: Optional[str]) -> str:
         )
     if engine == "auto":
         return "vectorized" if numpy_available() else "scalar"
-    if engine == "vectorized" and not numpy_available():
+    if engine in ("vectorized", "batched") and not numpy_available():
         raise ConfigError(NUMPY_MISSING_MSG)
     return engine
 

@@ -46,6 +46,18 @@ class BackingStore:
             raise AddressError(f"stores take int values, got {type(value).__name__}")
         self._words[addr & _WORD_MASK] = value
 
+    def rmw(self, addr: int, delta: int) -> None:
+        """Fused read-modify-write of one word: load + store in one call.
+
+        Exactly ``store(addr, load(addr) + delta)``; the epoch dispatcher's
+        sweep path issues it per address, paying one method call and one
+        mask instead of two of each (the value is an int by construction,
+        so the store-side type check is vacuous).
+        """
+        key = addr & _WORD_MASK
+        words = self._words
+        words[key] = words.get(key, 0) + delta
+
     def store_line(self, words: Dict[int, int]) -> None:
         """Bulk store of already word-aligned, validated (addr, value) pairs.
 

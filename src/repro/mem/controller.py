@@ -152,6 +152,21 @@ class MemoryController:
             return
         self.nvm.store(addr, value)
 
+    def rmw_word(self, addr: int, delta: int) -> None:
+        """Fused ``store_word(addr, load_word(addr) + delta)``.
+
+        One address classification instead of two.  Only legal when nothing
+        can touch the word between the load and the store — the epoch
+        dispatcher's read-modify-write sweep calls it when no transaction is
+        active anywhere (so no conflict staging, and therefore no rollback,
+        can interleave).  The NVM branch keeps the exact composed sequence
+        because of the DRAM-cache lookup and store-hook ordering.
+        """
+        if DRAM_BASE <= addr < self._dram_end:
+            self.dram.rmw(addr, delta)
+            return
+        self.store_word(addr, self.load_word(addr) + delta)
+
     # -- undo logging (LLC-overflowed DRAM lines) ----------------------------
 
     def log_undo_and_update(

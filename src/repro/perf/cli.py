@@ -19,6 +19,7 @@ Profiled runs are slower than plain runs (tracing overhead); use
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 from typing import List, Optional, Tuple
@@ -26,8 +27,9 @@ from typing import List, Optional, Tuple
 from ..harness.config import ExperimentSpec, consolidated
 from ..harness.figures import FIGURE_GRIDS
 from ..harness.report import format_table
-from ..harness.runner import run_experiment
+from ..harness.runner import epoch_summary, run_experiment
 from ..harness.timer import Stopwatch
+from ..kernels import ENGINE_CHOICES, resolve_engine
 from ..params import HTMConfig
 from ..workloads import WORKLOADS, WorkloadParams
 from .phases import PHASES, PhaseTimers
@@ -79,6 +81,7 @@ def build_report(
     scale: float = PROFILE_SCALE,
     seed: int = 2020,
     points: int = 0,
+    engine: Optional[str] = None,
 ) -> dict:
     """Profile ``target`` and return the hot-spot report as plain data."""
     if target in FIGURE_GRIDS:
@@ -93,26 +96,65 @@ def build_report(
             f"unknown profile target {target!r}; choose from: "
             + ", ".join(choices)
         )
+    # Resolve once (like bench does) so the report names the engine actually
+    # profiled, and pin every point's spec to it.
+    resolved = resolve_engine(engine)
+    runs = [
+        (dataclasses.replace(spec, engine=resolved), label)
+        for spec, label in runs
+    ]
+
+    # Under the batched engine the run also reports its epoch counters:
+    # how many blocks flushed fused, how wide, and why the rest fenced.
+    systems: List[object] = []
+
+    def run_one(spec: ExperimentSpec, label: Optional[str]):
+        return run_experiment(spec, label, instrument=systems.append)
 
     timers = PhaseTimers()
     stopwatch = Stopwatch()
     with timers:
         _, hotspots = profile_callable(
-            lambda: [run_experiment(spec, label) for spec, label in runs],
+            lambda: [run_one(spec, label) for spec, label in runs],
             sort=sort,
             top=top,
         )
+    epochs = [s for s in (epoch_summary(system) for system in systems) if s]
     return {
         "target": target,
         "kind": kind,
         "points": len(runs),
         "scale": scale,
         "seed": seed,
+        "engine": resolved,
         "sort": sort,
         "top": top,
         "wall_s": round(stopwatch.elapsed_s, 3),
         "phases": timers.report(),
+        "epoch_stats": _merge_epochs(epochs),
         "hotspots": [spot.to_dict() for spot in hotspots],
+    }
+
+
+def _merge_epochs(summaries: List[dict]) -> Optional[dict]:
+    """Fold per-point epoch counters into one figure-level summary."""
+    if not summaries:
+        return None
+    epochs = sum(s["epochs"] for s in summaries)
+    batched = sum(s["batched_ops"] for s in summaries)
+    scalar = sum(s["scalar_ops"] for s in summaries)
+    fences: dict = {}
+    for summary in summaries:
+        for reason, count in summary["fences"].items():
+            fences[reason] = fences.get(reason, 0) + count
+    total = batched + scalar
+    return {
+        "epochs": epochs,
+        "batched_ops": batched,
+        "scalar_ops": scalar,
+        "mean_batch_width": round(batched / epochs, 2) if epochs else 0.0,
+        "scalar_fallback_ratio": round(scalar / total, 4) if total else 0.0,
+        "fences": dict(sorted(fences.items())),
     }
 
 
@@ -152,6 +194,15 @@ def _print_report(report: dict) -> None:
             title=f"top {report['top']} by {report['sort']}",
         )
     )
+    epoch = report.get("epoch_stats")
+    if epoch is not None:
+        print()
+        print(
+            f"epoch dispatch ({report['engine']}): {epoch['epochs']} epochs, "
+            f"mean width {epoch['mean_batch_width']:.1f}, "
+            f"{epoch['scalar_fallback_ratio']:.1%} scalar fallback"
+            + (f", fences {epoch['fences']}" if epoch["fences"] else "")
+        )
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -204,6 +255,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="N",
         help="profile only the first N grid points (0 = whole grid)",
     )
+    parser.add_argument(
+        "--engine",
+        choices=ENGINE_CHOICES,
+        help="sim-kernel engine to profile under (default: the process "
+        "default — $REPRO_ENGINE or scalar); batched runs also report "
+        "their epoch-dispatch counters",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -214,6 +272,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             scale=args.scale,
             seed=args.seed,
             points=args.points,
+            engine=args.engine,
         )
     except ValueError as exc:
         parser.error(str(exc))

@@ -28,7 +28,7 @@ from ..htm.recovery import CrashController, CrashReport, RecoveryReport
 from ..kernels import kit_for
 from ..mem.controller import MemoryController
 from ..params import HTMConfig, MachineConfig
-from ..sim.engine import Engine
+from ..sim.engine import Engine, EpochEngine
 from ..sim.rng import RngStreams
 from ..sim.stats import StatsRegistry
 from ..sim.trace import TraceRecorder
@@ -63,7 +63,10 @@ class System:
         )
         self.rng = RngStreams(seed)
         self.trace = TraceRecorder(enabled=trace)
-        self.engine = Engine()
+        # The batched kit swaps in the epoch-aware event engine; scheduling
+        # is inherited unchanged, it only adds the EpochStats surface the
+        # block dispatcher reports into.
+        self.engine = EpochEngine() if self.kernel_kit.batched else Engine()
         self.controller = MemoryController(
             self.machine.memory, self.machine.latency
         )
@@ -74,6 +77,10 @@ class System:
             self.machine, self.htm_config, self.controller, self.hierarchy,
             self.stats, kit=self.kernel_kit,
         )
+        if self.kernel_kit.batched:
+            from ..htm.batch import BatchDispatcher
+
+            self.htm.batch = BatchDispatcher(self.htm, self.engine.epoch_stats)
         self.heap = TxHeap(self.controller)
         if capture_trace:
             space = self.controller.address_space
@@ -109,6 +116,16 @@ class System:
     @property
     def elapsed_ns(self) -> float:
         return self.engine.now()
+
+    @property
+    def epoch_stats(self):
+        """The :class:`~repro.sim.engine.EpochStats` surface, or ``None``.
+
+        Populated only under ``engine="batched"``; diagnostic-only — epoch
+        counters never enter :class:`~repro.harness.metrics.RunResult` or
+        any export, which is part of the bit-identity contract.
+        """
+        return getattr(self.engine, "epoch_stats", None)
 
     def throughput_ops_per_ms(self) -> float:
         """Committed operations per simulated millisecond."""

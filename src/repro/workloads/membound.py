@@ -59,18 +59,33 @@ class MemBoundWorkload(Workload):
         start = thread_index * stride
 
         def body(api) -> Generator[None, None, None]:
+            # One chunk of addresses per scheduling yield; the addresses are
+            # a pure function of the sweep geometry, so they are computed
+            # once up front and each chunk issues as a single read-modify-
+            # write block (an epoch under the batched engine, a plain loop
+            # of read_word/write_word pairs otherwise).
+            base = self.base
+            array_lines = self.array_lines
+            chunks = []
+            for chunk_start in range(0, stride, _SWEEP_CHUNK):
+                chunks.append(
+                    [
+                        base + ((start + i) % array_lines) * LINE_SIZE
+                        for i in range(
+                            chunk_start, min(chunk_start + _SWEEP_CHUNK, stride)
+                        )
+                    ]
+                )
+            stop_when = self.stop_when
             for _ in range(self.max_sweeps):
-                if self.stop_when():
+                if stop_when():
                     return
-                for chunk_start in range(0, stride, _SWEEP_CHUNK):
-                    for i in range(
-                        chunk_start, min(chunk_start + _SWEEP_CHUNK, stride)
-                    ):
-                        addr = self.base + ((start + i) % self.array_lines) * LINE_SIZE
-                        value = api.nontx.read_word(addr)
-                        api.nontx.write_word(addr, value + 1)
+                for chunk in chunks:
+                    # api.nontx is looked up per chunk: migration swaps in a
+                    # new DirectContext bound to the destination core.
+                    api.nontx.rmw_add_block(chunk, 1)
                     yield
-                    if self.stop_when():
+                    if stop_when():
                         return
                 self.sweeps_completed += 1
 

@@ -148,3 +148,17 @@ class TestResultCache:
         fingerprint = cache.fingerprint(small_spec())
         assert path == tmp_path / fingerprint[:2] / f"{fingerprint}.json"
         assert path.is_file()
+
+    def test_all_engines_share_one_entry(self, tmp_path):
+        """A result computed under any engine serves every other engine.
+
+        Engines are proven bit-identical, so the fingerprint excludes the
+        knob: a grid seeded under scalar warms the cache for batched and
+        vectorized runs (and vice versa) instead of tripling the store.
+        """
+        cache = ResultCache(tmp_path)
+        cache.put(small_spec(engine="scalar"), sample_result())
+        for engine in ("scalar", "vectorized", "batched", "auto", None):
+            assert cache.get(small_spec(engine=engine)) == sample_result()
+        assert cache.stats.hits == 5
+        assert cache.stats.misses == 0

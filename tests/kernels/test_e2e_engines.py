@@ -1,9 +1,10 @@
-"""End-to-end bit-identity: whole figure exports, scalar vs vectorized.
+"""End-to-end bit-identity: whole figure exports across all engines.
 
-The acceptance bar for the vectorized engines is byte-identical fig2 and
-fig7 exports across engines at the smoke scale, for two seeds.  The engine
-is selected the same way ``python -m repro --engine`` does it: through the
-process-default environment variable, so this also covers the CLI plumbing.
+The acceptance bar for the vectorized and batched engines is byte-identical
+fig2 and fig7 exports against scalar at the smoke scale, for two seeds.
+The engine is selected the same way ``python -m repro --engine`` does it:
+through the process-default environment variable, so this also covers the
+CLI plumbing.
 """
 
 import pytest
@@ -23,9 +24,12 @@ def export(monkeypatch, figure, engine, seed):
     return to_json([FIGURES[figure](quick=True, scale=SMOKE_SCALE, seed=seed)])
 
 
+@pytest.mark.parametrize("engine", ("vectorized", "batched"))
 @pytest.mark.parametrize("figure", sorted(FIGURES))
 @pytest.mark.parametrize("seed", (2020, 7))
-def test_exports_byte_identical_across_engines(monkeypatch, figure, seed):
+def test_exports_byte_identical_across_engines(
+    monkeypatch, figure, seed, engine
+):
     scalar = export(monkeypatch, figure, "scalar", seed)
-    vectorized = export(monkeypatch, figure, "vectorized", seed)
-    assert scalar == vectorized
+    candidate = export(monkeypatch, figure, engine, seed)
+    assert scalar == candidate

@@ -44,6 +44,10 @@ class TestResolveEngine:
         assert resolve_engine("vectorized") == "vectorized"
         assert resolve_engine("auto") == "vectorized"
 
+    @pytest.mark.skipif(not numpy_available(), reason="needs numpy")
+    def test_batched_with_numpy(self):
+        assert resolve_engine("batched") == "batched"
+
 
 class TestKits:
     def test_scalar_kit_classes(self):
@@ -73,6 +77,38 @@ class TestKits:
         assert kit.banked_bloom_cls is VectorBankedBloomFilter
         assert kit.setassoc_cls is VectorSetAssociativeArray
         assert kit.histogram_cls is VectorHistogram
+        assert not kit.batched
+
+    @pytest.mark.skipif(not numpy_available(), reason="needs numpy")
+    def test_batched_kit_classes(self):
+        """Scalar per-op structures, vector stage-then-flush kernels."""
+        from repro.cache.setassoc import SetAssociativeArray
+        from repro.kernels.stats import VectorHistogram
+        from repro.signatures.bloom import BloomFilter
+
+        kit = kit_for("batched")
+        assert kit.batched
+        assert kit.bloom_cls is BloomFilter
+        assert kit.setassoc_cls is SetAssociativeArray
+        assert kit.histogram_cls is VectorHistogram
+
+    @pytest.mark.skipif(not numpy_available(), reason="needs numpy")
+    def test_batched_system_installs_dispatcher(self):
+        from repro.htm.batch import BatchDispatcher
+        from repro.params import HTMConfig, MachineConfig
+        from repro.runtime.system import System
+
+        system = System(
+            MachineConfig.scaled(1 / 64, cores=2), HTMConfig(), engine="batched"
+        )
+        assert isinstance(system.htm.batch, BatchDispatcher)
+        assert system.epoch_stats is not None
+
+        scalar = System(
+            MachineConfig.scaled(1 / 64, cores=2), HTMConfig(), engine="scalar"
+        )
+        assert scalar.htm.batch is None
+        assert scalar.epoch_stats is None
 
 
 class TestNumpyMissing:
@@ -92,6 +128,12 @@ class TestNumpyMissing:
         assert str(excinfo.value) == NUMPY_MISSING_MSG
         assert "pip install repro[vectorized]" in str(excinfo.value)
         assert "engine='auto'" in str(excinfo.value)
+
+    def test_batched_raises_same_install_hint(self):
+        with pytest.raises(ConfigError) as excinfo:
+            resolve_engine("batched")
+        assert str(excinfo.value) == NUMPY_MISSING_MSG
+        assert "pip install repro[vectorized]" in str(excinfo.value)
 
     def test_auto_falls_back_to_scalar(self):
         assert resolve_engine("auto") == "scalar"
@@ -119,6 +161,17 @@ class TestNumpyMissing:
                 MachineConfig.scaled(1 / 64, cores=2),
                 HTMConfig(),
                 engine="vectorized",
+            )
+
+    def test_batched_system_raises(self):
+        from repro.params import HTMConfig, MachineConfig
+        from repro.runtime.system import System
+
+        with pytest.raises(ConfigError):
+            System(
+                MachineConfig.scaled(1 / 64, cores=2),
+                HTMConfig(),
+                engine="batched",
             )
 
 
@@ -162,8 +215,10 @@ class TestSpecEngineField:
 
         scalar = self.tiny_spec(engine="scalar")
         vector = self.tiny_spec(engine="vectorized")
+        batched = self.tiny_spec(engine="batched")
         default = self.tiny_spec()
         assert spec_fingerprint(scalar) == spec_fingerprint(vector)
+        assert spec_fingerprint(scalar) == spec_fingerprint(batched)
         assert spec_fingerprint(scalar) == spec_fingerprint(default)
 
     def test_fingerprint_still_separates_real_knobs(self):
